@@ -1,0 +1,32 @@
+"""Table I: qualitative comparison of strict-persistency schemes.
+
+Regenerates the paper's Table I rows (PMEM, BSP, eADR, BBB) from the
+scheme trait declarations, and times the trait collection (trivially fast —
+the exhibit is the table itself).
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.persistency import table1_rows
+
+
+def test_table1_scheme_comparison(benchmark, report):
+    rows = benchmark(table1_rows)
+
+    table = render_table(
+        ["Aspect"] + [r.name for r in rows],
+        [
+            ["SW Complexity"] + [r.sw_complexity for r in rows],
+            ["Persist Inst."] + [r.persist_instructions for r in rows],
+            ["HW Complexity"] + [r.hw_complexity for r in rows],
+            ["Strict pers. penalty"] + [r.strict_persistency_penalty for r in rows],
+            ["Battery Needed"] + [r.battery for r in rows],
+            ["PoP location"] + [r.pop_location for r in rows],
+        ],
+        title="Table I: strict-persistency scheme comparison",
+    )
+    report(table)
+
+    by_name = {r.name: r for r in rows}
+    assert by_name["PMEM"].sw_complexity == "High"
+    assert by_name["BBB (memory-side)"].battery == "Small"
+    assert by_name["eADR"].battery == "Large"

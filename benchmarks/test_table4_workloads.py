@@ -1,0 +1,32 @@
+"""Table IV: workload characterisation — %P-Stores per workload.
+
+Regenerates the paper's Table IV (workload, description, fraction of
+persisting stores) from the generated traces and compares against the
+published percentages.
+"""
+
+from repro.analysis.experiments import table4
+from repro.analysis.tables import render_table
+
+
+def test_table4_workload_pstores(benchmark, report, sim_config, bench_spec):
+    rows = benchmark.pedantic(
+        lambda: table4(spec=bench_spec, config=sim_config), rounds=1, iterations=1
+    )
+
+    table = render_table(
+        ["Workload", "Description", "%P-Stores (measured)", "%P-Stores (paper)"],
+        [
+            (name, desc, f"{measured:.1f}%", f"{paper:.1f}%" if paper else "-")
+            for name, desc, measured, paper in rows
+        ],
+        title="Table IV: evaluated workloads",
+    )
+    report(table)
+
+    by_name = {name: measured for name, _, measured, _ in rows}
+    # Shapes: hashmap is by far the lowest; arrays are the highest.
+    assert by_name["hashmap"] < by_name["rtree"] < by_name["mutateNC"]
+    for name, _, measured, paper in rows:
+        if paper is not None:
+            assert abs(measured - paper) <= 8.0, (name, measured, paper)

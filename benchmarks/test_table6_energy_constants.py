@@ -1,0 +1,32 @@
+"""Table VI: estimated energy costs of draining operations.
+
+Regenerates the constant table (derived by the paper from Pandiyan & Wu
+[65]) that all drain-energy estimates build on.
+"""
+
+from repro.analysis.tables import fmt_si, render_table
+from repro.energy import model
+
+
+def test_table6_energy_constants(benchmark, report):
+    def collect():
+        return [
+            ("Accessing Data from SRAM", model.SRAM_ACCESS_J_PER_BYTE),
+            ("Moving data from L1D to NVMM", model.L1_TO_NVMM_J_PER_BYTE),
+            ("Moving data from bbPB to NVMM", model.L1_TO_NVMM_J_PER_BYTE),
+            ("Moving data from L2 to NVMM", model.L2_TO_NVMM_J_PER_BYTE),
+            ("Moving data from L3 to NVMM", model.L2_TO_NVMM_J_PER_BYTE),
+        ]
+
+    rows = benchmark(collect)
+    table = render_table(
+        ["Operation", "Energy Cost"],
+        [(op, fmt_si(joules, "J/Byte")) for op, joules in rows],
+        title="Table VI: estimated draining energy costs",
+    )
+    report(table)
+
+    assert rows[0][1] == 1e-12               # 1 pJ/Byte
+    assert rows[1][1] == rows[2][1]          # bbPB drains at the L1 cost
+    assert abs(rows[1][1] - 11.839e-9) < 1e-12
+    assert abs(rows[3][1] - 11.228e-9) < 1e-12

@@ -1,0 +1,45 @@
+"""Table VII: estimated draining energy for BBB vs eADR (dirty blocks only).
+
+Paper values: mobile 46.5 mJ vs 145 uJ (320x); server 550 mJ vs 775 uJ
+(709x).  BBB's drain energy is two to three orders of magnitude smaller.
+"""
+
+import pytest
+
+from repro.analysis.experiments import table7
+from repro.analysis.tables import fmt_ratio, fmt_si, render_table
+
+PAPER = {
+    "Mobile Class": (46.5e-3, 145e-6, 320),
+    "Server Class": (550e-3, 775e-6, 709),
+}
+
+
+def test_table7_drain_energy(benchmark, report):
+    rows = benchmark(table7)
+
+    table = render_table(
+        ["System", "eADR (measured)", "BBB (measured)", "eADR/BBB",
+         "eADR (paper)", "BBB (paper)", "ratio (paper)"],
+        [
+            (
+                name,
+                fmt_si(eadr_j, "J"),
+                fmt_si(bbb_j, "J"),
+                fmt_ratio(ratio),
+                fmt_si(PAPER[name][0], "J"),
+                fmt_si(PAPER[name][1], "J"),
+                f"{PAPER[name][2]}x",
+            )
+            for name, eadr_j, bbb_j, ratio in rows
+        ],
+        title="Table VII: draining energy, eADR vs BBB (44.9% dirty, 32-entry bbPB)",
+    )
+    report(table)
+
+    for name, eadr_j, bbb_j, ratio in rows:
+        paper_eadr, paper_bbb, paper_ratio = PAPER[name]
+        assert eadr_j == pytest.approx(paper_eadr, rel=0.03)
+        assert bbb_j == pytest.approx(paper_bbb, rel=0.03)
+        assert ratio == pytest.approx(paper_ratio, rel=0.03)
+        assert ratio > 100  # two orders of magnitude

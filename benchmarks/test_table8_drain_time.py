@@ -1,0 +1,46 @@
+"""Table VIII: estimated draining time for BBB vs eADR (dirty blocks only).
+
+Paper values: mobile 0.8 ms vs 2.6 us (307x); server 1.8 ms vs 2.4 us
+(750x).  The time model is bytes / (channels x per-channel NVMM write
+bandwidth); the paper's rounded figures imply ~2.3 GB/s per channel [41].
+"""
+
+import pytest
+
+from repro.analysis.experiments import table8
+from repro.analysis.tables import fmt_ratio, fmt_si, render_table
+
+PAPER = {
+    "Mobile Class": (0.8e-3, 2.6e-6, 307),
+    "Server Class": (1.8e-3, 2.4e-6, 750),
+}
+
+
+def test_table8_drain_time(benchmark, report):
+    rows = benchmark(table8)
+
+    table = render_table(
+        ["System", "eADR (measured)", "BBB (measured)", "eADR/BBB",
+         "eADR (paper)", "BBB (paper)", "ratio (paper)"],
+        [
+            (
+                name,
+                fmt_si(eadr_s, "s"),
+                fmt_si(bbb_s, "s"),
+                fmt_ratio(ratio),
+                fmt_si(PAPER[name][0], "s"),
+                fmt_si(PAPER[name][1], "s"),
+                f"{PAPER[name][2]}x",
+            )
+            for name, eadr_s, bbb_s, ratio in rows
+        ],
+        title="Table VIII: draining time, eADR vs BBB",
+    )
+    report(table)
+
+    for name, eadr_s, bbb_s, ratio in rows:
+        paper_eadr, paper_bbb, paper_ratio = PAPER[name]
+        assert eadr_s == pytest.approx(paper_eadr, rel=0.15)  # paper rounds to 1 digit
+        assert bbb_s == pytest.approx(paper_bbb, rel=0.05)
+        # Two to three orders of magnitude faster.
+        assert ratio == pytest.approx(paper_ratio, rel=0.12)

@@ -1,0 +1,59 @@
+"""Table IX: energy-source size (volume) and footprint area ratio.
+
+Paper values (volume, mm^3): mobile eADR 2.9e3 (SuperCap) / 30 (Li-thin),
+mobile BBB 4.1 / 0.04; server eADR 34e3 / 300, server BBB 21.6 / 0.21.
+Footprint area assumes a cubic battery and is reported relative to a
+2.61 mm^2 mobile core: eADR needs ~77x (mobile) and ~404x (server) of a
+core with SuperCap; BBB fits in ~97% / ~296% of a core.
+"""
+
+import pytest
+
+from repro.analysis.experiments import table9
+from repro.analysis.tables import render_table
+
+PAPER_VOLUME = {
+    ("Mobile Class", "eADR", "SuperCap"): 2.9e3,
+    ("Mobile Class", "eADR", "Li-thin"): 30.0,
+    ("Mobile Class", "BBB", "SuperCap"): 4.1,
+    ("Mobile Class", "BBB", "Li-thin"): 0.04,
+    ("Server Class", "eADR", "SuperCap"): 34e3,
+    ("Server Class", "eADR", "Li-thin"): 300.0,
+    ("Server Class", "BBB", "SuperCap"): 21.6,
+    ("Server Class", "BBB", "Li-thin"): 0.21,
+}
+
+
+def test_table9_battery_size(benchmark, report):
+    estimates = benchmark(table9)
+
+    table = render_table(
+        ["System", "Scheme", "Technology", "Volume (mm^3)", "Paper (mm^3)",
+         "Core-area ratio"],
+        [
+            (
+                e.platform,
+                e.scheme,
+                e.technology,
+                f"{e.volume_mm3:,.2f}",
+                f"{PAPER_VOLUME[(e.platform, e.scheme, e.technology)]:,.2f}",
+                f"{e.core_area_pct:,.1f}%",
+            )
+            for e in estimates
+        ],
+        title="Table IX: energy-source size and footprint (vs 2.61 mm^2 core)",
+    )
+    report(table)
+
+    for e in estimates:
+        paper = PAPER_VOLUME[(e.platform, e.scheme, e.technology)]
+        assert e.volume_mm3 == pytest.approx(paper, rel=0.15), (
+            e.platform, e.scheme, e.technology
+        )
+
+    by_key = {(e.platform, e.scheme, e.technology): e for e in estimates}
+    # Headline ratios: ~77x core area for mobile eADR SuperCap, <1 core for
+    # mobile BBB SuperCap.
+    assert by_key[("Mobile Class", "eADR", "SuperCap")].core_area_ratio == pytest.approx(77, rel=0.06)
+    assert by_key[("Mobile Class", "BBB", "SuperCap")].core_area_ratio < 1.0
+    assert by_key[("Server Class", "eADR", "SuperCap")].core_area_ratio == pytest.approx(404, rel=0.06)

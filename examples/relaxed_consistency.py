@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Section III-C demo: why BBB battery-backs the store buffer under
+relaxed memory consistency.
+
+Under a relaxed model, committed stores may write the L1D out of program
+order (a younger store that hits can bypass an older one that misses).  If
+the persistence domain starts at the bbPB, a crash can then make a younger
+store durable while an older one is lost — program-order persistency
+breaks even though each store individually persisted "instantly".
+
+The paper's fix: battery-back the store buffer, moving the PoP up to SB
+allocation.  On a crash the SB drains (in program order, after the bbPB),
+so every committed store survives.
+
+This script runs the same dependent-store program (node init, then pointer
+publish, repeatedly) under both configurations and crash-sweeps it.
+
+Run:  python examples/relaxed_consistency.py
+"""
+
+import dataclasses
+
+from repro import SystemConfig, BBBConfig, BBBScheme, System, ConsistencyModel
+from repro.core.recovery import check_exact_durability
+from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
+
+
+def dependent_store_trace(config, pairs=10):
+    ops = []
+    head = config.mem.persistent_base
+    for i in range(pairs):
+        node = config.mem.persistent_base + (1 + i) * config.block_size
+        ops.append(TraceOp.store(node, 0x1000 + i))   # older: init node
+        ops.append(TraceOp.store(head, node))          # younger: publish
+    return ProgramTrace([ThreadTrace(ops)])
+
+
+def sweep(config, label):
+    trace = dependent_store_trace(config)
+    total, bad = 0, 0
+    first_violation = None
+    for crash_at in range(1, trace.total_ops() + 1):
+        for seed in range(3):
+            system = System(config, BBBScheme(BBBConfig(entries=64)),
+                            reorder_seed=seed)
+            result = system.run(trace, crash_at_op=crash_at)
+            check = check_exact_durability(
+                system.nvmm_media, result.committed_persists
+            )
+            total += 1
+            if not check:
+                bad += 1
+                if first_violation is None:
+                    first_violation = (crash_at, seed, check.violations[0])
+    print(f"{label}: {total - bad}/{total} crash points recovered the full "
+          f"committed state")
+    if first_violation:
+        crash_at, seed, violation = first_violation
+        print(f"  first loss at crash_op={crash_at} (seed {seed}):")
+        print(f"    {violation}")
+
+
+def main() -> None:
+    base = SystemConfig(num_cores=1).scaled_for_testing()
+    relaxed = dataclasses.replace(base, consistency=ConsistencyModel.RELAXED)
+
+    print("Relaxed consistency, battery-backed store buffer (the paper's design):")
+    sweep(relaxed, "  BBB + battery SB")
+
+    print("\nRelaxed consistency, volatile store buffer (the broken ablation):")
+    broken = dataclasses.replace(relaxed, force_volatile_store_buffer=True)
+    sweep(broken, "  BBB + volatile SB")
+
+    print(
+        "\nWith a volatile SB, a reordered older store dies in the buffer\n"
+        "while its younger neighbour is already durable via the bbPB —\n"
+        "exactly the gap Invariant 1 closes by battery-backing the SB."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare every persistency scheme on the full Table IV workload suite.
+
+For each workload, runs eADR, BBB (memory-side, 32 and 1024 entries), BBB
+(processor-side), strict PMEM, and buffered-epoch persistency, and prints
+execution time and NVMM writes normalized to eADR — a superset of the
+paper's Fig. 7 with the related-work baselines included.
+
+Run:  python examples/scheme_comparison.py [--quick]
+"""
+
+import sys
+
+from repro import WorkloadSpec
+from repro.analysis.experiments import default_sim_config, run_workload
+from repro.analysis.tables import geomean, render_table
+from repro.sim.system import bbb, bbb_processor_side, bsp, eadr, pmem_strict
+from repro.workloads.base import WORKLOAD_NAMES
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    config = default_sim_config()
+    spec = WorkloadSpec(
+        threads=8,
+        ops=60 if quick else 200,
+        elements=16384 if quick else 65536,
+    )
+    schemes = {
+        "eADR": lambda: eadr(config),
+        "BBB-32": lambda: bbb(config, entries=32),
+        "BBB-1024": lambda: bbb(config, entries=1024),
+        "BBB proc-side": lambda: bbb_processor_side(config, entries=32),
+        "BSP": lambda: bsp(config, entries=32),
+        "PMEM strict": lambda: pmem_strict(config),
+    }
+
+    time_rows, write_rows = [], []
+    norm_time = {label: [] for label in schemes}
+    norm_writes = {label: [] for label in schemes}
+    for name in WORKLOAD_NAMES:
+        runs = {
+            label: run_workload(name, factory, spec, config)
+            for label, factory in schemes.items()
+        }
+        base = runs["eADR"]
+        time_rows.append(
+            [name]
+            + [
+                f"{runs[l].execution_cycles / base.execution_cycles:.3f}"
+                for l in schemes
+            ]
+        )
+        write_rows.append(
+            [name]
+            + [f"{runs[l].nvmm_writes / max(1, base.nvmm_writes):.3f}" for l in schemes]
+        )
+        for label in schemes:
+            norm_time[label].append(
+                runs[label].execution_cycles / base.execution_cycles
+            )
+            norm_writes[label].append(
+                runs[label].nvmm_writes / max(1, base.nvmm_writes)
+            )
+
+    time_rows.append(
+        ["geomean"] + [f"{geomean(norm_time[l]):.3f}" for l in schemes]
+    )
+    write_rows.append(
+        ["geomean"] + [f"{geomean(norm_writes[l]):.3f}" for l in schemes]
+    )
+
+    headers = ["Workload"] + list(schemes)
+    print(render_table(headers, time_rows,
+                       title="Execution time normalized to eADR"))
+    print()
+    print(render_table(headers, write_rows,
+                       title="NVMM writes normalized to eADR (steady state)"))
+    print(
+        "\nReading the table: BBB-32 matches eADR's speed with a few percent\n"
+        "extra NVMM writes; the processor-side organisation amplifies writes\n"
+        "(no coalescing); strict PMEM pays a fence round-trip per persist."
+    )
+
+
+if __name__ == "__main__":
+    main()

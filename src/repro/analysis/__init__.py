@@ -1,0 +1,1 @@
+"""Experiment drivers (one per paper table/figure) and table rendering."""

@@ -1,0 +1,344 @@
+"""One driver per paper table/figure (the experiment index of DESIGN.md).
+
+Each ``fig*``/``table*`` function computes the data behind one exhibit of
+the paper's evaluation and returns plain Python structures; the benchmark
+files under ``benchmarks/`` call these and print the rendered tables, and
+``EXPERIMENTS.md`` records the paper-vs-measured comparison.
+
+Performance experiments run the trace simulator at a scaled-down size
+(``WorkloadSpec``); the energy/battery experiments are exact reproductions
+of the paper's analytical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import geomean
+from repro.energy import battery as battery_mod
+from repro.energy import model as energy_mod
+from repro.energy.platforms import MOBILE, SERVER
+from repro.sim.config import SystemConfig
+from repro.sim.system import (
+    System,
+    bbb,
+    bbb_processor_side,
+    eadr,
+)
+from repro.workloads.base import WORKLOAD_NAMES, WorkloadSpec, registry
+
+
+# ----------------------------------------------------------------------
+# Shared simulation helpers
+# ----------------------------------------------------------------------
+
+@dataclass
+class WorkloadRun:
+    """One (workload, scheme) simulation outcome."""
+
+    workload: str
+    scheme: str
+    execution_cycles: int
+    #: Steady-state NVMM writes: media writes during the window plus the
+    #: end-of-window obligations (see :func:`steady_state_nvmm_writes`).
+    nvmm_writes: int
+    #: Raw media writes during the measured window only.
+    nvmm_writes_raw: int
+    bbpb_rejections: int
+    bbpb_drains: int
+    p_store_fraction: float
+
+
+def steady_state_nvmm_writes(system) -> int:
+    """Media writes so far plus each scheme's end-of-window obligations.
+
+    The paper measures a long steady-state window where end effects are
+    negligible; at our scaled-down sizes they are not, so we charge every
+    scheme the writes its persistence story still owes at the cut: BBB owes
+    one drain per resident bbPB entry, while cache-based schemes owe one
+    writeback per dirty persistent block still cached.  This makes the
+    Fig. 7(b) comparison window-invariant.
+    """
+    stats = system.stats
+    scheme = system.scheme
+    buffers = getattr(scheme, "buffers", None)
+    if buffers:
+        obligations = sum(b.pending_drain_obligations() for b in buffers)
+    elif hasattr(scheme, "_buffers"):  # BEP's volatile persist buffers
+        obligations = sum(len(b) for b in scheme._buffers)
+    else:
+        h = system.hierarchy
+        dirty = set()
+        for blk in h.llc.dirty_blocks():
+            if h.config.mem.is_persistent(blk.addr):
+                dirty.add(blk.addr)
+        for l1 in h.l1s:
+            for blk in l1.dirty_blocks():
+                if h.config.mem.is_persistent(blk.addr):
+                    dirty.add(blk.addr)
+        obligations = len(dirty)
+    return stats.nvmm_writes + obligations
+
+
+def default_sim_config() -> SystemConfig:
+    """Table III system with caches scaled to the scaled-down workloads.
+
+    The scaling preserves the two relations that drive the paper's results:
+    the shared LLC is much larger than the aggregate bbPB capacity (1 MB vs
+    8 x 2 KB in Table III; 64 KB vs 8 x 2 KB here), and the workloads'
+    persistent footprints exceed the LLC so dirty data streams through it.
+    """
+    import dataclasses
+
+    from repro.sim.config import CacheConfig
+
+    base = SystemConfig()
+    return dataclasses.replace(
+        base,
+        l1d=CacheConfig(2 << 10, 2, 64, hit_latency=2),
+        llc=CacheConfig(64 << 10, 8, 64, hit_latency=11),
+        mem=dataclasses.replace(
+            base.mem,
+            dram_bytes=1 << 22,
+            nvmm_bytes=1 << 22,
+            persistent_bytes=1 << 21,
+        ),
+    )
+
+
+def run_workload(
+    name: str,
+    system_factory: Callable[[], System],
+    spec: Optional[WorkloadSpec] = None,
+    config: Optional[SystemConfig] = None,
+) -> WorkloadRun:
+    cfg = config or default_sim_config()
+    wspec = spec or WorkloadSpec()
+    workload = registry(cfg.mem, wspec)[name]
+    trace = workload.build()
+    system = system_factory()
+    # Pre-populated structures are durable before the window starts.
+    workload.seed_media(system.nvmm_media)
+    # finalize=False: measure the execution window only, like the paper's
+    # simulated window — end-of-run settling drains would charge BBB for
+    # writes whose eADR counterparts (dirty blocks left in caches) are
+    # never charged.
+    result = system.run(trace, finalize=False)
+    stats = result.stats
+    return WorkloadRun(
+        workload=name,
+        scheme=system.scheme.name,
+        execution_cycles=stats.execution_cycles,
+        nvmm_writes=steady_state_nvmm_writes(system),
+        nvmm_writes_raw=stats.nvmm_writes,
+        bbpb_rejections=stats.bbpb_rejections,
+        bbpb_drains=stats.bbpb_drains,
+        p_store_fraction=stats.persist_store_fraction,
+    )
+
+
+def _scheme_factories(
+    cfg: SystemConfig, entries_variants: Sequence[int] = (32, 1024)
+) -> Dict[str, Callable[[], System]]:
+    factories: Dict[str, Callable[[], System]] = {}
+    for entries in entries_variants:
+        factories[f"BBB ({entries})"] = (
+            lambda e=entries: bbb(cfg, entries=e)
+        )
+    factories["Optimal (eADR)"] = lambda: eadr(cfg)
+    return factories
+
+
+# ----------------------------------------------------------------------
+# Figure 7: execution time and NVMM writes, normalized to eADR
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig7Row:
+    workload: str
+    exec_time: Dict[str, float] = field(default_factory=dict)   # normalized
+    nvmm_writes: Dict[str, float] = field(default_factory=dict)  # normalized
+
+
+def fig7(
+    spec: Optional[WorkloadSpec] = None,
+    config: Optional[SystemConfig] = None,
+    workloads: Sequence[str] = WORKLOAD_NAMES,
+    entries_variants: Sequence[int] = (32, 1024),
+) -> List[Fig7Row]:
+    """Execution time (a) and NVMM writes (b) for BBB-32 and BBB-1024,
+    normalized to eADR, per workload."""
+    cfg = config or default_sim_config()
+    rows: List[Fig7Row] = []
+    for name in workloads:
+        runs = {
+            label: run_workload(name, factory, spec, cfg)
+            for label, factory in _scheme_factories(cfg, entries_variants).items()
+        }
+        base = runs["Optimal (eADR)"]
+        row = Fig7Row(workload=name)
+        for label, run in runs.items():
+            row.exec_time[label] = run.execution_cycles / max(1, base.execution_cycles)
+            row.nvmm_writes[label] = run.nvmm_writes / max(1, base.nvmm_writes)
+        rows.append(row)
+    return rows
+
+
+def fig7_averages(rows: List[Fig7Row]) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Geomean across workloads of the normalized metrics."""
+    labels = rows[0].exec_time.keys()
+    exec_avg = {l: geomean([r.exec_time[l] for r in rows]) for l in labels}
+    writes_avg = {l: geomean([r.nvmm_writes[l] for r in rows]) for l in labels}
+    return exec_avg, writes_avg
+
+
+# ----------------------------------------------------------------------
+# Section V-C: processor-side bbPB write amplification
+# ----------------------------------------------------------------------
+
+def processor_side_write_ratio(
+    spec: Optional[WorkloadSpec] = None,
+    config: Optional[SystemConfig] = None,
+    workloads: Sequence[str] = WORKLOAD_NAMES,
+    entries: int = 32,
+    coalesce_consecutive: bool = True,
+) -> Dict[str, float]:
+    """NVMM writes of processor-side BBB normalized to eADR, per workload.
+
+    The paper reports ~2.8x on average; with ``coalesce_consecutive=False``
+    (the paper's "almost every persisting store must go to the bbPB and
+    drain" reading) the amplification is largest.
+    """
+    cfg = config or default_sim_config()
+    ratios: Dict[str, float] = {}
+    for name in workloads:
+        proc = run_workload(
+            name,
+            lambda: bbb_processor_side(
+                cfg, entries=entries, coalesce_consecutive=coalesce_consecutive
+            ),
+            spec,
+            cfg,
+        )
+        base = run_workload(name, lambda: eadr(cfg), spec, cfg)
+        ratios[name] = proc.nvmm_writes / max(1, base.nvmm_writes)
+    return ratios
+
+
+# ----------------------------------------------------------------------
+# Figure 8: bbPB size sensitivity
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig8Point:
+    entries: int
+    rejections: float   # geomean across workloads, normalized to 1-entry
+    exec_time: float
+    drains: float
+
+
+def fig8(
+    sizes: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+    spec: Optional[WorkloadSpec] = None,
+    config: Optional[SystemConfig] = None,
+    workloads: Sequence[str] = WORKLOAD_NAMES,
+) -> List[Fig8Point]:
+    """Sensitivity of rejections (a), execution time (b), and drains (c) to
+    the bbPB entry count, geomean-normalized to the 1-entry configuration."""
+    cfg = config or default_sim_config()
+    per_size: Dict[int, List[WorkloadRun]] = {}
+    for entries in sizes:
+        per_size[entries] = [
+            run_workload(name, lambda e=entries: bbb(cfg, entries=e), spec, cfg)
+            for name in workloads
+        ]
+    base_runs = {run.workload: run for run in per_size[sizes[0]]}
+    points: List[Fig8Point] = []
+    for entries in sizes:
+        rej, ex, dr = [], [], []
+        for run in per_size[entries]:
+            base = base_runs[run.workload]
+            rej.append(run.bbpb_rejections / max(1, base.bbpb_rejections))
+            ex.append(run.execution_cycles / max(1, base.execution_cycles))
+            dr.append(run.bbpb_drains / max(1, base.bbpb_drains))
+        points.append(
+            Fig8Point(
+                entries=entries,
+                rejections=geomean(rej),
+                exec_time=geomean(ex),
+                drains=geomean(dr),
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Table IV: workload characterisation
+# ----------------------------------------------------------------------
+
+def table4(
+    spec: Optional[WorkloadSpec] = None, config: Optional[SystemConfig] = None
+) -> List[Tuple[str, str, float, Optional[float]]]:
+    """(name, description, measured %P-Stores, paper %P-Stores) rows."""
+    cfg = config or default_sim_config()
+    wspec = spec or WorkloadSpec()
+    rows = []
+    for name, workload in registry(cfg.mem, wspec).items():
+        trace = workload.build()
+        measured = workload.p_store_fraction(trace) * 100.0
+        rows.append((name, workload.description, measured, workload.paper_p_store_pct))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Tables VII-X: draining cost and battery sizing (analytical)
+# ----------------------------------------------------------------------
+
+def table7() -> List[Tuple[str, float, float, float]]:
+    """(platform, eADR joules, BBB joules, ratio) — drain energy."""
+    rows = []
+    for platform in (MOBILE, SERVER):
+        e = energy_mod.eadr_cost(platform)
+        b = energy_mod.bbb_cost(platform)
+        rows.append(
+            (platform.name, e.energy_joules, b.energy_joules,
+             e.energy_joules / b.energy_joules)
+        )
+    return rows
+
+
+def table8() -> List[Tuple[str, float, float, float]]:
+    """(platform, eADR seconds, BBB seconds, ratio) — drain time."""
+    rows = []
+    for platform in (MOBILE, SERVER):
+        e = energy_mod.eadr_cost(platform)
+        b = energy_mod.bbb_cost(platform)
+        rows.append(
+            (platform.name, e.time_seconds, b.time_seconds,
+             e.time_seconds / b.time_seconds)
+        )
+    return rows
+
+
+def table9() -> List[battery_mod.BatteryEstimate]:
+    """Battery volume + core-area ratio for each (platform, scheme, tech)."""
+    out = []
+    for platform in (MOBILE, SERVER):
+        for tech in ("SuperCap", "Li-thin"):
+            out.append(battery_mod.eadr_battery(platform, tech))
+            out.append(battery_mod.bbb_battery(platform, tech))
+    return out
+
+
+def table10(
+    entry_counts: Sequence[int] = (1, 4, 16, 32, 64, 256, 1024),
+) -> Dict[Tuple[str, str], Dict[int, float]]:
+    """Battery volume (mm^3) vs bbPB entries per (technology, platform)."""
+    out: Dict[Tuple[str, str], Dict[int, float]] = {}
+    for tech in ("SuperCap", "Li-thin"):
+        for key, platform in (("M", MOBILE), ("S", SERVER)):
+            out[(tech, key)] = battery_mod.battery_size_sweep(
+                platform, tech, entry_counts
+            )
+    return out

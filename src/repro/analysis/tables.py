@@ -1,0 +1,65 @@
+"""Plain-text table rendering for benchmark/experiment output.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output aligned and consistent without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with right-padded columns."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the aggregation Fig. 8 uses across workloads)."""
+    vals = [v for v in values]
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v < 0 for v in vals):
+        raise ValueError("geomean requires non-negative values")
+    if any(v == 0 for v in vals):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def fmt_si(value: float, unit: str = "") -> str:
+    """Format with an SI prefix (e.g. 1.45e-4 J -> '145.0 uJ')."""
+    prefixes = [
+        (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+        (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"),
+    ]
+    if value == 0:
+        return f"0 {unit}"
+    for scale, prefix in prefixes:
+        if abs(value) >= scale:
+            return f"{value / scale:.1f} {prefix}{unit}"
+    return f"{value:.3g} {unit}"
+
+
+def fmt_ratio(value: float) -> str:
+    return f"{value:,.0f}x" if value >= 10 else f"{value:.2f}x"

@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``     — simulate one workload under one scheme and print the stats.
+* ``compare`` — run every scheme on one workload, normalized to eADR.
+* ``crash``   — crash-sweep a workload under a scheme and report recovery.
+* ``energy``  — print the draining-cost and battery-sizing tables.
+* ``table1``  — print the qualitative scheme comparison.
+* ``trace``   — generate a workload trace and save it to a file.
+
+Examples::
+
+    python -m repro run --workload hashmap --scheme bbb --entries 32
+    python -m repro compare --workload swapNC --ops 200
+    python -m repro crash --workload hashmap --scheme none --sample 50
+    python -m repro energy
+    python -m repro trace --workload rtree --out rtree.trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.experiments import (
+    default_sim_config,
+    run_workload,
+    steady_state_nvmm_writes,
+)
+from repro.analysis.tables import fmt_ratio, fmt_si, render_table
+from repro.core.persistency import table1_rows
+from repro.core.recovery import check_prefix_consistency
+from repro.energy import battery, model
+from repro.energy.platforms import MOBILE, SERVER
+from repro.sim.crash import CrashInjector
+from repro.sim.system import (
+    System,
+    bbb,
+    bbb_processor_side,
+    bep,
+    bsp,
+    eadr,
+    no_persistency,
+    pmem_strict,
+)
+from repro.sim.tracefile import save_trace
+from repro.workloads.base import WORKLOAD_NAMES, WorkloadSpec, registry
+
+SCHEME_FACTORIES: Dict[str, Callable] = {
+    "bbb": bbb,
+    "bbb-proc": bbb_processor_side,
+    "eadr": eadr,
+    "pmem": pmem_strict,
+    "bsp": bsp,
+    "bep": bep,
+    "none": no_persistency,
+}
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", choices=WORKLOAD_NAMES, default="hashmap",
+        help="Table IV workload to run",
+    )
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--ops", type=int, default=200,
+                        help="operations per thread")
+    parser.add_argument("--elements", type=int, default=16384,
+                        help="structure size (the paper used 1M)")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _spec(args) -> WorkloadSpec:
+    return WorkloadSpec(
+        threads=args.threads, ops=args.ops, elements=args.elements, seed=args.seed
+    )
+
+
+def _make_system(scheme: str, entries: int) -> System:
+    config = default_sim_config()
+    factory = SCHEME_FACTORIES[scheme]
+    if scheme in ("bbb", "bbb-proc", "bsp", "bep"):
+        return factory(config, entries=entries)
+    return factory(config)
+
+
+def cmd_run(args) -> int:
+    config = default_sim_config()
+    spec = _spec(args)
+    workload = registry(config.mem, spec)[args.workload]
+    trace = workload.build()
+    system = _make_system(args.scheme, args.entries)
+    workload.seed_media(system.nvmm_media)
+    result = system.run(trace, finalize=not args.no_finalize)
+    stats = result.stats
+    if args.json:
+        print(stats.to_json())
+        return 0
+    rows = [(k, v) for k, v in stats.summary().items()]
+    rows.append(("steady_state_nvmm_writes", steady_state_nvmm_writes(system)))
+    rows.append(("persist_latency_avg", f"{stats.persist_latency_avg:.1f} cycles"))
+    print(render_table(
+        ["metric", "value"], rows,
+        title=f"{args.workload} under {args.scheme} "
+              f"({trace.total_ops():,} trace ops)",
+    ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    config = default_sim_config()
+    spec = _spec(args)
+    rows = []
+    base = run_workload(args.workload, lambda: eadr(config), spec, config)
+    for name, factory in SCHEME_FACTORIES.items():
+        if name == "none":
+            continue
+        system_factory = (
+            (lambda f=factory: f(config, entries=args.entries))
+            if name in ("bbb", "bbb-proc", "bsp", "bep")
+            else (lambda f=factory: f(config))
+        )
+        run = run_workload(args.workload, system_factory, spec, config)
+        rows.append(
+            (
+                name,
+                f"{run.execution_cycles / base.execution_cycles:.3f}",
+                f"{run.nvmm_writes / max(1, base.nvmm_writes):.3f}",
+                run.bbpb_rejections,
+            )
+        )
+    print(render_table(
+        ["scheme", "exec time (vs eADR)", "NVMM writes (vs eADR)", "rejections"],
+        rows,
+        title=f"scheme comparison on {args.workload}",
+    ))
+    return 0
+
+
+def cmd_crash(args) -> int:
+    config = default_sim_config()
+    spec = _spec(args)
+    workload = registry(config.mem, spec)[args.workload]
+    trace = workload.build()
+    structural = workload.make_checker()
+
+    def checker(system, result):
+        ok, violations = (True, [])
+        if structural is not None:
+            ok, violations = structural(system, result)
+        prefix = check_prefix_consistency(
+            system.nvmm_media, result.committed_persists
+        )
+        return (ok and prefix.consistent, list(violations) + prefix.violations)
+
+    def factory():
+        system = _make_system(args.scheme, args.entries)
+        workload.seed_media(system.nvmm_media)
+        return system
+
+    injector = CrashInjector(factory, trace, checker)
+    report = injector.sweep(sample=args.sample, seed=args.seed)
+    print(f"{args.workload} under {args.scheme}: {report.summary()}")
+    for outcome in report.inconsistent[: args.show]:
+        print(f"  crash after op {outcome.crash_op}: {outcome.violations[0]}")
+    return 0 if report.all_consistent else 1
+
+
+def cmd_energy(args) -> int:
+    rows = []
+    for platform in (MOBILE, SERVER):
+        e, b = model.eadr_cost(platform), model.bbb_cost(platform)
+        rows.append(
+            (
+                platform.name,
+                fmt_si(e.energy_joules, "J"), fmt_si(b.energy_joules, "J"),
+                fmt_ratio(e.energy_joules / b.energy_joules),
+                fmt_si(e.time_seconds, "s"), fmt_si(b.time_seconds, "s"),
+            )
+        )
+    print(render_table(
+        ["System", "eADR energy", "BBB energy", "ratio", "eADR time", "BBB time"],
+        rows, title="Crash-drain cost (Tables VII & VIII)",
+    ))
+    rows = []
+    for platform in (MOBILE, SERVER):
+        for tech in ("SuperCap", "Li-thin"):
+            est_e = battery.eadr_battery(platform, tech)
+            est_b = battery.bbb_battery(platform, tech)
+            rows.append(
+                (platform.name, tech,
+                 f"{est_e.volume_mm3:,.1f}", f"{est_b.volume_mm3:,.2f}")
+            )
+    print()
+    print(render_table(
+        ["System", "Technology", "eADR mm^3", "BBB mm^3"],
+        rows, title="Battery volume (Table IX)",
+    ))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    traits = table1_rows()
+    print(render_table(
+        ["Aspect"] + [t.name for t in traits],
+        [
+            ["SW Complexity"] + [t.sw_complexity for t in traits],
+            ["Persist Inst."] + [t.persist_instructions for t in traits],
+            ["HW Complexity"] + [t.hw_complexity for t in traits],
+            ["Strict pers. penalty"] + [t.strict_persistency_penalty for t in traits],
+            ["Battery Needed"] + [t.battery for t in traits],
+            ["PoP location"] + [t.pop_location for t in traits],
+        ],
+        title="Table I",
+    ))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    config = default_sim_config()
+    spec = _spec(args)
+    workload = registry(config.mem, spec)[args.workload]
+    trace = workload.build()
+    count = save_trace(trace, args.out)
+    print(f"wrote {count:,} ops ({trace.num_threads} threads) to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BBB (HPCA 2021) reproduction — simulator front-end",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one workload under one scheme")
+    _add_workload_args(p_run)
+    p_run.add_argument("--scheme", choices=sorted(SCHEME_FACTORIES), default="bbb")
+    p_run.add_argument("--entries", type=int, default=32, help="bbPB entries")
+    p_run.add_argument("--no-finalize", action="store_true",
+                       help="measure the execution window only")
+    p_run.add_argument("--json", action="store_true",
+                       help="dump the full stats as JSON")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="all schemes on one workload")
+    _add_workload_args(p_cmp)
+    p_cmp.add_argument("--entries", type=int, default=32)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_crash = sub.add_parser("crash", help="crash-sweep a workload")
+    _add_workload_args(p_crash)
+    p_crash.add_argument("--scheme", choices=sorted(SCHEME_FACTORIES), default="bbb")
+    p_crash.add_argument("--entries", type=int, default=32)
+    p_crash.add_argument("--sample", type=int, default=40,
+                         help="number of crash points to test")
+    p_crash.add_argument("--show", type=int, default=3,
+                         help="inconsistent outcomes to print")
+    p_crash.set_defaults(func=cmd_crash)
+
+    p_energy = sub.add_parser("energy", help="draining cost & battery tables")
+    p_energy.set_defaults(func=cmd_energy)
+
+    p_t1 = sub.add_parser("table1", help="qualitative scheme comparison")
+    p_t1.set_defaults(func=cmd_table1)
+
+    p_trace = sub.add_parser("trace", help="generate and save a workload trace")
+    _add_workload_args(p_trace)
+    p_trace.add_argument("--out", required=True, help="output trace file")
+    p_trace.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

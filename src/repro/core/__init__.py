@@ -1,0 +1,3 @@
+"""The paper's contribution: battery-backed persist buffers, the
+persistency-scheme comparison space, drain policies, design invariants,
+and crash-recovery checking."""

@@ -1,0 +1,542 @@
+"""Persistency schemes: how persisting stores become durable.
+
+Each scheme is a strategy object plugged into the memory hierarchy.  The
+hierarchy executes loads/stores/coherence and calls the hooks below at the
+interesting points; the scheme decides what enters the persistence domain
+when, what stalls the core, and what survives a crash.
+
+Schemes provided (the comparison space of Table I plus the buffered-epoch
+related work):
+
+===============  ====================================================
+``EADR``         Whole SRAM hierarchy battery-backed; a store is durable
+                 the moment it is visible.  The performance/writes
+                 baseline ("Optimal" in Fig. 7).
+``BBBScheme``    The paper's contribution: per-core battery-backed
+                 persist buffers next to the L1D (memory-side by
+                 default, processor-side optional).
+``StrictPMEM``   Intel PMEM-style strict persistency: the hardware
+                 inserts clwb+sfence semantics after every persisting
+                 store; the core stalls until the line is accepted by
+                 the ADR WPQ.
+``BEP``          Buffered epoch persistency with *volatile* persist
+                 buffers (DPO/HOPS-style): ordering only across epochs;
+                 buffer contents are lost on crash.
+``NoPersistency``Volatile caches, no ordering control: persist order
+                 follows cache replacement — the failure mode the paper
+                 opens with.
+===============  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.bbpb import MemorySideBBPB, ProcessorSideBBPB
+from repro.mem.block import BlockData, CacheBlock
+from repro.sim.config import BBBConfig, SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mem.hierarchy import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class SchemeTraits:
+    """Qualitative properties compared in Table I of the paper."""
+
+    name: str
+    sw_complexity: str          # programmer burden
+    persist_instructions: str   # what the programmer must insert
+    hw_complexity: str
+    strict_persistency_penalty: str
+    battery: str
+    pop_location: str
+
+
+@dataclass
+class DrainReport:
+    """What the battery moved to NVMM at crash time (per scheme)."""
+
+    scheme: str
+    bbpb_blocks: int = 0
+    store_buffer_entries: int = 0
+    cache_blocks: int = 0
+    bytes_drained: int = 0
+
+    @property
+    def total_units(self) -> int:
+        return self.bbpb_blocks + self.store_buffer_entries + self.cache_blocks
+
+
+class PersistencyScheme:
+    """Base class: a scheme that provides no durability beyond the ADR WPQ.
+
+    Subclasses override the hooks they care about.  ``attach`` is called by
+    the :class:`~repro.sim.system.System` after the hierarchy is built.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.hierarchy: Optional["MemoryHierarchy"] = None
+
+    def attach(self, hierarchy: "MemoryHierarchy") -> None:
+        self.hierarchy = hierarchy
+
+    @property
+    def config(self) -> SystemConfig:
+        assert self.hierarchy is not None
+        return self.hierarchy.config
+
+    # -- store path ----------------------------------------------------
+    def on_persisting_store(
+        self, core: int, block_addr: int, block_data: BlockData, now: int
+    ) -> int:
+        """Called after a persisting store wrote the L1D (PoV reached).
+        Returns extra stall cycles imposed on the core."""
+        return 0
+
+    # -- coherence path (Table II hooks) --------------------------------
+    def on_remote_invalidation(
+        self, holder: int, block_addr: int, requester: int, now: int
+    ) -> None:
+        """Holder's L1 copy is being invalidated by ``requester``'s write."""
+
+    def on_remote_intervention(
+        self, holder: int, block_addr: int, requester: int, now: int
+    ) -> None:
+        """Holder's M copy is being downgraded by ``requester``'s read."""
+
+    def on_llc_eviction(self, block: CacheBlock, now: int) -> bool:
+        """LLC evicts ``block``.  Return True to *drop* the writeback of a
+        dirty block (the scheme guarantees the data is durable already)."""
+        return False
+
+    # -- explicit persistency instructions -------------------------------
+    def wants_auto_flush(self) -> bool:
+        """Whether the scheme itself issues flush+fence per persisting store
+        (StrictPMEM).  Programmer-inserted FLUSH/FENCE trace ops are always
+        honoured by the hierarchy regardless of scheme."""
+        return False
+
+    def on_epoch_boundary(self, core: int, now: int) -> int:
+        """Epoch boundary reached; return stall cycles."""
+        return 0
+
+    # -- lifecycle -------------------------------------------------------
+    def finalize(self, now: int) -> int:
+        """End of run (not a crash): settle outstanding persistence-domain
+        state so the media image is complete.  Returns the settling time."""
+        return now
+
+    def crash_drain(self, now: int) -> DrainReport:
+        """Power failure: move whatever the battery covers to NVMM media.
+        Base scheme covers nothing beyond the (already folded) WPQ."""
+        return DrainReport(scheme=self.name)
+
+    def traits(self) -> SchemeTraits:
+        raise NotImplementedError
+
+    # -- introspection (used by invariant checks and tests) --------------
+    def bbpb_for(self, core: int):
+        return None
+
+    def bbpb_owner_of(self, block_addr: int) -> Optional[int]:
+        return None
+
+
+class NoPersistency(PersistencyScheme):
+    """Volatile caches, no persist ordering: durability happens only through
+    natural writebacks, i.e. in cache-replacement order.  Exists to
+    demonstrate the inconsistency BBB prevents (Section II-A)."""
+
+    name = "none"
+
+    def traits(self) -> SchemeTraits:
+        return SchemeTraits(
+            name="none",
+            sw_complexity="n/a (not crash consistent)",
+            persist_instructions="n/a",
+            hw_complexity="None",
+            strict_persistency_penalty="n/a",
+            battery="None",
+            pop_location="NVMM (replacement order)",
+        )
+
+
+class EADR(PersistencyScheme):
+    """Enhanced ADR: the entire cache hierarchy plus store buffers are
+    battery-backed (Section II-B).  No stalls, no extra writes; the crash
+    drain moves every dirty NVMM block from every cache level to media."""
+
+    name = "eadr"
+
+    def on_persisting_store(
+        self, core: int, block_addr: int, block_data: BlockData, now: int
+    ) -> int:
+        # The whole hierarchy is in the persistence domain: visible ==
+        # durable, the PoV/PoP gap is zero.
+        assert self.hierarchy is not None
+        self.hierarchy.stats.record_persist_latency(0)
+        return 0
+
+    def on_llc_eviction(self, block: CacheBlock, now: int) -> bool:
+        return False  # normal writebacks; nothing special
+
+    def crash_drain(self, now: int) -> DrainReport:
+        assert self.hierarchy is not None
+        h = self.hierarchy
+        report = DrainReport(scheme=self.name)
+        block_size = h.config.block_size
+        # L1 dirty copies take precedence over (possibly stale) LLC copies.
+        drained: Dict[int, BlockData] = {}
+        for l1 in h.l1s:
+            for blk in l1.dirty_blocks():
+                if h.config.mem.is_nvmm(blk.addr):
+                    drained[blk.addr] = blk.data.copy()
+        for blk in h.llc.dirty_blocks():
+            if h.config.mem.is_nvmm(blk.addr) and blk.addr not in drained:
+                drained[blk.addr] = blk.data.copy()
+        for addr, data in drained.items():
+            h.nvmm.media.write_block(addr, data)
+            h.stats.nvmm_writes += 1
+            report.cache_blocks += 1
+            report.bytes_drained += block_size
+        report.store_buffer_entries += h.crash_drain_store_buffers()
+        h.lose_volatile_state()
+        return report
+
+    def traits(self) -> SchemeTraits:
+        return SchemeTraits(
+            name="eADR",
+            sw_complexity="Low",
+            persist_instructions="None",
+            hw_complexity="Low",
+            strict_persistency_penalty="None",
+            battery="Large",
+            pop_location="L1D",
+        )
+
+
+class StrictPMEM(PersistencyScheme):
+    """Intel PMEM-style strict persistency: every persisting store is
+    followed by clwb+sfence, so the core stalls until the line reaches the
+    WPQ (the PoP stays at the memory controller)."""
+
+    name = "pmem-strict"
+
+    def wants_auto_flush(self) -> bool:
+        return True
+
+    def on_persisting_store(
+        self, core: int, block_addr: int, block_data: BlockData, now: int
+    ) -> int:
+        assert self.hierarchy is not None
+        h = self.hierarchy
+        h.stats.flushes += 1
+        h.stats.fences += 1
+        done = h.flush_block_to_wpq(core, block_addr, now)
+        # PoV/PoP gap: durable at WPQ acceptance, visible at the L1D write.
+        h.stats.record_persist_latency(max(0, done - now))
+        # sfence: wait for acceptance plus the ack returning to the core.
+        done += h.config.mem.mc_transfer_cycles
+        return max(0, done - now)
+
+    def traits(self) -> SchemeTraits:
+        return SchemeTraits(
+            name="PMEM",
+            sw_complexity="High",
+            persist_instructions="clwb & fence",
+            hw_complexity="Low",
+            strict_persistency_penalty="High",
+            battery="None",
+            pop_location="WPQ/mem",
+        )
+
+
+class BBBScheme(PersistencyScheme):
+    """Battery-Backed Buffers — the paper's proposal (Section III).
+
+    One bbPB per core next to the L1D.  A persisting store allocates (or
+    coalesces into) a bbPB entry as it writes the L1D, so PoV == PoP and no
+    flushes or fences are ever needed.  The scheme implements:
+
+    * FCFS/threshold draining (Section III-F) via the bbPB classes;
+    * the Table II coherence actions (remove-without-drain on remote
+      invalidation; stay-resident on intervention);
+    * LLC dirty-inclusion forced drains, and the silent drop of persistent
+      dirty LLC writebacks (Section III-E, example (c));
+    * crash draining of all bbPB entries plus (if battery-backed) store
+      buffers, in the order Section III-C requires.
+    """
+
+    name = "bbb"
+
+    def __init__(self, bbb_config: Optional[BBBConfig] = None) -> None:
+        super().__init__()
+        self._bbb_config = bbb_config
+        self.buffers: List = []
+
+    def attach(self, hierarchy: "MemoryHierarchy") -> None:
+        super().attach(hierarchy)
+        cfg = self._bbb_config or hierarchy.config.bbb
+        self._bbb_config = cfg
+        buffer_cls = MemorySideBBPB if cfg.memory_side else ProcessorSideBBPB
+        self.buffers = [
+            buffer_cls(cfg, core, self._make_drain_fn(core))
+            for core in range(hierarchy.config.num_cores)
+        ]
+
+    @property
+    def bbb_config(self) -> BBBConfig:
+        assert self._bbb_config is not None
+        return self._bbb_config
+
+    def _make_drain_fn(self, core: int):
+        def drain(block_addr: int, data: BlockData, now: int) -> int:
+            assert self.hierarchy is not None
+            h = self.hierarchy
+            h.stats.bbpb_drains += 1
+            h.stats.bbpb_per_core[core] += 1
+            accept = h.nvmm.write(
+                block_addr, data, now + h.config.mem.mc_transfer_cycles
+            )
+            return accept
+
+        return drain
+
+    # -- introspection ---------------------------------------------------
+    def bbpb_for(self, core: int):
+        return self.buffers[core]
+
+    def bbpb_owner_of(self, block_addr: int) -> Optional[int]:
+        for buf in self.buffers:
+            if buf.contains(block_addr):
+                return buf.core_id
+        return None
+
+    # -- store path -------------------------------------------------------
+    def on_persisting_store(
+        self, core: int, block_addr: int, block_data: BlockData, now: int
+    ) -> int:
+        assert self.hierarchy is not None
+        h = self.hierarchy
+        buf = self.buffers[core]
+        before_rejections = buf.rejections
+        stall, allocated = buf.put(block_addr, block_data, now)
+        h.stats.bbpb_rejections += buf.rejections - before_rejections
+        if allocated:
+            h.stats.bbpb_allocations += 1
+            h.directory.set_bbpb_owner(block_addr, core)
+        else:
+            h.stats.bbpb_coalesces += 1
+        if stall:
+            h.stats.core[core].stall_cycles_bbpb_full += stall
+        # PoV == PoP: the store is durable the instant it is visible.
+        h.stats.record_persist_latency(0)
+        return stall
+
+    # -- coherence path (Table II) -----------------------------------------
+    def on_remote_invalidation(
+        self, holder: int, block_addr: int, requester: int, now: int
+    ) -> None:
+        """Fig. 6(a)/(b): the block is removed from the holder's bbPB without
+        draining; the requester becomes responsible for its durability when
+        its own store allocates the block (which the in-flight data or its
+        shared copy guarantees it can, battery covering in-flight packets)."""
+        assert self.hierarchy is not None
+        buf = self.buffers[holder]
+        removed = buf.remove(block_addr)
+        if removed is not None:
+            self.hierarchy.stats.bbpb_removes += 1
+            self.hierarchy.stats.bbpb_moves += 1
+            self.hierarchy.directory.set_bbpb_owner(block_addr, None)
+
+    def on_remote_intervention(
+        self, holder: int, block_addr: int, requester: int, now: int
+    ) -> None:
+        """Fig. 6(c): a read downgrade leaves the block in the holder's bbPB;
+        nothing moves and nothing drains."""
+
+    def on_llc_eviction(self, block: CacheBlock, now: int) -> bool:
+        assert self.hierarchy is not None
+        h = self.hierarchy
+        owner = self.bbpb_owner_of(block.addr)
+        if owner is not None:
+            # Dirty-inclusion: drain before the LLC may drop the block.
+            buf = self.buffers[owner]
+            before = buf.forced_drains
+            buf.force_drain(block.addr, now)
+            h.stats.bbpb_forced_drains += buf.forced_drains - before
+            h.directory.set_bbpb_owner(block.addr, None)
+        if (
+            block.dirty
+            and block.persistent
+            and h.config.silent_drop_persistent_writebacks
+        ):
+            # The bbPB "has or had" this block: its latest value is durable
+            # (just drained above, or drained earlier). Skip the writeback.
+            return True
+        return False
+
+    # -- lifecycle ----------------------------------------------------------
+    def finalize(self, now: int) -> int:
+        t = now
+        for buf in self.buffers:
+            t = max(t, buf.drain_all(now))
+        return t
+
+    def crash_drain(self, now: int) -> DrainReport:
+        assert self.hierarchy is not None
+        h = self.hierarchy
+        report = DrainReport(scheme=self.name)
+        for buf in self.buffers:
+            for block_addr, data in buf.crash_drain():
+                h.nvmm.media.write_block(block_addr, data)
+                h.stats.nvmm_writes += 1
+                report.bbpb_blocks += 1
+                report.bytes_drained += h.config.block_size
+        # Section III-C: store buffers drain after their bbPB, preserving
+        # per-core program order of persists.
+        report.store_buffer_entries += h.crash_drain_store_buffers()
+        h.lose_volatile_state()
+        return report
+
+    def traits(self) -> SchemeTraits:
+        side = "memory-side" if self.bbb_config.memory_side else "processor-side"
+        return SchemeTraits(
+            name=f"BBB ({side})",
+            sw_complexity="Low",
+            persist_instructions="None",
+            hw_complexity="Low",
+            strict_persistency_penalty="Low",
+            battery="Small",
+            pop_location="bbPB/L1D",
+        )
+
+
+class BEP(PersistencyScheme):
+    """Buffered epoch persistency with *volatile* persist buffers (in the
+    style of DPO [50] / HOPS [62]).
+
+    Stores within an epoch may coalesce and drain lazily; an epoch boundary
+    may not let epoch N+1 persist before all of epoch N.  Because the
+    buffers are volatile, their contents are *lost* on crash — only what
+    already drained is durable, so recovery is consistent only at epoch
+    granularity.  Epoch boundaries stall when earlier epochs are still
+    draining (the paper: "stalls may still occur at epoch boundaries in
+    BEP").
+    """
+
+    name = "bep"
+
+    def __init__(self, entries: int = 32) -> None:
+        super().__init__()
+        self.entries = entries
+        # Per core: list of (epoch, block_addr, BlockData, alloc_time).
+        self._buffers: List[List[Tuple[int, int, BlockData, int]]] = []
+        self._epoch: List[int] = []
+        self._drain_busy_until: List[int] = []
+        self.epoch_stalls = 0
+
+    def attach(self, hierarchy: "MemoryHierarchy") -> None:
+        super().attach(hierarchy)
+        n = hierarchy.config.num_cores
+        self._buffers = [[] for _ in range(n)]
+        self._epoch = [0] * n
+        self._drain_busy_until = [0] * n
+
+    def on_persisting_store(
+        self, core: int, block_addr: int, block_data: BlockData, now: int
+    ) -> int:
+        assert self.hierarchy is not None
+        buf = self._buffers[core]
+        epoch = self._epoch[core]
+        for i, (ep, addr, _, born) in enumerate(buf):
+            if addr == block_addr and ep == epoch:
+                buf[i] = (ep, addr, block_data.copy(), born)
+                return 0
+        stall = 0
+        if len(buf) >= self.entries:
+            stall = max(0, self._drain_one(core, now) - now)
+        buf.append((epoch, block_addr, block_data.copy(), now))
+        return stall
+
+    def _drain_one(self, core: int, now: int) -> int:
+        assert self.hierarchy is not None
+        h = self.hierarchy
+        buf = self._buffers[core]
+        if not buf:
+            return now
+        _, block_addr, data, born = buf.pop(0)
+        start = max(now, self._drain_busy_until[core])
+        done = h.nvmm.write(block_addr, data, start + h.config.mem.mc_transfer_cycles)
+        self._drain_busy_until[core] = done
+        h.stats.bbpb_drains += 1
+        # PoV/PoP gap: visible at ``born``, durable at WPQ acceptance.
+        h.stats.record_persist_latency(max(0, done - born))
+        return done
+
+    def on_epoch_boundary(self, core: int, now: int) -> int:
+        """Persist barrier: epoch N+1 may not start persisting before epoch
+        N is durable.  We conservatively drain the core's buffered entries
+        of the closing epoch and charge the wait."""
+        assert self.hierarchy is not None
+        self.hierarchy.stats.epoch_barriers += 1
+        t = now
+        while self._buffers[core] and self._buffers[core][0][0] <= self._epoch[core]:
+            t = self._drain_one(core, t)
+        stall = max(0, t - now)
+        if stall:
+            self.epoch_stalls += 1
+            self.hierarchy.stats.core[core].stall_cycles_epoch += stall
+        self._epoch[core] += 1
+        return stall
+
+    def finalize(self, now: int) -> int:
+        t = now
+        for core in range(len(self._buffers)):
+            while self._buffers[core]:
+                t = max(t, self._drain_one(core, t))
+        return t
+
+    def crash_drain(self, now: int) -> DrainReport:
+        assert self.hierarchy is not None
+        # Volatile buffers: contents are LOST.
+        for buf in self._buffers:
+            buf.clear()
+        self.hierarchy.lose_volatile_state()
+        return DrainReport(scheme=self.name)
+
+    def traits(self) -> SchemeTraits:
+        return SchemeTraits(
+            name="BEP",
+            sw_complexity="Medium",
+            persist_instructions="epoch barriers",
+            hw_complexity="Medium",
+            strict_persistency_penalty="Medium",
+            battery="None",
+            pop_location="WPQ/mem",
+        )
+
+
+def table1_rows() -> List[SchemeTraits]:
+    """The qualitative comparison of Table I (PMEM, eADR, BBB; BSP is not
+    implementable without its paper's full protocol, we list the paper's
+    published row for completeness)."""
+    bsp = SchemeTraits(
+        name="BSP",
+        sw_complexity="Low",
+        persist_instructions="None",
+        hw_complexity="High",
+        strict_persistency_penalty="Medium",
+        battery="None",
+        pop_location="Mem",
+    )
+    return [
+        StrictPMEM().traits(),
+        bsp,
+        EADR().traits(),
+        BBBScheme(BBBConfig()).traits(),
+    ]

@@ -1,0 +1,211 @@
+"""Crash recovery: golden-model construction and consistency checking.
+
+The engine records every *committed* persisting store (store-buffer
+allocation, i.e. the PoP under BBB with a battery-backed SB) and every
+*performed* one (L1D write = PoV).  After a crash + battery drain, the
+durable NVMM image must satisfy the active scheme's contract:
+
+* **Strict persistency, PoV==PoP closed** (BBB, eADR): the persistent
+  region must equal the replay of *all committed* persisting stores —
+  nothing in the persistence domain can be lost.
+* **Strict persistency at the performed level** (BBB with a *volatile*
+  store buffer under relaxed consistency — the broken ablation): only
+  performed stores survive, and because they may be out of program order,
+  the committed-replay check fails.  That failure is the Section III-C
+  motivation for battery-backing the SB.
+* **Prefix consistency** (per-core): every durable store implies all
+  program-order-earlier stores of the same core are durable.  Volatile-
+  cache systems (NoPersistency) violate this because persist order follows
+  cache replacement.
+* **Epoch consistency** (BEP): the durable image must lie between two
+  consecutive epoch-boundary images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.mem.block import BlockData, block_address, block_offset
+from repro.mem.nvmm import NVMMedia
+from repro.sim.engine import PersistRecord
+
+
+@dataclass
+class ConsistencyResult:
+    """Outcome of a consistency check."""
+
+    consistent: bool
+    violations: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+    @staticmethod
+    def ok() -> "ConsistencyResult":
+        return ConsistencyResult(True)
+
+    @staticmethod
+    def fail(*violations: str) -> "ConsistencyResult":
+        return ConsistencyResult(False, list(violations))
+
+
+def replay_image(
+    persists: Iterable[PersistRecord], block_size: int = 64
+) -> Dict[int, BlockData]:
+    """Apply persisting stores in sequence, producing the expected durable
+    image (block address -> block data)."""
+    image: Dict[int, BlockData] = {}
+    for rec in persists:
+        baddr = block_address(rec.addr, block_size)
+        off = block_offset(rec.addr, block_size)
+        image.setdefault(baddr, BlockData()).write_word(off, rec.value, rec.size)
+    return image
+
+
+def _written_offsets(
+    persists: Iterable[PersistRecord], block_size: int
+) -> Dict[int, set]:
+    """Byte offsets ever written per block — the comparable footprint."""
+    footprint: Dict[int, set] = {}
+    for rec in persists:
+        baddr = block_address(rec.addr, block_size)
+        off = block_offset(rec.addr, block_size)
+        footprint.setdefault(baddr, set()).update(range(off, off + rec.size))
+    return footprint
+
+
+def check_exact_durability(
+    media: NVMMedia,
+    persists: Sequence[PersistRecord],
+    block_size: int = 64,
+) -> ConsistencyResult:
+    """Strict check: *every* persisting store in ``persists`` is durable.
+
+    This is the contract of schemes with a closed PoV/PoP gap (BBB, eADR)
+    and of hardware-strict PMEM at op granularity: a crash plus battery
+    drain preserves the complete committed prefix.
+    """
+    expected = replay_image(persists, block_size)
+    violations: List[str] = []
+    for baddr, exp in expected.items():
+        got = media.peek_block(baddr)
+        for off in exp.bytes:
+            if got.read(off) != exp.read(off):
+                violations.append(
+                    f"block 0x{baddr:x}+{off}: durable={got.read(off):#x} "
+                    f"expected={exp.read(off):#x}"
+                )
+                break
+    if violations:
+        return ConsistencyResult(False, violations)
+    return ConsistencyResult.ok()
+
+
+def check_prefix_consistency(
+    media: NVMMedia,
+    persists: Sequence[PersistRecord],
+    block_size: int = 64,
+) -> ConsistencyResult:
+    """Per-core prefix check: if a store is durable, all program-order
+    earlier persisting stores of the same core must be durable too.
+
+    The check requires each byte to be written at most once per core (the
+    canonical write-once recovery pattern — e.g. appending nodes then
+    publishing a pointer); re-written bytes are skipped because an older
+    value being overwritten is not observable.  It is exactly the property
+    a volatile cache hierarchy violates when a later store (the "head
+    pointer") is evicted — and thus persisted — before an earlier one (the
+    "node").
+    """
+    per_core: Dict[int, List[PersistRecord]] = {}
+    for rec in persists:
+        per_core.setdefault(rec.core, []).append(rec)
+
+    write_counts: Dict[Tuple[int, int], int] = {}
+    for rec in persists:
+        baddr = block_address(rec.addr, block_size)
+        off = block_offset(rec.addr, block_size)
+        for i in range(rec.size):
+            key = (baddr, off + i)
+            write_counts[key] = write_counts.get(key, 0) + 1
+
+    def durable(rec: PersistRecord) -> Optional[bool]:
+        """True/False if determinable; None if indeterminate.
+
+        Indeterminate cases: any byte multi-written (an older value being
+        overwritten is unobservable), or an all-zero stored value (media
+        reads unwritten bytes as zero, so a zero store "matching" proves
+        nothing).
+        """
+        if rec.value & ((1 << (8 * rec.size)) - 1) == 0:
+            return None
+        baddr = block_address(rec.addr, block_size)
+        off = block_offset(rec.addr, block_size)
+        got = media.peek_block(baddr)
+        matches = []
+        for i in range(rec.size):
+            if write_counts[(baddr, off + i)] > 1:
+                return None
+            matches.append(got.read(off + i) == (rec.value >> (8 * i)) & 0xFF)
+        return all(matches)
+
+    violations: List[str] = []
+    for core, recs in per_core.items():
+        seen_missing: Optional[PersistRecord] = None
+        for rec in recs:
+            d = durable(rec)
+            if d is None:
+                continue
+            if not d:
+                if seen_missing is None:
+                    seen_missing = rec
+            elif seen_missing is not None:
+                violations.append(
+                    f"core {core}: store seq={rec.seq} (addr 0x{rec.addr:x}) is "
+                    f"durable but earlier seq={seen_missing.seq} "
+                    f"(addr 0x{seen_missing.addr:x}) is not — persist order "
+                    f"violated"
+                )
+    if violations:
+        return ConsistencyResult(False, violations)
+    return ConsistencyResult.ok()
+
+
+def check_epoch_consistency(
+    media: NVMMedia,
+    epochs: Sequence[Sequence[PersistRecord]],
+    block_size: int = 64,
+) -> ConsistencyResult:
+    """Epoch-granularity check for BEP (single-threaded form).
+
+    The durable image must be explainable as: all epochs ``< k`` fully
+    durable, plus an arbitrary per-block subset of epoch ``k``, for some
+    ``k``.  Each durable block value must therefore match the replay image
+    at epoch boundary ``k-1`` or ``k``.
+    """
+    boundary_images: List[Dict[int, BlockData]] = [{}]
+    acc: List[PersistRecord] = []
+    for epoch in epochs:
+        acc.extend(epoch)
+        boundary_images.append(replay_image(acc, block_size))
+
+    footprint = _written_offsets(acc, block_size)
+
+    def block_matches(baddr: int, image: Dict[int, BlockData]) -> bool:
+        got = media.peek_block(baddr)
+        exp = image.get(baddr, BlockData())
+        return all(got.read(off) == exp.read(off) for off in footprint[baddr])
+
+    for k in range(len(boundary_images)):
+        lo = boundary_images[max(0, k - 1)]
+        hi = boundary_images[k]
+        if all(
+            block_matches(baddr, lo) or block_matches(baddr, hi)
+            for baddr in footprint
+        ):
+            return ConsistencyResult.ok()
+    return ConsistencyResult.fail(
+        "durable image does not match any epoch boundary (± one epoch's "
+        "partial drain)"
+    )

@@ -1,0 +1,2 @@
+"""Draining-cost substrate (Section IV-C): platform specs, the energy and
+time model (Tables VI-VIII), and battery sizing (Tables IX-X)."""

@@ -1,0 +1,126 @@
+"""Battery (energy-source) sizing for flush-on-fail (Tables IX and X).
+
+The battery must hold enough energy to drain the *entire* structure when
+every block is dirty ("missing to drain even one dirty cache block may
+result in inconsistent persistent data"), so sizing uses the full capacity,
+not the 44.9% average dirty fraction used for average drain cost.
+
+Two technologies from the paper [93]:
+
+* Super-capacitors (SuperCap) [98]: 1e-4 Wh/cm^3
+* Lithium thin-film (Li-thin) [67]: 1e-2 Wh/cm^3
+
+Reproducing the paper's Table IX/X arithmetic requires a ~10x provisioning
+factor between the raw worst-case drain energy and the stored battery
+energy (e.g. server-class BBB: 775 uJ drain -> 21.6 mm^3 SuperCap implies
+7.75 mJ stored).  This headroom covers conversion losses and end-of-life
+capacity fade; we expose it as :data:`PROVISIONING_FACTOR` and verify the
+published volumes against it in the benchmarks.
+
+Footprint area assumes a cubic battery (the paper: "we assume cubic battery
+shape and infer the footprint area from the volume"): area = volume^(2/3),
+reported as a ratio to a mobile core's 2.61 mm^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.energy.model import (
+    BLOCK_BYTES,
+    L1_TO_NVMM_J_PER_BYTE,
+    LEVEL_ENERGY_J_PER_BYTE,
+    SRAM_ACCESS_J_PER_BYTE,
+)
+from repro.energy.platforms import MOBILE_CORE_AREA_MM2, Platform
+
+#: Energy densities, Wh per cm^3 (from [93]).
+ENERGY_DENSITY_WH_PER_CM3: Dict[str, float] = {
+    "SuperCap": 1e-4,
+    "Li-thin": 1e-2,
+}
+
+#: Stored-energy headroom over the worst-case drain energy (see module doc).
+PROVISIONING_FACTOR = 10.0
+
+JOULES_PER_WH = 3600.0
+
+
+@dataclass(frozen=True)
+class BatteryEstimate:
+    """Size of the energy source for one scheme on one platform."""
+
+    scheme: str
+    platform: str
+    technology: str
+    worst_case_drain_joules: float
+    volume_mm3: float
+
+    @property
+    def footprint_area_mm2(self) -> float:
+        """Cubic-battery footprint: volume^(2/3)."""
+        return self.volume_mm3 ** (2.0 / 3.0)
+
+    @property
+    def core_area_ratio(self) -> float:
+        """Footprint as a multiple of a mobile core (Table IX column b)."""
+        return self.footprint_area_mm2 / MOBILE_CORE_AREA_MM2
+
+    @property
+    def core_area_pct(self) -> float:
+        return self.core_area_ratio * 100.0
+
+
+def _volume_mm3(energy_joules: float, technology: str) -> float:
+    density = ENERGY_DENSITY_WH_PER_CM3[technology]
+    stored_wh = energy_joules * PROVISIONING_FACTOR / JOULES_PER_WH
+    volume_cm3 = stored_wh / density
+    return volume_cm3 * 1e3  # cm^3 -> mm^3
+
+
+def eadr_worst_case_energy(platform: Platform) -> float:
+    """Drain the entire cache hierarchy with every block dirty."""
+    energy = 0.0
+    for level, size in platform.cache_bytes_by_level().items():
+        energy += size * (LEVEL_ENERGY_J_PER_BYTE[level] + SRAM_ACCESS_J_PER_BYTE)
+    return energy
+
+
+def bbb_worst_case_energy(platform: Platform, bbpb_entries: int = 32) -> float:
+    """Drain every bbPB entry on every core (buffers full)."""
+    nbytes = platform.num_cores * bbpb_entries * BLOCK_BYTES
+    return nbytes * (L1_TO_NVMM_J_PER_BYTE + SRAM_ACCESS_J_PER_BYTE)
+
+
+def eadr_battery(platform: Platform, technology: str) -> BatteryEstimate:
+    energy = eadr_worst_case_energy(platform)
+    return BatteryEstimate(
+        scheme="eADR",
+        platform=platform.name,
+        technology=technology,
+        worst_case_drain_joules=energy,
+        volume_mm3=_volume_mm3(energy, technology),
+    )
+
+
+def bbb_battery(
+    platform: Platform, technology: str, bbpb_entries: int = 32
+) -> BatteryEstimate:
+    energy = bbb_worst_case_energy(platform, bbpb_entries)
+    return BatteryEstimate(
+        scheme="BBB",
+        platform=platform.name,
+        technology=technology,
+        worst_case_drain_joules=energy,
+        volume_mm3=_volume_mm3(energy, technology),
+    )
+
+
+def battery_size_sweep(
+    platform: Platform, technology: str, entry_counts
+) -> Dict[int, float]:
+    """Table X: BBB battery volume (mm^3) per bbPB entry count."""
+    return {
+        n: bbb_battery(platform, technology, n).volume_mm3 for n in entry_counts
+    }

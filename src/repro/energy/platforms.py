@@ -1,0 +1,72 @@
+"""Platform descriptions for the draining-cost analysis (Table V).
+
+Two system classes, straight from the paper:
+
+* **Mobile class** — based on the Arm-based iPhone 11 (A13): 6 cores,
+  6 x 128 kB L1, one 8 MB shared L2, no L3, 2 memory channels.
+* **Server class** — based on Intel Xeon Platinum 9222: 32 cores,
+  32 x 32 kB L1, 32 x 1 MB L2, 2 x 35.75 MB L3, 12 memory channels.
+
+The mobile core's footprint (2.61 mm^2, from the A13 die analysis [30]) is
+the yardstick Table IX uses to visualise battery area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One row of Table V."""
+
+    name: str
+    num_cores: int
+    l1_bytes_per_core: int
+    l2_bytes_total: int
+    l3_bytes_total: int
+    memory_channels: int
+
+    @property
+    def l1_bytes_total(self) -> int:
+        return self.num_cores * self.l1_bytes_per_core
+
+    @property
+    def total_cache_bytes(self) -> int:
+        return self.l1_bytes_total + self.l2_bytes_total + self.l3_bytes_total
+
+    def cache_bytes_by_level(self) -> Dict[str, int]:
+        levels = {"L1": self.l1_bytes_total, "L2": self.l2_bytes_total}
+        if self.l3_bytes_total:
+            levels["L3"] = self.l3_bytes_total
+        return levels
+
+
+#: Arm-based iPhone 11 class system (Table V, "Mobile Class").
+MOBILE = Platform(
+    name="Mobile Class",
+    num_cores=6,
+    l1_bytes_per_core=128 * KB,
+    l2_bytes_total=8 * MB,
+    l3_bytes_total=0,
+    memory_channels=2,
+)
+
+#: Intel Xeon Platinum 9222 class system (Table V, "Server Class").
+SERVER = Platform(
+    name="Server Class",
+    num_cores=32,
+    l1_bytes_per_core=32 * KB,
+    l2_bytes_total=32 * MB,
+    l3_bytes_total=int(2 * 35.75 * MB),
+    memory_channels=12,
+)
+
+PLATFORMS = {"mobile": MOBILE, "server": SERVER}
+
+#: Footprint of one mobile-class core (A13 "Thunder" core), mm^2 [30].
+MOBILE_CORE_AREA_MM2 = 2.61

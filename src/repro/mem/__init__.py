@@ -1,0 +1,2 @@
+"""Memory-hierarchy substrate: cache arrays, MESI directory coherence,
+store buffers, memory controllers, and the NVMM media model."""

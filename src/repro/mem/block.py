@@ -1,0 +1,128 @@
+"""Cache-line primitives: addresses, MESI states, and cache blocks.
+
+The whole simulator works at cache-block granularity for coherence and
+persistence, while stores carry byte-level (offset, value) payloads so that
+crash-recovery checks can compare actual memory images.
+
+Addresses are plain integers in a flat physical address space.  The address
+space is split by :class:`repro.sim.config.MemConfig` into a DRAM range and an
+NVMM range; a sub-range of NVMM is the *persistent* region managed by
+``repro.workloads.alloc.PersistentHeap``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class MESIState(enum.Enum):
+    """Coherence states of the MESI protocol (terminology follows [83])."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not MESIState.INVALID
+
+    @property
+    def can_write(self) -> bool:
+        """Whether a store may hit in this state without a coherence upgrade."""
+        return self in (MESIState.MODIFIED, MESIState.EXCLUSIVE)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+# Short aliases used pervasively by the protocol code.
+M = MESIState.MODIFIED
+E = MESIState.EXCLUSIVE
+S = MESIState.SHARED
+I = MESIState.INVALID  # noqa: E741  - standard MESI letter
+
+
+def block_address(addr: int, block_size: int) -> int:
+    """Return the block-aligned address containing byte address ``addr``."""
+    return addr & ~(block_size - 1)
+
+
+def block_offset(addr: int, block_size: int) -> int:
+    """Return the byte offset of ``addr`` within its cache block."""
+    return addr & (block_size - 1)
+
+
+@dataclass
+class BlockData:
+    """Byte-granular contents of one cache block.
+
+    Only bytes that were ever written are stored; unwritten bytes read as 0.
+    This sparse representation keeps memory images cheap while still letting
+    the recovery checker compare full block values.
+    """
+
+    bytes: Dict[int, int] = field(default_factory=dict)
+
+    def write(self, offset: int, value: int) -> None:
+        self.bytes[offset] = value & 0xFF
+
+    def write_word(self, offset: int, value: int, size: int = 8) -> None:
+        """Write ``size`` bytes of ``value`` little-endian at ``offset``."""
+        for i in range(size):
+            self.write(offset + i, (value >> (8 * i)) & 0xFF)
+
+    def read(self, offset: int) -> int:
+        return self.bytes.get(offset, 0)
+
+    def read_word(self, offset: int, size: int = 8) -> int:
+        return sum(self.read(offset + i) << (8 * i) for i in range(size))
+
+    def merge_from(self, other: "BlockData") -> None:
+        """Overlay ``other``'s written bytes onto this block (other wins)."""
+        self.bytes.update(other.bytes)
+
+    def copy(self) -> "BlockData":
+        return BlockData(dict(self.bytes))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BlockData):
+            return NotImplemented
+        keys = set(self.bytes) | set(other.bytes)
+        return all(self.read(k) == other.read(k) for k in keys)
+
+    def __bool__(self) -> bool:
+        return bool(self.bytes)
+
+
+@dataclass
+class CacheBlock:
+    """One cache frame: tag + MESI state + data + persistence annotations.
+
+    ``persistent`` implements the per-block bit from Section III-B of the
+    paper: a dirty block holding persistent data is *not* written back to
+    NVMM on eviction because its durable copy lives (or lived) in a bbPB.
+    """
+
+    addr: int
+    state: MESIState = I
+    data: BlockData = field(default_factory=BlockData)
+    dirty: bool = False
+    persistent: bool = False
+    last_use: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.state.is_valid
+
+    def invalidate(self) -> None:
+        self.state = I
+        self.dirty = False
+        self.persistent = False
+        self.data = BlockData()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = ("D" if self.dirty else "") + ("P" if self.persistent else "")
+        return f"CacheBlock(0x{self.addr:x}, {self.state}{',' + flags if flags else ''})"

@@ -1,0 +1,129 @@
+"""Set-associative cache array with LRU replacement.
+
+This is a *storage* model: it tracks which blocks are resident, their MESI
+state, dirtiness, and data.  The coherence *protocol* (who may transition
+what, when invalidations flow) lives in :mod:`repro.mem.coherence`; the
+hierarchy wiring lives in :mod:`repro.mem.hierarchy`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional
+
+from repro.mem.block import CacheBlock
+from repro.sim.config import CacheConfig
+
+_use_clock = itertools.count(1)
+
+
+class CacheArray:
+    """One level of cache: ``num_sets`` sets of ``assoc`` frames each.
+
+    Frames are materialised lazily per set.  LRU is tracked with a global
+    monotonic use-clock stamped on every touch.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self._sets: Dict[int, List[CacheBlock]] = {}
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def set_index(self, block_addr: int) -> int:
+        return (block_addr // self.config.block_size) % self.config.num_sets
+
+    def _set_for(self, block_addr: int) -> List[CacheBlock]:
+        return self._sets.setdefault(self.set_index(block_addr), [])
+
+    # ------------------------------------------------------------------
+    # Lookup / touch
+    # ------------------------------------------------------------------
+    def lookup(self, block_addr: int, touch: bool = True) -> Optional[CacheBlock]:
+        """Return the resident valid block for ``block_addr`` or ``None``."""
+        for blk in self._set_for(block_addr):
+            if blk.addr == block_addr and blk.valid:
+                if touch:
+                    blk.last_use = next(_use_clock)
+                return blk
+        return None
+
+    def contains(self, block_addr: int) -> bool:
+        return self.lookup(block_addr, touch=False) is not None
+
+    # ------------------------------------------------------------------
+    # Insertion / eviction
+    # ------------------------------------------------------------------
+    def victim_for(self, block_addr: int) -> Optional[CacheBlock]:
+        """Return the block that must be evicted to make room for
+        ``block_addr``, or ``None`` if a free frame exists."""
+        frames = self._set_for(block_addr)
+        if len(frames) < self.config.assoc:
+            return None
+        invalid = [b for b in frames if not b.valid]
+        if invalid:
+            return None
+        return min(frames, key=lambda b: b.last_use)
+
+    def insert(self, block: CacheBlock) -> Optional[CacheBlock]:
+        """Install ``block``; return the evicted victim block, if any.
+
+        The caller (the hierarchy) is responsible for handling the victim:
+        writeback, silent drop, back-invalidation, forced bbPB drain.
+        """
+        if not block.valid:
+            raise ValueError("cannot insert an invalid block")
+        frames = self._set_for(block.addr)
+        existing = self.lookup(block.addr, touch=False)
+        if existing is not None:
+            raise ValueError(
+                f"{self.name}: block 0x{block.addr:x} already resident"
+            )
+        block.last_use = next(_use_clock)
+        # Reuse an invalid frame if present.
+        for i, frame in enumerate(frames):
+            if not frame.valid:
+                frames[i] = block
+                return None
+        if len(frames) < self.config.assoc:
+            frames.append(block)
+            return None
+        victim = min(frames, key=lambda b: b.last_use)
+        frames[frames.index(victim)] = block
+        return victim
+
+    def remove(self, block_addr: int) -> Optional[CacheBlock]:
+        """Invalidate and return the block (e.g. on coherence invalidation)."""
+        blk = self.lookup(block_addr, touch=False)
+        if blk is None:
+            return None
+        frames = self._set_for(block_addr)
+        frames.remove(blk)
+        return blk
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def blocks(self) -> Iterator[CacheBlock]:
+        for frames in self._sets.values():
+            for blk in frames:
+                if blk.valid:
+                    yield blk
+
+    def dirty_blocks(self) -> Iterator[CacheBlock]:
+        return (b for b in self.blocks() if b.dirty)
+
+    def occupancy(self) -> int:
+        return sum(1 for _ in self.blocks())
+
+    def clear(self) -> None:
+        """Drop all contents (models power loss of a volatile cache)."""
+        self._sets.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheArray({self.name}, {self.config.size_bytes}B, "
+            f"{self.occupancy()} blocks resident)"
+        )

@@ -1,0 +1,100 @@
+"""Non-volatile main memory media model.
+
+Tracks the *durable* byte image (what survives a crash once the WPQ has
+drained), per-block write counts for endurance accounting, and access
+counters.  DRAM gets a much simpler model in :mod:`repro.mem.memctrl` since
+its contents never matter after a crash.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable
+
+from repro.mem.block import BlockData
+
+
+class NVMMedia:
+    """Byte image of the NVMM plus write-endurance accounting.
+
+    The image is sparse: only blocks ever written are materialised.  The
+    recovery checker (:mod:`repro.core.recovery`) compares images produced by
+    crash simulation against golden program-order prefixes.
+    """
+
+    def __init__(self, base: int, size: int, block_size: int = 64) -> None:
+        self.base = base
+        self.size = size
+        self.block_size = block_size
+        self._blocks: Dict[int, BlockData] = {}
+        self.write_counts: Counter = Counter()
+        self.total_writes = 0
+        self.total_reads = 0
+
+    def _check(self, block_addr: int) -> None:
+        if not (self.base <= block_addr < self.base + self.size):
+            raise ValueError(
+                f"block 0x{block_addr:x} outside NVMM range "
+                f"[0x{self.base:x}, 0x{self.base + self.size:x})"
+            )
+        if block_addr % self.block_size:
+            raise ValueError(f"0x{block_addr:x} is not block aligned")
+
+    # ------------------------------------------------------------------
+    # Media access
+    # ------------------------------------------------------------------
+    def write_block(self, block_addr: int, data: BlockData) -> None:
+        """Persist one block: overlay written bytes onto the image."""
+        self._check(block_addr)
+        dest = self._blocks.setdefault(block_addr, BlockData())
+        dest.merge_from(data)
+        self.write_counts[block_addr] += 1
+        self.total_writes += 1
+
+    def replace_block(self, block_addr: int, data: BlockData) -> None:
+        """Overwrite the whole block (no overlay) — used by relocation
+        copies (wear leveling), where the destination's previous contents
+        belong to a different logical line."""
+        self._check(block_addr)
+        self._blocks[block_addr] = data.copy()
+        self.write_counts[block_addr] += 1
+        self.total_writes += 1
+
+    def read_block(self, block_addr: int) -> BlockData:
+        self._check(block_addr)
+        self.total_reads += 1
+        blk = self._blocks.get(block_addr)
+        return blk.copy() if blk is not None else BlockData()
+
+    def peek_block(self, block_addr: int) -> BlockData:
+        """Read without counting (used by checkers, not the simulation)."""
+        blk = self._blocks.get(block_addr)
+        return blk.copy() if blk is not None else BlockData()
+
+    def read_word(self, addr: int, size: int = 8) -> int:
+        """Checker helper: read ``size`` bytes at byte address ``addr``."""
+        block_addr = addr & ~(self.block_size - 1)
+        offset = addr & (self.block_size - 1)
+        return self.peek_block(block_addr).read_word(offset, size)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def image(self) -> Dict[int, BlockData]:
+        """Snapshot of the durable image (block addr -> copy of data)."""
+        return {addr: data.copy() for addr, data in self._blocks.items()}
+
+    def written_blocks(self) -> Iterable[int]:
+        return self._blocks.keys()
+
+    def max_block_writes(self) -> int:
+        """Hottest block's write count — the endurance-limiting figure."""
+        return max(self.write_counts.values(), default=0)
+
+    def copy(self) -> "NVMMedia":
+        clone = NVMMedia(self.base, self.size, self.block_size)
+        clone._blocks = {a: d.copy() for a, d in self._blocks.items()}
+        clone.write_counts = Counter(self.write_counts)
+        clone.total_writes = self.total_writes
+        clone.total_reads = self.total_reads
+        return clone

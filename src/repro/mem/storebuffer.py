@@ -1,0 +1,102 @@
+"""Per-core store buffer.
+
+Two roles:
+
+1. Ordinary microarchitecture: committed stores sit in the store buffer (SB)
+   until they are written to the L1D; loads forward from it.
+
+2. Under relaxed consistency (Section III-C of the paper), stores may leave
+   the SB and write the L1D *out of program order*.  Battery-backing the SB
+   moves the PoP up to SB allocation, which restores program-order
+   persistency.  On a crash, a battery-backed SB drains directly to the WPQ
+   (after the owning bbPB drains) so the per-core program order of persists
+   is maintained.
+
+The buffer holds byte-granular store records in program order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+from collections import deque
+
+
+@dataclass
+class SBEntry:
+    """One committed-but-not-yet-cached store."""
+
+    addr: int
+    size: int
+    value: int
+    seq: int            # per-core program-order sequence number
+    persistent: bool
+
+
+class StoreBuffer:
+    """FIFO of committed stores with load forwarding.
+
+    ``battery_backed`` marks the SB as part of the persistence domain
+    (required for relaxed consistency; harmless under TSO).
+    """
+
+    def __init__(self, entries: int, battery_backed: bool = False) -> None:
+        if entries < 1:
+            raise ValueError("store buffer needs at least one entry")
+        self.capacity = entries
+        self.battery_backed = battery_backed
+        self._fifo: Deque[SBEntry] = deque()
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def full(self) -> bool:
+        return len(self._fifo) >= self.capacity
+
+    def push(self, addr: int, value: int, size: int, persistent: bool) -> SBEntry:
+        """Append a committed store; caller must drain first if full."""
+        if self.full:
+            raise RuntimeError("store buffer full; drain before pushing")
+        self._seq += 1
+        entry = SBEntry(addr, size, value, self._seq, persistent)
+        self._fifo.append(entry)
+        return entry
+
+    def pop_oldest(self) -> Optional[SBEntry]:
+        return self._fifo.popleft() if self._fifo else None
+
+    def pop_any(self, index: int) -> SBEntry:
+        """Remove an arbitrary entry (relaxed consistency: out-of-order
+        release to the L1D)."""
+        entry = self._fifo[index]
+        del self._fifo[index]
+        return entry
+
+    def forward(self, addr: int, size: int) -> Optional[int]:
+        """Store-to-load forwarding: youngest fully-covering store wins.
+
+        Returns the forwarded value or ``None``.  Partial overlaps fall back
+        to the cache (the engine merges bytes at the data level anyway, so
+        declining to forward is always safe).
+        """
+        for entry in reversed(self._fifo):
+            if entry.addr <= addr and addr + size <= entry.addr + entry.size:
+                shift = (addr - entry.addr) * 8
+                mask = (1 << (size * 8)) - 1
+                return (entry.value >> shift) & mask
+        return None
+
+    def entries(self) -> List[SBEntry]:
+        return list(self._fifo)
+
+    def drain_order_on_crash(self) -> List[SBEntry]:
+        """Entries in the order they must reach the WPQ on power failure
+        (program order — the battery guarantees completion)."""
+        if not self.battery_backed:
+            return []
+        return list(self._fifo)
+
+    def clear(self) -> None:
+        self._fifo.clear()

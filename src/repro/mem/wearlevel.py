@@ -1,0 +1,131 @@
+"""Start-Gap wear leveling (Qureshi et al., MICRO 2009 — the paper's
+related-work citation [72] for "extending life time").
+
+BBB reduces the *number* of NVMM writes; wear leveling spreads the writes
+that remain.  Start-Gap is the canonical low-cost scheme: for ``N``
+logical lines it provisions ``N + 1`` physical lines and two registers:
+
+* ``start``: a rotation offset over the logical space;
+* ``gap``: the index of the currently-unmapped (spare) physical line.
+
+The address map is ``PA = (LA + start) mod N``, bumped by one when it
+falls at or past the gap.  Every ``psi`` writes, the gap moves down one
+slot (copying one line); when it wraps, ``start`` advances — over time
+every logical line visits every physical line, turning a pathological
+single-hot-line workload into near-uniform wear with only one line of
+overhead and one extra write per ``psi`` writes.
+
+:class:`WearLevelledMedia` wraps an :class:`~repro.mem.nvmm.NVMMedia`
+with the translation so endurance experiments can compare hottest-line
+wear with and without leveling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.mem.block import BlockData
+from repro.mem.nvmm import NVMMedia
+
+
+class StartGapRemapper:
+    """The Start-Gap address map over ``num_blocks`` logical lines."""
+
+    def __init__(self, num_blocks: int, psi: int = 100) -> None:
+        if num_blocks < 1:
+            raise ValueError("need at least one block")
+        if psi < 1:
+            raise ValueError("psi (gap-move interval) must be >= 1")
+        self.n = num_blocks
+        self.psi = psi
+        self.start = 0
+        self.gap = num_blocks  # spare line starts at the extra slot
+        self._writes_since_move = 0
+        self.gap_moves = 0
+
+    def physical(self, logical: int) -> int:
+        """Translate a logical line index to its physical slot."""
+        if not 0 <= logical < self.n:
+            raise IndexError(f"logical line {logical} out of range 0..{self.n - 1}")
+        pa = (logical + self.start) % self.n
+        if pa >= self.gap:
+            pa += 1
+        return pa
+
+    def note_write(self) -> Optional["tuple[int, int]"]:
+        """Account one write; if it triggers a gap move, returns the
+        physical ``(source, destination)`` line copy the caller must
+        perform, else None."""
+        self._writes_since_move += 1
+        if self._writes_since_move < self.psi:
+            return None
+        self._writes_since_move = 0
+        return self._move_gap()
+
+    def _move_gap(self) -> Optional["tuple[int, int]"]:
+        """Move the gap one slot down (wrapping to the top); returns the
+        physical line copy (source, destination) the move requires."""
+        self.gap_moves += 1
+        if self.gap == 0:
+            # Wrap: the gap returns to the top slot, the rotation advances,
+            # and the line in the top slot relocates into slot 0 (raw
+            # position N-1 maps to physical 0 under the new start).
+            self.gap = self.n
+            self.start = (self.start + 1) % self.n
+            return (self.n, 0)
+        source = self.gap - 1
+        destination = self.gap
+        self.gap -= 1
+        return (source, destination)
+
+    def mapping_snapshot(self) -> Dict[int, int]:
+        """logical -> physical for every line (tests/diagnostics)."""
+        return {la: self.physical(la) for la in range(self.n)}
+
+
+class WearLevelledMedia:
+    """An :class:`NVMMedia` view with Start-Gap translation.
+
+    Presents the same logical address space; physically, lines rotate.
+    ``physical_media.write_counts`` then reflects the *levelled* wear, and
+    ``max_block_writes()`` the hottest physical line.
+    """
+
+    def __init__(
+        self, base: int, size: int, block_size: int = 64, psi: int = 100
+    ) -> None:
+        self.base = base
+        self.block_size = block_size
+        num_blocks = size // block_size
+        # One spare line beyond the logical space.
+        self.physical_media = NVMMedia(base, size + block_size, block_size)
+        self.remapper = StartGapRemapper(num_blocks, psi)
+
+    def _translate(self, block_addr: int) -> int:
+        logical = (block_addr - self.base) // self.block_size
+        return self.base + self.remapper.physical(logical) * self.block_size
+
+    def write_block(self, block_addr: int, data: BlockData) -> None:
+        self.physical_media.write_block(self._translate(block_addr), data)
+        move = self.remapper.note_write()
+        if move is not None:
+            src, dst = move
+            # Relocation replaces the destination outright: its previous
+            # contents belonged to a different logical line.
+            self.physical_media.replace_block(
+                self.base + dst * self.block_size,
+                self.physical_media.peek_block(self.base + src * self.block_size),
+            )
+
+    def read_block(self, block_addr: int) -> BlockData:
+        return self.physical_media.read_block(self._translate(block_addr))
+
+    def peek_block(self, block_addr: int) -> BlockData:
+        return self.physical_media.peek_block(self._translate(block_addr))
+
+    def max_block_writes(self) -> int:
+        return self.physical_media.max_block_writes()
+
+    @property
+    def total_writes(self) -> int:
+        return self.physical_media.total_writes

@@ -1,0 +1,2 @@
+"""Simulation substrate: configuration, traces, the multicore engine,
+system assembly, statistics, and crash injection."""

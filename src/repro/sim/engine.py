@@ -1,0 +1,290 @@
+"""The multicore trace-interleaving engine.
+
+The engine executes a :class:`~repro.sim.trace.ProgramTrace` over a
+:class:`~repro.mem.hierarchy.MemoryHierarchy`.  Each core has its own cycle
+clock; the engine always steps the core with the smallest clock, which gives
+a deterministic, contention-aware interleaving of the threads (the standard
+trace-driven multicore approach).
+
+Store buffers sit between the core and the hierarchy:
+
+* Under ``ConsistencyModel.TSO`` a committed store is released to the L1D
+  immediately, so stores reach the cache in program order.
+* Under ``ConsistencyModel.RELAXED`` releases are deliberately reordered
+  (seeded RNG) except between stores to the same cache block — modelling the
+  out-of-order L1D writes of Section III-C.  Whether the crash-drain still
+  yields program-order persistency then depends on the store buffer being
+  battery-backed, which is exactly the paper's point.
+
+The engine records every *committed* and every *performed* (L1D-written)
+persisting store; the recovery checker uses them as the golden state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.persistency import DrainReport
+from repro.mem.block import block_address
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.sim.config import ConsistencyModel
+from repro.sim.reference import LogKind, LogRecord
+from repro.sim.stats import SimStats
+from repro.sim.trace import OpKind, ProgramTrace, TraceOp
+
+
+@dataclass(frozen=True)
+class PersistRecord:
+    """One persisting store, as seen by the golden model."""
+
+    core: int
+    addr: int
+    size: int
+    value: int
+    seq: int  # global monotonic order (commit order / perform order)
+
+
+@dataclass
+class RunResult:
+    """Everything a run produces."""
+
+    stats: SimStats
+    crashed: bool = False
+    crash_op: Optional[int] = None
+    committed_persists: List[PersistRecord] = field(default_factory=list)
+    performed_persists: List[PersistRecord] = field(default_factory=list)
+    drain_report: Optional[DrainReport] = None
+    #: Architectural execution log (populated when Engine(log=True)) — the
+    #: exact order operations took effect, for differential testing
+    #: against :mod:`repro.sim.reference`.
+    log: List[LogRecord] = field(default_factory=list)
+
+    @property
+    def execution_cycles(self) -> int:
+        return self.stats.execution_cycles
+
+
+class Engine:
+    """Drives one program over one hierarchy + scheme."""
+
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        consistency: Optional[ConsistencyModel] = None,
+        reorder_seed: int = 0,
+        release_probability: float = 0.5,
+        log: bool = False,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.config = hierarchy.config
+        self.stats = hierarchy.stats
+        self.consistency = consistency or self.config.consistency
+        self._rng = random.Random(reorder_seed)
+        self._release_probability = release_probability
+        self._log_enabled = log
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: ProgramTrace,
+        crash_at_op: Optional[int] = None,
+        finalize: bool = True,
+    ) -> RunResult:
+        """Execute ``trace``; optionally crash after ``crash_at_op`` globally
+        executed operations.
+
+        On a crash, the active persistency scheme's battery drains whatever
+        it covers and the volatile state is lost; ``finalize`` is ignored.
+        On a normal completion (``finalize=True``) the scheme settles all
+        outstanding persistence-domain state so the media image is complete.
+        """
+        if trace.num_threads > self.config.num_cores:
+            raise ValueError(
+                f"trace has {trace.num_threads} threads but the system has "
+                f"{self.config.num_cores} cores"
+            )
+        result = RunResult(stats=self.stats)
+        clocks = [0] * trace.num_threads
+        indices = [0] * trace.num_threads
+        flush_outstanding: List[List[int]] = [[] for _ in range(trace.num_threads)]
+        executed = 0
+
+        def active_cores() -> List[int]:
+            return [c for c in range(trace.num_threads) if indices[c] < len(trace.threads[c])]
+
+        while True:
+            live = active_cores()
+            if not live:
+                break
+            core = min(live, key=lambda c: clocks[c])
+            op = trace.threads[core][indices[core]]
+            indices[core] += 1
+            clocks[core] = self._execute(
+                core, op, clocks[core], result, flush_outstanding[core]
+            )
+            executed += 1
+            if crash_at_op is not None and executed >= crash_at_op:
+                result.crashed = True
+                result.crash_op = executed
+                break
+
+        now = max(clocks) if clocks else 0
+        if result.crashed:
+            result.drain_report = self.hierarchy.scheme.crash_drain(now)
+        else:
+            # Retire remaining store-buffer entries and outstanding flushes.
+            for core in range(trace.num_threads):
+                clocks[core] = self._release_all(core, clocks[core], result)
+                if flush_outstanding[core]:
+                    clocks[core] = max(clocks[core], max(flush_outstanding[core]))
+            if finalize:
+                self.hierarchy.scheme.finalize(max(clocks))
+        for core, clock in enumerate(clocks):
+            self.stats.core[core].cycles = clock
+        return result
+
+    # ------------------------------------------------------------------
+    # Per-op execution
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        core: int,
+        op: TraceOp,
+        now: int,
+        result: RunResult,
+        flush_outstanding: List[int],
+    ) -> int:
+        kind = op.kind
+        if kind is OpKind.COMPUTE:
+            self.stats.core[core].compute_cycles += op.cycles
+            return now + op.cycles
+
+        if kind is OpKind.LOAD:
+            forwarded = self.hierarchy.store_buffers[core].forward(op.addr, op.size)
+            if forwarded is not None:
+                self.stats.core[core].sb_forwards += 1
+                self.stats.core[core].loads += 1
+                if self._log_enabled:
+                    result.log.append(
+                        LogRecord(LogKind.LOAD, core, op.addr, op.size, forwarded)
+                    )
+                return now + 1
+            value, done = self.hierarchy.load(core, op.addr, op.size, now)
+            if self._log_enabled:
+                # NOTE: under TSO, unreleased remote SB entries do not exist
+                # (release is eager), so the hierarchy value is the
+                # architectural one.  Under RELAXED, remote cores' buffered
+                # stores are not yet visible — the log captures that.
+                value_with_local = value
+                result.log.append(
+                    LogRecord(LogKind.LOAD, core, op.addr, op.size, value_with_local)
+                )
+            return done
+
+        if kind is OpKind.STORE:
+            return self._commit_store(core, op, now, result)
+
+        if kind is OpKind.FLUSH:
+            # clwb is asynchronous: it starts the writeback and retires.
+            now = self._release_all(core, now, result)
+            done = self.hierarchy.flush_block_to_wpq(core, op.addr, now)
+            if done > now:
+                self.stats.flushes += 1
+                flush_outstanding.append(done + self.config.mem.mc_transfer_cycles)
+            return now + 1
+
+        if kind is OpKind.FENCE:
+            now = self._release_all(core, now, result)
+            self.stats.fences += 1
+            if flush_outstanding:
+                target = max(flush_outstanding)
+                if target > now:
+                    self.stats.core[core].stall_cycles_flush_fence += target - now
+                    now = target
+                flush_outstanding.clear()
+            return now
+
+        if kind is OpKind.EPOCH:
+            now = self._release_all(core, now, result)
+            stall = self.hierarchy.scheme.on_epoch_boundary(core, now)
+            return now + stall
+
+        raise ValueError(f"unknown op kind {kind!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Store buffer handling
+    # ------------------------------------------------------------------
+    def _commit_store(
+        self, core: int, op: TraceOp, now: int, result: RunResult
+    ) -> int:
+        sb = self.hierarchy.store_buffers[core]
+        if sb.full:
+            now = self._release_oldest(core, now, result)
+        persistent = self.config.mem.is_persistent(op.addr)
+        sb.push(op.addr, op.value, op.size, persistent)
+        if persistent:
+            self._seq += 1
+            result.committed_persists.append(
+                PersistRecord(core, op.addr, op.size, op.value, self._seq)
+            )
+        now += 1  # commit cost
+
+        if self.consistency is ConsistencyModel.TSO:
+            return self._release_all(core, now, result)
+        return self._release_relaxed(core, now, result)
+
+    def _release_entry(self, core: int, entry, now: int, result: RunResult) -> int:
+        done, persistent = self.hierarchy.store(
+            core, entry.addr, entry.size, entry.value, now
+        )
+        if self._log_enabled:
+            result.log.append(
+                LogRecord(LogKind.STORE, core, entry.addr, entry.size, entry.value)
+            )
+        if persistent:
+            self._seq += 1
+            result.performed_persists.append(
+                PersistRecord(core, entry.addr, entry.size, entry.value, self._seq)
+            )
+        return done
+
+    def _release_all(self, core: int, now: int, result: RunResult) -> int:
+        sb = self.hierarchy.store_buffers[core]
+        while len(sb):
+            entry = sb.pop_oldest()
+            now = self._release_entry(core, entry, now, result)
+        return now
+
+    def _release_oldest(self, core: int, now: int, result: RunResult) -> int:
+        sb = self.hierarchy.store_buffers[core]
+        entry = sb.pop_oldest()
+        if entry is not None:
+            now = self._release_entry(core, entry, now, result)
+        return now
+
+    def _release_relaxed(self, core: int, now: int, result: RunResult) -> int:
+        """Out-of-order release: each entry may release ahead of older ones
+        to *different* blocks; same-block order is always preserved (the
+        hardware guarantee relaxed models keep)."""
+        sb = self.hierarchy.store_buffers[core]
+        blocked_blocks = set()
+        kept = []
+        for entry in sb.entries():
+            baddr = block_address(entry.addr, self.config.block_size)
+            if baddr in blocked_blocks:
+                kept.append(entry)
+                continue
+            if self._rng.random() < self._release_probability:
+                now = self._release_entry(core, entry, now, result)
+            else:
+                kept.append(entry)
+                blocked_blocks.add(baddr)
+        sb.clear()
+        for entry in kept:
+            sb._fifo.append(entry)  # preserve original relative order
+        return now

@@ -1,0 +1,199 @@
+"""Simulation statistics.
+
+:class:`SimStats` is filled in by the engine, hierarchy, persistency scheme,
+and memory controllers during a run.  The counters mirror the metrics the
+paper reports: execution time (Fig. 7a, Fig. 8b), number of writes to NVMM
+(Fig. 7b), bbPB rejections due to full buffer (Fig. 8a), and bbPB drains
+(Fig. 8c), plus supporting detail (coalesces, forced drains, coherence
+moves, stall cycles).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CoreStats:
+    """Per-core counters."""
+
+    loads: int = 0
+    stores: int = 0
+    persisting_stores: int = 0
+    compute_cycles: int = 0
+    stall_cycles_bbpb_full: int = 0
+    stall_cycles_flush_fence: int = 0
+    stall_cycles_epoch: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    sb_forwards: int = 0
+    cycles: int = 0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 0.0
+
+
+@dataclass
+class SimStats:
+    """Whole-run statistics; the engine owns exactly one per run."""
+
+    num_cores: int = 1
+    core: List[CoreStats] = field(default_factory=list)
+
+    # Memory-side counters.
+    nvmm_writes: int = 0          # blocks accepted into the NVMM WPQ
+    nvmm_reads: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    llc_evictions: int = 0
+    llc_writebacks: int = 0
+    llc_writebacks_dropped: int = 0  # silent drops of persistent dirty blocks
+
+    # bbPB counters (summed over cores; per-core breakdown in bbpb_per_core).
+    bbpb_allocations: int = 0
+    bbpb_coalesces: int = 0
+    bbpb_drains: int = 0
+    bbpb_rejections: int = 0      # persist requests rejected: buffer full
+    bbpb_forced_drains: int = 0   # forced by LLC dirty-inclusion evictions
+    bbpb_moves: int = 0           # block moved between bbPBs (coherence)
+    bbpb_removes: int = 0         # block removed from a bbPB w/o draining
+    bbpb_per_core: Counter = field(default_factory=Counter)
+
+    # Baseline-scheme counters.
+    flushes: int = 0
+    fences: int = 0
+    epoch_barriers: int = 0
+    bsp_conflict_drains: int = 0  # BSP: drains forced by remote requests
+
+    # PoV/PoP gap instrumentation: cycles between a persisting store
+    # becoming visible (L1D write) and becoming durable.  BBB closes the
+    # gap (0 by construction); other schemes accumulate real latencies.
+    persist_latency_sum: int = 0
+    persist_latency_count: int = 0
+    persist_latency_max: int = 0
+
+    def record_persist_latency(self, cycles: int) -> None:
+        cycles = max(0, cycles)
+        self.persist_latency_sum += cycles
+        self.persist_latency_count += 1
+        if cycles > self.persist_latency_max:
+            self.persist_latency_max = cycles
+
+    @property
+    def persist_latency_avg(self) -> float:
+        if not self.persist_latency_count:
+            return 0.0
+        return self.persist_latency_sum / self.persist_latency_count
+
+    def __post_init__(self) -> None:
+        if not self.core:
+            self.core = [CoreStats() for _ in range(self.num_cores)]
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def execution_cycles(self) -> int:
+        """Execution time of the parallel region = slowest core's clock."""
+        return max((c.cycles for c in self.core), default=0)
+
+    @property
+    def total_stores(self) -> int:
+        return sum(c.stores for c in self.core)
+
+    @property
+    def total_persisting_stores(self) -> int:
+        return sum(c.persisting_stores for c in self.core)
+
+    @property
+    def total_loads(self) -> int:
+        return sum(c.loads for c in self.core)
+
+    @property
+    def persist_store_fraction(self) -> float:
+        return (
+            self.total_persisting_stores / self.total_stores
+            if self.total_stores
+            else 0.0
+        )
+
+    @property
+    def total_bbpb_stalls(self) -> int:
+        return sum(c.stall_cycles_bbpb_full for c in self.core)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline metrics, convenient for table rendering."""
+        return {
+            "execution_cycles": self.execution_cycles,
+            "nvmm_writes": self.nvmm_writes,
+            "nvmm_reads": self.nvmm_reads,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "stores": self.total_stores,
+            "persisting_stores": self.total_persisting_stores,
+            "p_store_fraction": round(self.persist_store_fraction, 4),
+            "bbpb_allocations": self.bbpb_allocations,
+            "bbpb_coalesces": self.bbpb_coalesces,
+            "bbpb_drains": self.bbpb_drains,
+            "bbpb_rejections": self.bbpb_rejections,
+            "bbpb_forced_drains": self.bbpb_forced_drains,
+            "bbpb_moves": self.bbpb_moves,
+            "llc_writebacks_dropped": self.llc_writebacks_dropped,
+            "flushes": self.flushes,
+            "fences": self.fences,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full JSON-serialisable dump (gem5-style stats file)."""
+        return {
+            "summary": self.summary(),
+            "persist_latency": {
+                "count": self.persist_latency_count,
+                "avg": self.persist_latency_avg,
+                "max": self.persist_latency_max,
+            },
+            "llc": {
+                "hits": self.llc_hits,
+                "misses": self.llc_misses,
+                "evictions": self.llc_evictions,
+                "writebacks": self.llc_writebacks,
+                "writebacks_dropped": self.llc_writebacks_dropped,
+            },
+            "bsp_conflict_drains": self.bsp_conflict_drains,
+            "epoch_barriers": self.epoch_barriers,
+            "bbpb_drains_per_core": dict(self.bbpb_per_core),
+            "cores": [
+                {
+                    "cycles": c.cycles,
+                    "loads": c.loads,
+                    "stores": c.stores,
+                    "persisting_stores": c.persisting_stores,
+                    "l1_hits": c.l1_hits,
+                    "l1_misses": c.l1_misses,
+                    "l1_hit_rate": round(c.l1_hit_rate, 4),
+                    "sb_forwards": c.sb_forwards,
+                    "compute_cycles": c.compute_cycles,
+                    "stall_cycles_bbpb_full": c.stall_cycles_bbpb_full,
+                    "stall_cycles_flush_fence": c.stall_cycles_flush_fence,
+                    "stall_cycles_epoch": c.stall_cycles_epoch,
+                }
+                for c in self.core
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"SimStats(cores={self.num_cores})"]
+        for key, val in self.summary().items():
+            lines.append(f"  {key:>24}: {val}")
+        return "\n".join(lines)

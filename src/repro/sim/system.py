@@ -1,0 +1,129 @@
+"""System assembly: configuration + persistency scheme -> runnable simulator.
+
+:class:`System` is the main user-facing entry point of the library::
+
+    from repro import System, SystemConfig, BBBScheme
+
+    system = System(SystemConfig(num_cores=8), BBBScheme())
+    result = system.run(trace)
+    print(result.stats.nvmm_writes, result.execution_cycles)
+
+Factory helpers build the schemes the paper compares (Fig. 7): ``eadr()``,
+``bbb(entries=32)``, ``bbb_processor_side()``, ``pmem_strict()``, ``bep()``,
+``no_persistency()``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.bsp import BSP
+from repro.core.persistency import (
+    BBBScheme,
+    BEP,
+    EADR,
+    NoPersistency,
+    PersistencyScheme,
+    StrictPMEM,
+)
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.sim.config import BBBConfig, SystemConfig
+from repro.sim.engine import Engine, RunResult
+from repro.sim.stats import SimStats
+from repro.sim.trace import ProgramTrace
+
+
+class System:
+    """A complete simulated machine: hierarchy + scheme + engine."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        scheme: Optional[PersistencyScheme] = None,
+        reorder_seed: int = 0,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.scheme = scheme or BBBScheme()
+        self.stats = SimStats(num_cores=self.config.num_cores)
+        self.hierarchy = MemoryHierarchy(self.config, self.scheme, self.stats)
+        self.engine = Engine(self.hierarchy, reorder_seed=reorder_seed)
+
+    def run(
+        self,
+        trace: ProgramTrace,
+        crash_at_op: Optional[int] = None,
+        finalize: bool = True,
+    ) -> RunResult:
+        """Execute ``trace`` to completion, or crash after ``crash_at_op``
+        globally interleaved operations.  A ``System`` is single-shot: build
+        a fresh one per run."""
+        return self.engine.run(trace, crash_at_op=crash_at_op, finalize=finalize)
+
+    @property
+    def nvmm_media(self):
+        return self.hierarchy.nvmm.media
+
+
+# ----------------------------------------------------------------------
+# Scheme/system factories for the paper's comparison space
+# ----------------------------------------------------------------------
+
+def eadr(config: Optional[SystemConfig] = None, **kw) -> System:
+    """eADR baseline: whole-hierarchy battery backing (the 'Optimal' bars)."""
+    return System(config, EADR(), **kw)
+
+
+def bbb(
+    config: Optional[SystemConfig] = None,
+    entries: int = 32,
+    drain_threshold: float = 0.75,
+    **kw,
+) -> System:
+    """BBB with a memory-side bbPB (the paper's default design)."""
+    cfg = config or SystemConfig()
+    bbb_cfg = BBBConfig(
+        entries=entries, drain_threshold=drain_threshold, memory_side=True
+    )
+    return System(cfg, BBBScheme(bbb_cfg), **kw)
+
+
+def bbb_processor_side(
+    config: Optional[SystemConfig] = None,
+    entries: int = 32,
+    coalesce_consecutive: bool = True,
+    **kw,
+) -> System:
+    """BBB with the processor-side bbPB organisation (Section V-C baseline).
+
+    ``coalesce_consecutive=False`` models the paper's measured variant in
+    which "almost every persisting store must go to the bbPB and drain to
+    the NVMM" (no coalescing at all).
+    """
+    cfg = config or SystemConfig()
+    bbb_cfg = BBBConfig(
+        entries=entries,
+        memory_side=False,
+        proc_coalesce_consecutive=coalesce_consecutive,
+    )
+    return System(cfg, BBBScheme(bbb_cfg), **kw)
+
+
+def pmem_strict(config: Optional[SystemConfig] = None, **kw) -> System:
+    """Intel-PMEM-style strict persistency (hardware clwb+sfence per store)."""
+    return System(config, StrictPMEM(), **kw)
+
+
+def bep(config: Optional[SystemConfig] = None, entries: int = 32, **kw) -> System:
+    """Buffered epoch persistency with volatile persist buffers."""
+    return System(config, BEP(entries=entries), **kw)
+
+
+def bsp(config: Optional[SystemConfig] = None, entries: int = 32, **kw) -> System:
+    """Bulk Strict Persistency (Table I's BSP column): volatile ordered
+    buffers that persist-before-respond on remote requests."""
+    return System(config, BSP(entries=entries), **kw)
+
+
+def no_persistency(config: Optional[SystemConfig] = None, **kw) -> System:
+    """Volatile caches, no ordering: the motivating failure mode."""
+    return System(config, NoPersistency(), **kw)

@@ -1,0 +1,111 @@
+"""Trace file I/O: save and load :class:`ProgramTrace` objects.
+
+Format: one JSON object per line (JSONL).  The first line is a header
+``{"repro-trace": 1, "threads": N}``; every other line is one operation
+``{"t": thread, "k": kind, "a": addr, "s": size, "v": value, "c": cycles}``
+with zero-valued fields omitted.  The format is deliberately plain so
+traces can be produced or consumed by external tools (or hand-written for
+directed experiments).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.sim.trace import OpKind, ProgramTrace, ThreadTrace, TraceOp
+
+FORMAT_VERSION = 1
+
+_KIND_CODES = {
+    OpKind.LOAD: "L",
+    OpKind.STORE: "S",
+    OpKind.FLUSH: "F",
+    OpKind.FENCE: "B",   # barrier
+    OpKind.COMPUTE: "C",
+    OpKind.EPOCH: "E",
+}
+_CODE_KINDS = {v: k for k, v in _KIND_CODES.items()}
+
+
+class TraceFormatError(ValueError):
+    """The file is not a valid repro trace."""
+
+
+def _encode_op(thread: int, op: TraceOp) -> str:
+    record = {"t": thread, "k": _KIND_CODES[op.kind]}
+    if op.addr:
+        record["a"] = op.addr
+    if op.size != 8:
+        record["s"] = op.size
+    if op.value:
+        record["v"] = op.value
+    if op.cycles:
+        record["c"] = op.cycles
+    if op.tag:
+        record["g"] = op.tag
+    return json.dumps(record, separators=(",", ":"))
+
+
+def _decode_op(record: dict) -> TraceOp:
+    try:
+        kind = _CODE_KINDS[record["k"]]
+    except KeyError as exc:
+        raise TraceFormatError(f"unknown op kind {record.get('k')!r}") from exc
+    return TraceOp(
+        kind,
+        addr=record.get("a", 0),
+        size=record.get("s", 8),
+        value=record.get("v", 0),
+        cycles=record.get("c", 0),
+        tag=record.get("g"),
+    )
+
+
+def save_trace(trace: ProgramTrace, path: Union[str, Path]) -> int:
+    """Write ``trace`` to ``path``; returns the number of ops written."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as fh:
+        header = {"repro-trace": FORMAT_VERSION, "threads": trace.num_threads}
+        fh.write(json.dumps(header) + "\n")
+        for thread_id, thread in enumerate(trace.threads):
+            for op in thread:
+                fh.write(_encode_op(thread_id, op) + "\n")
+                count += 1
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> ProgramTrace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open() as fh:
+        header_line = fh.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError("missing/invalid trace header") from exc
+        if header.get("repro-trace") != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace version {header.get('repro-trace')!r}"
+            )
+        num_threads = header.get("threads")
+        if not isinstance(num_threads, int) or num_threads < 1:
+            raise TraceFormatError(f"bad thread count {num_threads!r}")
+        threads: List[ThreadTrace] = [ThreadTrace() for _ in range(num_threads)]
+        for line_no, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"line {line_no}: invalid JSON") from exc
+            thread_id = record.get("t", 0)
+            if not 0 <= thread_id < num_threads:
+                raise TraceFormatError(
+                    f"line {line_no}: thread {thread_id} out of range"
+                )
+            threads[thread_id].append(_decode_op(record))
+    return ProgramTrace(threads)

@@ -1,0 +1,3 @@
+"""Workload substrate: the persistent heap allocator and the Table IV
+benchmark suite (rtree, ctree, hashmap, array mutate/swap) plus the
+paper's linked-list example."""

@@ -1,0 +1,138 @@
+"""Workload framework.
+
+A :class:`Workload` builds a multi-threaded :class:`ProgramTrace` mirroring
+the persist-traffic shape of the paper's Table IV benchmarks: each thread
+performs random operations on a (persistent) data structure, generating
+back-to-back persisting stores with little other computation — the paper
+designed them "to exert maximum pressure on the bbPB".
+
+Node counts are scaled down from the paper's 1 million (configurable via
+``ops`` and ``elements``) so a pure-Python simulation completes in seconds;
+the *ratios* that matter (%P-Stores, stores-per-operation, conflict
+structure) are preserved by construction.
+
+Every workload can also report expected recovery invariants via
+``make_checker`` for crash-sweep testing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.sim.config import MemConfig
+from repro.sim.trace import ProgramTrace, ThreadTrace
+from repro.workloads.alloc import PersistentHeap, VolatileHeap
+
+#: Width of one machine word in the traces (bytes).
+WORD = 8
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters shared by all workloads."""
+
+    threads: int = 8
+    ops: int = 200          # operations per thread
+    elements: int = 4096    # structure size (paper: 1 million)
+    seed: int = 42
+    #: Cycles of non-memory compute inserted per operation, modelling the
+    #: (small) work between persists.
+    compute_per_op: int = 4
+
+
+class Workload:
+    """Base class: generate a trace + optional recovery checker."""
+
+    name = "workload"
+    description = ""
+    #: %P-Stores reported by the paper (Table IV) for shape comparison.
+    paper_p_store_pct: Optional[float] = None
+
+    def __init__(self, mem: MemConfig, spec: Optional[WorkloadSpec] = None) -> None:
+        self.mem = mem
+        self.spec = spec or WorkloadSpec()
+        self.pheap = PersistentHeap(mem)
+        self.vheap = VolatileHeap(mem)
+        self.rng = random.Random(self.spec.seed)
+        #: Pre-populated persistent state (word addr -> 8-byte value): the
+        #: paper's workloads insert into structures that *already hold* 1M
+        #: nodes, so workloads that pre-populate serialise that state here
+        #: and :meth:`seed_media` installs it as already-durable NVMM
+        #: content before the measured run starts.
+        self.initial_words: Dict[int, int] = {}
+
+    def seed_media(self, media) -> int:
+        """Install the pre-populated structure into the NVMM media image
+        (it is durable before the run begins).  Returns words written."""
+        from repro.mem.block import BlockData, block_address, block_offset
+
+        by_block: Dict[int, "BlockData"] = {}
+        for addr, value in self.initial_words.items():
+            baddr = block_address(addr, 64)
+            by_block.setdefault(baddr, BlockData()).write_word(
+                block_offset(addr, 64), value, WORD
+            )
+        for baddr, data in by_block.items():
+            media.write_block(baddr, data)
+        # Seeding models state persisted before the measured window; do not
+        # let it pollute the window's write counters.
+        media.total_writes -= len(by_block)
+        for baddr in by_block:
+            media.write_counts[baddr] -= 1
+        return len(self.initial_words)
+
+    # ------------------------------------------------------------------
+    # To implement
+    # ------------------------------------------------------------------
+    def build_thread(self, thread_id: int) -> ThreadTrace:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Common entry points
+    # ------------------------------------------------------------------
+    def build(self) -> ProgramTrace:
+        threads = [self.build_thread(t) for t in range(self.spec.threads)]
+        return ProgramTrace(threads)
+
+    def p_store_fraction(self, trace: ProgramTrace) -> float:
+        return trace.persistent_store_fraction(self.mem.is_persistent)
+
+    def make_checker(self) -> Optional[Callable]:
+        """Optional: a ``(system, result) -> (bool, [violations])`` checker
+        validating structure-specific recovery invariants on the durable
+        image.  None means only the generic checkers apply."""
+        return None
+
+
+def registry(mem: MemConfig, spec: Optional[WorkloadSpec] = None) -> Dict[str, Workload]:
+    """All Table IV workloads, keyed by the paper's names."""
+    from repro.workloads.arrays import ArrayMutate, ArraySwap
+    from repro.workloads.ctree import CTreeInsert
+    from repro.workloads.hashmap import HashmapInsert
+    from repro.workloads.rtree import RTreeInsert
+
+    def mk(cls, **kw):
+        return cls(mem, spec, **kw) if kw else cls(mem, spec)
+
+    return {
+        "rtree": mk(RTreeInsert),
+        "ctree": mk(CTreeInsert),
+        "hashmap": mk(HashmapInsert),
+        "mutateNC": ArrayMutate(mem, spec, conflicting=False),
+        "mutateC": ArrayMutate(mem, spec, conflicting=True),
+        "swapNC": ArraySwap(mem, spec, conflicting=False),
+        "swapC": ArraySwap(mem, spec, conflicting=True),
+    }
+
+
+WORKLOAD_NAMES: Tuple[str, ...] = (
+    "rtree",
+    "ctree",
+    "hashmap",
+    "mutateNC",
+    "mutateC",
+    "swapNC",
+    "swapC",
+)

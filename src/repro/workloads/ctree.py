@@ -1,0 +1,176 @@
+"""Crit-bit/binary tree insertion workload (Table IV: ``ctree``, 18.9%).
+
+Models the pmembench-style ``ctree``: a binary search tree in persistent
+memory.  Each insert walks from the root (pointer-chasing loads), allocates
+and initialises a leaf node (persisting stores), and links it by updating
+the parent's child pointer (one persisting store).  The walk makes the
+persisting fraction lower than the array workloads but higher than the
+hashmap's.
+
+Trees are sharded per thread (one root each) so the pre-generated trace has
+deterministic pointer values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.trace import ThreadTrace, TraceOp
+from repro.workloads.base import WORD, Workload
+
+#: node layout: key @0, value @8, left @16, right @24
+_NODE_SIZE = 4 * WORD
+_VOLATILE_STORES_PER_OP = 16
+
+
+class _Node:
+    __slots__ = ("addr", "key", "left", "right")
+
+    def __init__(self, addr: int, key: int) -> None:
+        self.addr = addr
+        self.key = key
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+
+class CTreeInsert(Workload):
+    name = "ctree"
+    description = "1 million-node ctree insertion"
+    paper_p_store_pct = 18.9
+
+    def __init__(self, mem, spec=None) -> None:
+        super().__init__(mem, spec)
+        #: per-thread root-pointer slots (persistent).
+        self.root_slots = [
+            self.pheap.alloc(WORD) for _ in range(self.spec.threads)
+        ]
+        self._scratch = [
+            self.vheap.alloc(64 * WORD) for _ in range(self.spec.threads)
+        ]
+        self._roots: List[Optional[_Node]] = [None] * self.spec.threads
+        #: node addr -> (key, value) for the recovery checker.
+        self.model_nodes: Dict[int, Tuple[int, int]] = {}
+        self._prepopulate()
+
+    def _prepopulate(self) -> None:
+        """Build the already-existing tree the paper's inserts target (the
+        '1 million-node ctree', scaled): per-thread BSTs of
+        ``elements/threads`` nodes (capped), serialised as already-durable
+        NVMM state via ``initial_words``."""
+        per_thread = min(self.spec.elements // self.spec.threads, 4096)
+        for thread_id in range(self.spec.threads):
+            for _ in range(per_thread):
+                key = self.rng.randrange(1, 1 << 30)
+                addr = self.pheap.alloc(_NODE_SIZE)
+                value = key ^ 0xC7EE
+                node = _Node(addr, key)
+                self.model_nodes[addr] = (key, value)
+                self.initial_words[addr + 0] = key
+                self.initial_words[addr + 8] = value
+                parent = self._roots[thread_id]
+                if parent is None:
+                    self._roots[thread_id] = node
+                    self.initial_words[self.root_slots[thread_id]] = addr
+                    continue
+                while True:
+                    go_left = key < parent.key
+                    child = parent.left if go_left else parent.right
+                    if child is None:
+                        if go_left:
+                            parent.left = node
+                        else:
+                            parent.right = node
+                        self.initial_words[
+                            parent.addr + (16 if go_left else 24)
+                        ] = addr
+                        break
+                    parent = child
+
+    def build_thread(self, thread_id: int) -> ThreadTrace:
+        trace = ThreadTrace()
+        scratch = self._scratch[thread_id]
+        for op in range(self.spec.ops):
+            key = self.rng.randrange(1, 1 << 30)
+
+            for i in range(_VOLATILE_STORES_PER_OP):
+                slot = scratch + ((op * 3 + i) % 64) * WORD
+                trace.append(TraceOp.store(slot, key + i))
+            trace.append(TraceOp.compute(self.spec.compute_per_op))
+
+            # Walk from the root.
+            trace.append(TraceOp.load(self.root_slots[thread_id]))
+            parent: Optional[_Node] = None
+            node = self._roots[thread_id]
+            go_left = False
+            while node is not None:
+                trace.append(TraceOp.load(node.addr + 0))       # key
+                parent = node
+                go_left = key < node.key
+                child_off = 16 if go_left else 24
+                trace.append(TraceOp.load(node.addr + child_off))
+                node = node.left if go_left else node.right
+
+            # Allocate + initialise the new leaf (persisting stores).
+            addr = self.pheap.alloc(_NODE_SIZE)
+            value = key ^ 0xC7EE
+            trace.append(TraceOp.store(addr + 0, key, tag=f"key:{addr:x}"))
+            trace.append(TraceOp.store(addr + 8, value, tag=f"val:{addr:x}"))
+            trace.append(TraceOp.store(addr + 16, 0))
+            trace.append(TraceOp.store(addr + 24, 0))
+
+            # Link it (the publish store).
+            new_node = _Node(addr, key)
+            self.model_nodes[addr] = (key, value)
+            if parent is None:
+                trace.append(
+                    TraceOp.store(self.root_slots[thread_id], addr, tag="root")
+                )
+                self._roots[thread_id] = new_node
+            else:
+                child_off = 16 if go_left else 24
+                trace.append(
+                    TraceOp.store(parent.addr + child_off, addr, tag="link")
+                )
+                if go_left:
+                    parent.left = new_node
+                else:
+                    parent.right = new_node
+        return trace
+
+    # ------------------------------------------------------------------
+    # Recovery checking
+    # ------------------------------------------------------------------
+    def make_checker(self) -> Callable:
+        """Walk every durable tree: every reachable node must be initialised
+        (its key/value match what the workload wrote) and in BST order."""
+        expected = dict(self.model_nodes)
+        root_slots = list(self.root_slots)
+
+        def checker(system, result) -> Tuple[bool, List[str]]:
+            media = system.nvmm_media
+            violations: List[str] = []
+
+            def walk(addr: int, depth: int) -> None:
+                if not addr or violations:
+                    return
+                if depth > len(expected) + 1:
+                    violations.append(f"tree too deep at 0x{addr:x} (cycle?)")
+                    return
+                if addr not in expected:
+                    violations.append(f"pointer to non-node 0x{addr:x}")
+                    return
+                key, value = expected[addr]
+                if media.read_word(addr + 0) != key or media.read_word(addr + 8) != value:
+                    violations.append(
+                        f"node 0x{addr:x} reachable but uninitialised — "
+                        f"link persisted before node"
+                    )
+                    return
+                walk(media.read_word(addr + 16), depth + 1)
+                walk(media.read_word(addr + 24), depth + 1)
+
+            for slot in root_slots:
+                walk(media.read_word(slot), 0)
+            return (not violations, violations)
+
+        return checker

@@ -1,0 +1,134 @@
+"""The paper's motivating example (Figures 2 and 3): appending nodes to the
+head of a persistent linked list.
+
+Two code shapes are generated:
+
+* :meth:`LinkedListAppend.build` — the *plain* code of Figure 2: initialise
+  the node, point it at the old head, update the head pointer.  No flushes,
+  no fences.  Safe under BBB/eADR; unsafe under an open PoV/PoP gap.
+* :meth:`LinkedListAppend.build_with_barriers` — the Figure 3 version with
+  the explicit ``writeBack`` + ``persistBarrier`` pairs a PMEM programmer
+  must insert after the node initialisation and after the head update.
+
+The recovery checker implements exactly the failure analysis of
+Section II-A: after a crash, walking from the durable head pointer must
+only ever reach fully-initialised nodes; "the head pointer will still point
+to [the] new node, which becomes invalid after the crash" is the violation
+it reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
+from repro.workloads.base import WORD, Workload
+
+#: node layout: value @0, next @8
+_NODE_SIZE = 2 * WORD
+
+
+class LinkedListAppend(Workload):
+    name = "linkedlist"
+    description = "AppendNode to the head of a persistent linked list (Fig. 2)"
+
+    def __init__(self, mem, spec=None, isolate_blocks: bool = False) -> None:
+        """``isolate_blocks`` places the head slot and every node in its own
+        cache block (the cache-line-aligned allocation persistent-memory
+        libraries commonly use); the directed failure tests rely on it so
+        that evicting the head block does not incidentally persist nodes."""
+        super().__init__(mem, spec)
+        self._alloc_size = 64 if isolate_blocks else None
+        self.head_slot = self._alloc(WORD)
+        #: node addr -> (value, next) as written, for the checker.
+        self.model_nodes: Dict[int, Tuple[int, int]] = {}
+        self._head = 0
+
+    def _alloc(self, size: int) -> int:
+        return self.pheap.alloc(max(size, self._alloc_size or 0))
+
+    # ------------------------------------------------------------------
+    # Trace generation
+    # ------------------------------------------------------------------
+    def _append_ops(self, value: int, barriers: bool) -> List[TraceOp]:
+        """One AppendNode(value) call."""
+        node = self._alloc(_NODE_SIZE)
+        old_head = self._head
+        ops = [
+            # node_t* new_node = new node_t(new_val);
+            TraceOp.store(node + 0, value, tag=f"node-val:{value}"),
+            # new_node->next = head;
+            TraceOp.load(self.head_slot),
+            TraceOp.store(node + 8, old_head, tag=f"node-next:{value}"),
+        ]
+        if barriers:
+            # writeBack(new_node); persistBarrier;  (Fig. 3 lines 7-8)
+            ops.append(TraceOp.flush(node))
+            ops.append(TraceOp.flush(node + 8))  # node may span two blocks
+            ops.append(TraceOp.fence())
+        # head = new_node;
+        ops.append(TraceOp.store(self.head_slot, node, tag=f"head:{value}"))
+        if barriers:
+            # writeBack(head); persistBarrier;  (Fig. 3 lines 12-13)
+            ops.append(TraceOp.flush(self.head_slot))
+            ops.append(TraceOp.fence())
+        self.model_nodes[node] = (value, old_head)
+        self._head = node
+        return ops
+
+    def build_thread(self, thread_id: int) -> ThreadTrace:
+        # The list is a single shared structure; the canonical use is
+        # single-threaded (the paper's example), so thread 0 does the work.
+        trace = ThreadTrace()
+        if thread_id != 0:
+            return trace
+        for op in range(self.spec.ops):
+            for piece in self._append_ops(value=op + 1, barriers=self._barriers):
+                trace.append(piece)
+        return trace
+
+    _barriers = False
+
+    def build(self) -> ProgramTrace:
+        """Figure 2: no persist instructions."""
+        self._barriers = False
+        return super().build()
+
+    def build_with_barriers(self) -> ProgramTrace:
+        """Figure 3: explicit writeBack + persistBarrier pairs."""
+        self._barriers = True
+        return super().build()
+
+    # ------------------------------------------------------------------
+    # Recovery checking (Section II-A failure analysis)
+    # ------------------------------------------------------------------
+    def make_checker(self) -> Callable:
+        expected = dict(self.model_nodes)
+        head_slot = self.head_slot
+
+        def checker(system, result) -> Tuple[bool, List[str]]:
+            media = system.nvmm_media
+            violations: List[str] = []
+            node = media.read_word(head_slot)
+            hops = 0
+            while node:
+                if hops > len(expected) + 1:
+                    violations.append("list has a cycle")
+                    break
+                if node not in expected:
+                    violations.append(
+                        f"head chain points to 0x{node:x}, not a node"
+                    )
+                    break
+                value, _ = expected[node]
+                if media.read_word(node + 0) != value:
+                    violations.append(
+                        f"head points to node 0x{node:x} whose value is not "
+                        f"durable — 'the new node will be lost' (Sec. II-A)"
+                    )
+                    break
+                node = media.read_word(node + 8)
+                hops += 1
+            return (not violations, violations)
+
+        return checker

@@ -1,0 +1,122 @@
+"""Persistent FIFO queue workload (extension beyond Table IV).
+
+A multi-producer ring-buffer queue is the other canonical persistent-
+memory structure (message queues, write-ahead logs).  Each enqueue:
+
+1. writes the payload into the slot at ``tail`` (persisting stores),
+2. publishes it by bumping the ``tail`` index (one persisting store).
+
+The publish-after-payload ordering is the same dependence as the linked
+list's node-before-head: under an open PoV/PoP gap the bumped tail can
+persist before the payload, and a consumer recovering after a crash
+dequeues garbage.  Under BBB the plain code is safe.
+
+Each thread owns one queue (single-producer rings); the recovery checker
+validates that every slot below the durable tail holds a fully-written
+record with the correct sequence stamp.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.sim.trace import ThreadTrace, TraceOp
+from repro.workloads.base import WORD, Workload
+
+#: record layout: seq @0, payload @8 (two words per slot)
+_SLOT_WORDS = 2
+_VOLATILE_STORES_PER_OP = 6
+
+
+class QueueAppend(Workload):
+    name = "queue"
+    description = "multi-producer persistent FIFO append (extension)"
+    paper_p_store_pct = None  # not part of Table IV
+
+    def __init__(self, mem, spec=None) -> None:
+        super().__init__(mem, spec)
+        # No consumer in this workload, so the ring never reclaims slots:
+        # capacity covers every enqueue (a real queue's not-full check).
+        self.capacity = max(16, self.spec.ops)
+        #: per-thread: (tail_slot_addr, ring_base)
+        self.rings: List[Tuple[int, int]] = []
+        for _ in range(self.spec.threads):
+            tail_slot = self.pheap.alloc(WORD)
+            ring = self.pheap.alloc(self.capacity * _SLOT_WORDS * WORD)
+            self.rings.append((tail_slot, ring))
+            self.initial_words[tail_slot] = 0
+        self._scratch = [
+            self.vheap.alloc(32 * WORD) for _ in range(self.spec.threads)
+        ]
+        #: thread -> list of (seq, payload) enqueued, for the checker.
+        self.model: Dict[int, List[Tuple[int, int]]] = {}
+
+    def _slot_addr(self, thread_id: int, index: int) -> int:
+        _, ring = self.rings[thread_id]
+        return ring + (index % self.capacity) * _SLOT_WORDS * WORD
+
+    def build_thread(self, thread_id: int) -> ThreadTrace:
+        trace = ThreadTrace()
+        tail_slot, _ = self.rings[thread_id]
+        scratch = self._scratch[thread_id]
+        records = self.model.setdefault(thread_id, [])
+        for op in range(self.spec.ops):
+            payload = (thread_id << 48) | (self.rng.randrange(1, 1 << 30))
+            seq = op + 1
+
+            for i in range(_VOLATILE_STORES_PER_OP):
+                trace.append(
+                    TraceOp.store(scratch + ((op + i) % 32) * WORD, payload + i)
+                )
+            trace.append(TraceOp.compute(self.spec.compute_per_op))
+
+            # (1) payload into the slot...
+            slot = self._slot_addr(thread_id, op)
+            trace.append(TraceOp.load(tail_slot))
+            trace.append(TraceOp.store(slot + 0, seq, tag=f"seq:{thread_id}:{op}"))
+            trace.append(
+                TraceOp.store(slot + 8, payload, tag=f"payload:{thread_id}:{op}")
+            )
+            # (2) ...then publish.
+            trace.append(TraceOp.store(tail_slot, seq, tag=f"tail:{thread_id}:{op}"))
+            records.append((seq, payload))
+        return trace
+
+    # ------------------------------------------------------------------
+    # Recovery checking
+    # ------------------------------------------------------------------
+    def make_checker(self) -> Callable:
+        """Every record below the durable tail must be fully written with
+        the right sequence stamp (a published-but-unwritten slot is the
+        corruption)."""
+        rings = list(self.rings)
+        model = {tid: list(recs) for tid, recs in self.model.items()}
+        capacity = self.capacity
+
+        def checker(system, result) -> Tuple[bool, List[str]]:
+            media = system.nvmm_media
+            violations: List[str] = []
+            for thread_id, (tail_slot, ring) in enumerate(rings):
+                tail = media.read_word(tail_slot)
+                records = model.get(thread_id, [])
+                if tail > len(records):
+                    violations.append(
+                        f"queue {thread_id}: durable tail {tail} beyond "
+                        f"{len(records)} enqueues"
+                    )
+                    continue
+                for index in range(tail):
+                    seq, payload = records[index]
+                    slot = ring + (index % capacity) * _SLOT_WORDS * WORD
+                    if media.read_word(slot) != seq or media.read_word(
+                        slot + 8
+                    ) != payload:
+                        violations.append(
+                            f"queue {thread_id}: tail={tail} durable but "
+                            f"record {index} is torn — publish persisted "
+                            f"before payload"
+                        )
+                        break
+            return (not violations, violations)
+
+        return checker

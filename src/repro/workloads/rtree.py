@@ -1,0 +1,204 @@
+"""R-tree insertion workload (Table IV: ``rtree``, 15.5% P-Stores).
+
+A three-level R-tree (root -> inner -> subinner -> leaf, fanout 8 at each
+level) over 1-D points in persistent memory, mirroring the paper's
+"1 million-node rtree insertion": the tree *skeleton already exists* as
+durable NVMM state (pre-populated and installed via ``seed_media``), and
+the measured workload performs random insertions into it.
+
+Each insert descends the tree choosing the child whose interval needs the
+least enlargement (loads of the child bounding boxes at every level),
+appends the entry to a leaf (persisting stores to the entry slot and the
+leaf's count), then updates the bounding interval of every node on the
+path (persisting stores — the signature R-tree write traffic).  The write
+mix spans the full reuse-distance spectrum: the root MBR is red-hot, inner
+MBRs warm, and the 512 per-thread leaf blocks cold enough to stream
+through the LLC.
+
+Trees are sharded per thread for deterministic trace values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.sim.trace import ThreadTrace, TraceOp
+from repro.workloads.base import WORD, Workload
+
+_FANOUT = 8
+_LEVELS = 3  # inner levels below the root before the leaves
+#: node layout (all kinds): lo @0, hi @8, count @16, slots @24..
+_NODE_SIZE = (3 + _FANOUT) * WORD
+_VOLATILE_STORES_PER_OP = 30
+_SPACE = 1 << 30
+
+
+class _Node:
+    __slots__ = ("addr", "lo", "hi", "children", "entries")
+
+    def __init__(self, addr: int, lo: int, hi: int) -> None:
+        self.addr = addr
+        self.lo = lo
+        self.hi = hi
+        self.children: List["_Node"] = []
+        self.entries: List[int] = []
+
+    def enlargement(self, point: int) -> int:
+        return max(0, self.lo - point) + max(0, point - self.hi)
+
+    def expand(self, point: int) -> bool:
+        lo, hi = min(self.lo, point), max(self.hi, point)
+        changed = (lo, hi) != (self.lo, self.hi)
+        self.lo, self.hi = lo, hi
+        return changed
+
+
+class RTreeInsert(Workload):
+    name = "rtree"
+    description = "1 million-node rtree insertion"
+    paper_p_store_pct = 15.5
+
+    def __init__(self, mem, spec=None) -> None:
+        super().__init__(mem, spec)
+        self._scratch = [
+            self.vheap.alloc(64 * WORD) for _ in range(self.spec.threads)
+        ]
+        #: leaf addr -> entries currently valid, for the recovery checker.
+        self.model_leaves = {}
+        self._roots = [
+            self._build_skeleton(0, _SPACE) for _ in range(self.spec.threads)
+        ]
+
+    # ------------------------------------------------------------------
+    # Pre-population (the structure the inserts target already exists)
+    # ------------------------------------------------------------------
+    def _serialize_node(self, node: _Node) -> None:
+        self.initial_words[node.addr + 0] = node.lo
+        self.initial_words[node.addr + 8] = node.hi
+        self.initial_words[node.addr + 16] = len(node.children)
+        for i, child in enumerate(node.children):
+            self.initial_words[node.addr + 24 + i * WORD] = child.addr
+
+    def _build_skeleton(self, lo: int, hi: int, level: int = 0) -> _Node:
+        """Allocate a full ``_FANOUT``-ary skeleton over [lo, hi).
+
+        Every node starts with a *degenerate* bounding interval at its
+        segment midpoint: inserts then pick the least-enlargement child
+        (which spreads points across the tree) and grow the path MBRs —
+        the paper's R-tree write pattern."""
+        mid = (lo + hi) // 2
+        node = _Node(self.pheap.alloc(_NODE_SIZE), mid, mid)
+        if level < _LEVELS:
+            span = max(1, (hi - lo) // _FANOUT)
+            for i in range(_FANOUT):
+                child_lo = lo + i * span
+                child_hi = hi if i == _FANOUT - 1 else child_lo + span
+                node.children.append(
+                    self._build_skeleton(child_lo, child_hi, level + 1)
+                )
+        else:
+            self.model_leaves[node.addr] = []
+        self._serialize_node(node)
+        return node
+
+    # ------------------------------------------------------------------
+    # Trace generation
+    # ------------------------------------------------------------------
+    def _choose_child(self, trace: ThreadTrace, parent: _Node, point: int) -> _Node:
+        """Scan children (loading their bounding boxes) and pick the one
+        needing the least enlargement."""
+        trace.append(TraceOp.load(parent.addr + 16))
+        best = None
+        best_cost = None
+        for i, child in enumerate(parent.children):
+            trace.append(TraceOp.load(child.addr + 0))
+            trace.append(TraceOp.load(child.addr + 8))
+            cost = child.enlargement(point)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = child, cost
+        return best
+
+    def _emit_mbr_update(
+        self, trace: ThreadTrace, node: _Node, point: int, always: bool = False
+    ) -> None:
+        changed = node.expand(point)
+        if changed or always:
+            trace.append(TraceOp.store(node.addr + 0, node.lo, tag="mbr-lo"))
+            trace.append(TraceOp.store(node.addr + 8, node.hi, tag="mbr-hi"))
+
+    def build_thread(self, thread_id: int) -> ThreadTrace:
+        trace = ThreadTrace()
+        scratch = self._scratch[thread_id]
+        root = self._roots[thread_id]
+        for op in range(self.spec.ops):
+            point = self.rng.randrange(1, _SPACE)
+
+            for i in range(_VOLATILE_STORES_PER_OP):
+                slot = scratch + ((op * 5 + i) % 64) * WORD
+                trace.append(TraceOp.store(slot, point + i))
+            trace.append(TraceOp.compute(self.spec.compute_per_op))
+
+            # Descend root -> inner -> subinner -> leaf.
+            path = [root]
+            node = root
+            for _ in range(_LEVELS):
+                node = self._choose_child(trace, node, point)
+                path.append(node)
+            leaf = node
+            if len(leaf.entries) >= _FANOUT:
+                # Leaf full: compact it (frees all slots), keeping the
+                # allocate/append write pattern bounded.
+                leaf.entries.clear()
+                self.model_leaves[leaf.addr] = []
+                trace.append(TraceOp.store(leaf.addr + 16, 0, tag="reset"))
+
+            # Append the entry, bump the count (persisting stores).
+            entry_index = len(leaf.entries)
+            value = (point << 8) | (thread_id & 0xFF)
+            trace.append(
+                TraceOp.store(leaf.addr + 24 + entry_index * WORD, value, tag="entry")
+            )
+            leaf.entries.append(value)
+            self.model_leaves[leaf.addr].append(value)
+            trace.append(
+                TraceOp.store(leaf.addr + 16, len(leaf.entries), tag="count")
+            )
+
+            # Update MBRs along the path, leaf upward (the leaf's interval
+            # is rewritten with every insert; upper levels only when the
+            # point actually enlarges them).
+            for depth, path_node in enumerate(reversed(path)):
+                self._emit_mbr_update(trace, path_node, point, always=(depth == 0))
+        return trace
+
+    # ------------------------------------------------------------------
+    # Recovery checking
+    # ------------------------------------------------------------------
+    def make_checker(self) -> Callable:
+        """Every durable leaf count must only cover initialised entries: the
+        count persisting ahead of entry ``count-1`` is the corruption."""
+        leaf_addrs = list(self.model_leaves)
+
+        def checker(system, result) -> Tuple[bool, List[str]]:
+            media = system.nvmm_media
+            violations: List[str] = []
+            for addr in leaf_addrs:
+                count = media.read_word(addr + 16)
+                if count > _FANOUT:
+                    violations.append(
+                        f"leaf 0x{addr:x}: durable count {count} exceeds "
+                        f"fanout {_FANOUT}"
+                    )
+                    continue
+                for i in range(count):
+                    durable = media.read_word(addr + 24 + i * WORD)
+                    if durable == 0:
+                        violations.append(
+                            f"leaf 0x{addr:x}: count={count} durable but "
+                            f"entry {i} is uninitialised — count persisted "
+                            f"before entry"
+                        )
+                        break
+            return (not violations, violations)
+
+        return checker

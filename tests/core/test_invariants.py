@@ -1,0 +1,75 @@
+"""Unit tests for the design-invariant auditors (repro.core.invariants)."""
+
+import pytest
+
+from repro.core.invariants import (
+    InvariantViolation,
+    check_all,
+    check_llc_inclusion_of_bbpb,
+    check_no_volatile_only_persistent_data,
+    check_single_bbpb_residency,
+)
+from repro.mem.block import BlockData
+from repro.sim.system import bbb, eadr
+from repro.sim.trace import TraceOp
+from tests.conftest import paddr, single_thread_trace
+
+
+@pytest.fixture
+def system(small_config):
+    return bbb(small_config, entries=8)
+
+
+class TestCleanSystems:
+    def test_fresh_system_passes(self, system):
+        check_all(system)
+
+    def test_after_normal_run_passes(self, system, small_config):
+        trace = single_thread_trace(
+            *[TraceOp.store(paddr(small_config, i), i + 1) for i in range(20)]
+        )
+        system.run(trace, finalize=False)
+        check_all(system)
+
+    def test_non_bbb_scheme_passes_vacuously(self, small_config):
+        check_all(eadr(small_config))
+
+
+class TestSeededViolations:
+    def test_double_residency_detected(self, system, small_config):
+        h = system.hierarchy
+        x = paddr(small_config, 0)
+        h.store(0, x, 8, 1, 0)
+        # Seed the violation: force the same block into core 1's buffer.
+        bx = x & ~(small_config.block_size - 1)
+        system.scheme.buffers[1].put(bx, BlockData({0: 1}), 0)
+        with pytest.raises(InvariantViolation, match="resides in bbPB"):
+            check_single_bbpb_residency(system)
+
+    def test_inclusion_violation_detected(self, system, small_config):
+        h = system.hierarchy
+        x = paddr(small_config, 0)
+        h.store(0, x, 8, 1, 0)
+        bx = x & ~(small_config.block_size - 1)
+        h.llc.remove(bx)  # seed: evict LLC copy without the forced drain
+        with pytest.raises(InvariantViolation, match="dirty inclusion"):
+            check_llc_inclusion_of_bbpb(system)
+
+    def test_volatile_only_persistent_data_detected(self, system, small_config):
+        h = system.hierarchy
+        x = paddr(small_config, 0)
+        h.store(0, x, 8, 1, 0)
+        bx = x & ~(small_config.block_size - 1)
+        # Seed: drop the bbPB entry without draining (data now exists only
+        # in the volatile caches).
+        system.scheme.buffers[0].remove(bx)
+        with pytest.raises(InvariantViolation, match="Invariant 3"):
+            check_no_volatile_only_persistent_data(system)
+
+    def test_drained_block_passes_invariant3(self, system, small_config):
+        h = system.hierarchy
+        x = paddr(small_config, 0)
+        h.store(0, x, 8, 1, 0)
+        bx = x & ~(small_config.block_size - 1)
+        system.scheme.buffers[0].force_drain(bx, 10)  # durable now
+        check_no_volatile_only_persistent_data(system)

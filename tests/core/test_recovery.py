@@ -1,0 +1,162 @@
+"""Unit tests for the recovery checkers (repro.core.recovery)."""
+
+import pytest
+
+from repro.core.recovery import (
+    ConsistencyResult,
+    check_epoch_consistency,
+    check_exact_durability,
+    check_prefix_consistency,
+    replay_image,
+)
+from repro.mem.block import BlockData
+from repro.mem.nvmm import NVMMedia
+from repro.sim.engine import PersistRecord
+
+BASE = 0x100000
+
+
+def media():
+    return NVMMedia(base=BASE, size=1 << 20, block_size=64)
+
+
+def rec(core, addr, value, seq, size=8):
+    return PersistRecord(core=core, addr=addr, size=size, value=value, seq=seq)
+
+
+def persist(m, r):
+    """Apply a record directly to media (simulates it being durable)."""
+    baddr = r.addr & ~63
+    data = BlockData()
+    data.write_word(r.addr & 63, r.value, r.size)
+    m.write_block(baddr, data)
+
+
+class TestReplayImage:
+    def test_single_store(self):
+        image = replay_image([rec(0, BASE + 8, 0xAB, 1)])
+        assert image[BASE].read_word(8) == 0xAB
+
+    def test_later_store_wins(self):
+        image = replay_image([rec(0, BASE, 1, 1), rec(0, BASE, 2, 2)])
+        assert image[BASE].read_word(0) == 2
+
+    def test_blocks_partitioned(self):
+        image = replay_image([rec(0, BASE, 1, 1), rec(0, BASE + 64, 2, 2)])
+        assert set(image) == {BASE, BASE + 64}
+
+    def test_partial_overlap_merges_bytes(self):
+        image = replay_image([rec(0, BASE, 0xAABBCCDD, 1, size=4),
+                              rec(0, BASE + 2, 0x1122, 2, size=2)])
+        assert image[BASE].read_word(0, 4) == 0x1122CCDD
+
+
+class TestExactDurability:
+    def test_all_durable_passes(self):
+        m = media()
+        records = [rec(0, BASE + i * 64, i + 1, i) for i in range(4)]
+        for r in records:
+            persist(m, r)
+        assert check_exact_durability(m, records)
+
+    def test_missing_store_fails(self):
+        m = media()
+        records = [rec(0, BASE, 1, 1), rec(0, BASE + 64, 2, 2)]
+        persist(m, records[0])
+        result = check_exact_durability(m, records)
+        assert not result
+        assert "0x100040" in result.violations[0]
+
+    def test_stale_value_fails(self):
+        m = media()
+        records = [rec(0, BASE, 1, 1), rec(0, BASE, 2, 2)]
+        persist(m, records[0])  # old value only
+        assert not check_exact_durability(m, records)
+
+    def test_empty_record_list_passes(self):
+        assert check_exact_durability(media(), [])
+
+
+class TestPrefixConsistency:
+    def test_full_prefix_passes(self):
+        m = media()
+        records = [rec(0, BASE + i * 64, i + 1, i) for i in range(4)]
+        for r in records[:2]:
+            persist(m, r)
+        assert check_prefix_consistency(m, records)
+
+    def test_empty_durable_state_is_a_valid_prefix(self):
+        records = [rec(0, BASE, 1, 1), rec(0, BASE + 64, 2, 2)]
+        assert check_prefix_consistency(media(), records)
+
+    def test_hole_in_prefix_fails(self):
+        """Later store durable, earlier lost: the head-before-node bug."""
+        m = media()
+        node = rec(0, BASE, 0x1111, 1)
+        head = rec(0, BASE + 64, 0x2222, 2)
+        persist(m, head)  # only the later store persisted
+        result = check_prefix_consistency(m, [node, head])
+        assert not result
+        assert "persist order violated" in result.violations[0]
+
+    def test_per_core_independence(self):
+        """Core 1's completed stores do not excuse core 0's hole."""
+        m = media()
+        c0_a, c0_b = rec(0, BASE, 1, 1), rec(0, BASE + 64, 2, 3)
+        c1_a = rec(1, BASE + 128, 3, 2)
+        persist(m, c0_b)
+        persist(m, c1_a)
+        assert not check_prefix_consistency(m, [c0_a, c1_a, c0_b])
+        # But core 1 alone is fine.
+        assert check_prefix_consistency(m, [c1_a])
+
+    def test_multiwritten_bytes_are_skipped(self):
+        """Bytes written twice are indeterminate and must not flag."""
+        m = media()
+        records = [rec(0, BASE, 1, 1), rec(0, BASE, 2, 2), rec(0, BASE + 64, 3, 3)]
+        persist(m, records[1])
+        persist(m, records[2])
+        assert check_prefix_consistency(m, records)
+
+
+class TestEpochConsistency:
+    def test_exact_boundary_matches(self):
+        m = media()
+        e0 = [rec(0, BASE, 1, 1)]
+        e1 = [rec(0, BASE + 64, 2, 2)]
+        persist(m, e0[0])
+        assert check_epoch_consistency(m, [e0, e1])
+
+    def test_partial_current_epoch_ok(self):
+        m = media()
+        e0 = [rec(0, BASE, 1, 1)]
+        e1 = [rec(0, BASE + 64, 2, 2), rec(0, BASE + 128, 3, 3)]
+        persist(m, e0[0])
+        persist(m, e1[1])  # only part of epoch 1
+        assert check_epoch_consistency(m, [e0, e1])
+
+    def test_epoch_skip_fails(self):
+        """Epoch 2 durable while epoch 0 missing: ordering violated."""
+        m = media()
+        e0 = [rec(0, BASE, 1, 1)]
+        e1 = [rec(0, BASE + 64, 2, 2)]
+        e2 = [rec(0, BASE + 128, 3, 3)]
+        persist(m, e2[0])  # only the last epoch
+        assert not check_epoch_consistency(m, [e0, e1, e2])
+
+    def test_all_epochs_durable(self):
+        m = media()
+        epochs = [[rec(0, BASE + i * 64, i + 1, i)] for i in range(3)]
+        for e in epochs:
+            persist(m, e[0])
+        assert check_epoch_consistency(m, epochs)
+
+
+class TestConsistencyResult:
+    def test_truthiness(self):
+        assert ConsistencyResult.ok()
+        assert not ConsistencyResult.fail("boom")
+
+    def test_violations_recorded(self):
+        r = ConsistencyResult.fail("a", "b")
+        assert r.violations == ["a", "b"]

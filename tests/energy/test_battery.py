@@ -1,0 +1,142 @@
+"""Tests for battery sizing (repro.energy.battery) against the paper's
+Tables IX and X."""
+
+import pytest
+
+from repro.energy import battery
+from repro.energy.platforms import MOBILE, SERVER
+
+
+class TestWorstCaseEnergies:
+    def test_battery_sized_for_all_dirty_not_average(self):
+        """Table IX provisions for every block dirty, so the worst case must
+        exceed the Table VII average (44.9% dirty) figure."""
+        from repro.energy.model import eadr_drain_energy
+
+        assert battery.eadr_worst_case_energy(MOBILE) > eadr_drain_energy(MOBILE)
+
+    def test_bbb_worst_case_equals_average_case(self):
+        """BBB's Table VII number already assumes full buffers."""
+        from repro.energy.model import bbb_drain_energy
+
+        assert battery.bbb_worst_case_energy(MOBILE) == pytest.approx(
+            bbb_drain_energy(MOBILE)
+        )
+
+
+class TestTable9Volumes:
+    # Paper values (mm^3): mobile eADR 2.9e3 / 30, BBB 4.1 / 0.04;
+    # server eADR 34e3 / 300, BBB 21.6 / 0.21.
+    @pytest.mark.parametrize(
+        "platform,tech,expected,rel",
+        [
+            (MOBILE, "SuperCap", 2.9e3, 0.05),
+            (MOBILE, "Li-thin", 30.0, 0.05),
+            (SERVER, "SuperCap", 34e3, 0.05),
+            (SERVER, "Li-thin", 300.0, 0.15),
+        ],
+    )
+    def test_eadr_volumes(self, platform, tech, expected, rel):
+        est = battery.eadr_battery(platform, tech)
+        assert est.volume_mm3 == pytest.approx(expected, rel=rel)
+
+    @pytest.mark.parametrize(
+        "platform,tech,expected,rel",
+        [
+            (MOBILE, "SuperCap", 4.1, 0.05),
+            (MOBILE, "Li-thin", 0.04, 0.05),
+            (SERVER, "SuperCap", 21.6, 0.05),
+            (SERVER, "Li-thin", 0.21, 0.05),
+        ],
+    )
+    def test_bbb_volumes(self, platform, tech, expected, rel):
+        est = battery.bbb_battery(platform, tech)
+        assert est.volume_mm3 == pytest.approx(expected, rel=rel)
+
+    def test_li_thin_is_100x_denser_than_supercap(self):
+        a = battery.eadr_battery(MOBILE, "SuperCap").volume_mm3
+        b = battery.eadr_battery(MOBILE, "Li-thin").volume_mm3
+        assert a / b == pytest.approx(100)
+
+
+class TestTable9AreaRatios:
+    # Paper column (b): ratios to the 2.61 mm^2 mobile core.
+    def test_mobile_eadr_supercap_about_77x(self):
+        est = battery.eadr_battery(MOBILE, "SuperCap")
+        assert est.core_area_ratio == pytest.approx(77, rel=0.05)
+
+    def test_mobile_eadr_lithin_about_3_6x(self):
+        est = battery.eadr_battery(MOBILE, "Li-thin")
+        assert est.core_area_ratio == pytest.approx(3.6, rel=0.05)
+
+    def test_server_eadr_supercap_about_404x(self):
+        est = battery.eadr_battery(SERVER, "SuperCap")
+        assert est.core_area_ratio == pytest.approx(404, rel=0.05)
+
+    def test_server_eadr_lithin_about_18_7x(self):
+        est = battery.eadr_battery(SERVER, "Li-thin")
+        assert est.core_area_ratio == pytest.approx(18.7, rel=0.06)
+
+    def test_mobile_bbb_supercap_under_one_core(self):
+        est = battery.bbb_battery(MOBILE, "SuperCap")
+        assert est.core_area_pct == pytest.approx(97.2, rel=0.05)
+
+    def test_mobile_bbb_lithin_tiny(self):
+        est = battery.bbb_battery(MOBILE, "Li-thin")
+        assert est.core_area_pct == pytest.approx(4.5, rel=0.05)
+
+    def test_server_bbb_supercap_about_3x(self):
+        est = battery.bbb_battery(SERVER, "SuperCap")
+        assert est.core_area_pct == pytest.approx(296, rel=0.05)
+
+    def test_server_bbb_lithin(self):
+        est = battery.bbb_battery(SERVER, "Li-thin")
+        assert est.core_area_pct == pytest.approx(13.7, rel=0.05)
+
+    def test_overall_volume_gap_707_to_1574x(self):
+        """'the battery volume for BBB is between 707-1574x smaller'."""
+        lo = battery.eadr_battery(MOBILE, "SuperCap").volume_mm3 / battery.bbb_battery(
+            MOBILE, "SuperCap"
+        ).volume_mm3
+        hi = battery.eadr_battery(SERVER, "SuperCap").volume_mm3 / battery.bbb_battery(
+            SERVER, "SuperCap"
+        ).volume_mm3
+        assert 650 <= lo <= 800
+        assert 1400 <= hi <= 1700
+
+
+class TestTable10Sweep:
+    # Paper row values (SuperCap, mobile): 0.12, 0.50, 2.02, 4.1, 8.1,
+    # 32.3, 129.3 for 1/4/16/32/64/256/1024 entries.
+    def test_supercap_mobile_row(self):
+        sweep = battery.battery_size_sweep(
+            MOBILE, "SuperCap", (1, 4, 16, 32, 64, 256, 1024)
+        )
+        paper = {1: 0.12, 4: 0.50, 16: 2.02, 32: 4.1, 64: 8.1, 256: 32.3, 1024: 129.3}
+        for entries, expected in paper.items():
+            assert sweep[entries] == pytest.approx(expected, rel=0.06)
+
+    def test_supercap_server_row(self):
+        sweep = battery.battery_size_sweep(
+            SERVER, "SuperCap", (1, 4, 16, 32, 64, 256, 1024)
+        )
+        paper = {1: 0.7, 4: 2.7, 16: 10.8, 32: 21.6, 64: 43.1, 256: 172.4, 1024: 689.7}
+        for entries, expected in paper.items():
+            assert sweep[entries] == pytest.approx(expected, rel=0.06)
+
+    def test_lithin_rows_scale_down_100x(self):
+        sc = battery.battery_size_sweep(MOBILE, "SuperCap", (32,))[32]
+        li = battery.battery_size_sweep(MOBILE, "Li-thin", (32,))[32]
+        assert sc / li == pytest.approx(100)
+
+    def test_volume_linear_in_entries(self):
+        sweep = battery.battery_size_sweep(SERVER, "Li-thin", (1, 2, 4))
+        assert sweep[2] == pytest.approx(2 * sweep[1])
+        assert sweep[4] == pytest.approx(4 * sweep[1])
+
+    def test_1024_entry_bbb_still_far_cheaper_than_eadr(self):
+        """Table X's point: even at 1024 entries BBB is 22-49x cheaper."""
+        for platform, lo, hi in ((MOBILE, 20, 26), (SERVER, 45, 53)):
+            eadr_vol = battery.eadr_battery(platform, "SuperCap").volume_mm3
+            bbb_vol = battery.battery_size_sweep(platform, "SuperCap", (1024,))[1024]
+            assert lo <= eadr_vol / bbb_vol <= hi

@@ -1,0 +1,239 @@
+"""Unit tests for the memory hierarchy (repro.mem.hierarchy): load/store
+paths, coherence transitions, inclusion, writebacks, and flush semantics."""
+
+import pytest
+
+from repro.mem.block import E, I, M, S
+from repro.sim.config import SystemConfig
+from repro.sim.system import System, eadr, no_persistency
+from tests.conftest import conflict_addresses, daddr, paddr
+
+
+@pytest.fixture
+def system(small_config):
+    return no_persistency(small_config)
+
+
+@pytest.fixture
+def h(system):
+    return system.hierarchy
+
+
+class TestLoadPath:
+    def test_cold_load_misses_to_memory(self, system, h, small_config):
+        addr = paddr(small_config, 0)
+        value, done = h.load(0, addr, 8, now=0)
+        assert value == 0
+        # L1 tag + LLC tag + NVMM read latency
+        expected = (
+            small_config.l1d.hit_latency
+            + small_config.llc.hit_latency
+            + small_config.mem.nvmm_read_cycles
+        )
+        assert done == expected
+        assert h.stats.core[0].l1_misses == 1
+        assert h.stats.llc_misses == 1
+
+    def test_second_load_hits_l1(self, h, small_config):
+        addr = paddr(small_config, 0)
+        h.load(0, addr, 8, 0)
+        _, done = h.load(0, addr, 8, 1000)
+        assert done == 1000 + small_config.l1d.hit_latency
+        assert h.stats.core[0].l1_hits == 1
+
+    def test_dram_load_uses_dram_latency(self, h, small_config):
+        addr = daddr(small_config, 0)
+        _, done = h.load(0, addr, 8, 0)
+        expected = (
+            small_config.l1d.hit_latency
+            + small_config.llc.hit_latency
+            + small_config.mem.dram_read_cycles
+        )
+        assert done == expected
+        assert h.stats.dram_reads == 1
+
+    def test_load_after_remote_load_hits_llc(self, h, small_config):
+        addr = paddr(small_config, 0)
+        h.load(0, addr, 8, 0)
+        _, done = h.load(1, addr, 8, 1000)
+        assert done == 1000 + small_config.l1d.hit_latency + small_config.llc.hit_latency
+        assert h.stats.llc_hits == 1
+
+    def test_exclusive_fill_when_alone(self, h, small_config):
+        addr = paddr(small_config, 0)
+        h.load(0, addr, 8, 0)
+        assert h.l1_state(0, addr) is E
+
+    def test_shared_fill_when_another_core_has_it(self, h, small_config):
+        addr = paddr(small_config, 0)
+        h.load(0, addr, 8, 0)
+        h.load(1, addr, 8, 0)
+        assert h.l1_state(1, addr) is S
+
+    def test_load_returns_stored_value(self, h, small_config):
+        addr = paddr(small_config, 0, offset=16)
+        h.store(0, addr, 8, 0xFEEDFACE, 0)
+        value, _ = h.load(0, addr, 8, 10)
+        assert value == 0xFEEDFACE
+
+
+class TestStorePath:
+    def test_store_brings_block_to_m(self, h, small_config):
+        addr = paddr(small_config, 0)
+        h.store(0, addr, 8, 1, 0)
+        assert h.l1_state(0, addr) is M
+        assert h.directory.entry(
+            addr & ~(small_config.block_size - 1)
+        ).owner == 0
+
+    def test_store_cost_is_one_cycle_plus_stall(self, h, small_config):
+        addr = paddr(small_config, 0)
+        done, persistent = h.store(0, addr, 8, 1, now=100)
+        assert done == 101  # no scheme stalls under NoPersistency
+        assert persistent
+
+    def test_store_classifies_persistence_by_region(self, h, small_config):
+        _, p1 = h.store(0, paddr(small_config, 0), 8, 1, 0)
+        _, p2 = h.store(0, daddr(small_config, 0), 8, 1, 0)
+        assert p1 and not p2
+        assert h.stats.core[0].persisting_stores == 1
+        assert h.stats.core[0].stores == 2
+
+    def test_silent_e_to_m_upgrade(self, h, small_config):
+        addr = paddr(small_config, 0)
+        h.load(0, addr, 8, 0)
+        assert h.l1_state(0, addr) is E
+        h.store(0, addr, 8, 1, 10)
+        assert h.l1_state(0, addr) is M
+
+    def test_upgrade_invalidates_other_sharers(self, h, small_config):
+        addr = paddr(small_config, 0)
+        h.load(0, addr, 8, 0)
+        h.load(1, addr, 8, 0)
+        assert h.l1_state(0, addr) is S and h.l1_state(1, addr) is S
+        h.store(0, addr, 8, 1, 10)
+        assert h.l1_state(0, addr) is M
+        assert h.l1_state(1, addr) is I
+
+    def test_read_exclusive_pulls_dirty_data_from_owner(self, h, small_config):
+        addr = paddr(small_config, 0)
+        h.store(0, addr, 8, 0x11, 0)
+        h.store(1, addr + 8, 8, 0x22, 10)  # same block, other core
+        assert h.l1_state(0, addr) is I
+        assert h.l1_state(1, addr) is M
+        value, _ = h.load(1, addr, 8, 20)
+        assert value == 0x11  # core 0's bytes travelled with the block
+
+    def test_dirty_block_moves_between_cores_preserving_both_writes(
+        self, h, small_config
+    ):
+        addr = paddr(small_config, 0)
+        h.store(0, addr, 8, 0xA, 0)
+        h.store(1, addr, 8, 0xB, 10)
+        h.store(0, addr + 8, 8, 0xC, 20)
+        v0, _ = h.load(0, addr, 8, 30)
+        v1, _ = h.load(0, addr + 8, 8, 40)
+        assert (v0, v1) == (0xB, 0xC)
+
+
+class TestIntervention:
+    def test_read_downgrades_remote_m_copy(self, h, small_config):
+        addr = paddr(small_config, 0)
+        h.store(0, addr, 8, 0x77, 0)
+        value, _ = h.load(1, addr, 8, 100)
+        assert value == 0x77
+        assert h.l1_state(0, addr) is S
+        assert h.l1_state(1, addr) is S
+
+    def test_intervention_marks_llc_dirty(self, h, small_config):
+        addr = paddr(small_config, 0)
+        h.store(0, addr, 8, 0x77, 0)
+        h.load(1, addr, 8, 100)
+        blk = h.llc_block(addr)
+        assert blk.dirty
+        assert blk.persistent
+
+
+class TestEvictionsAndInclusion:
+    def test_l1_eviction_writes_back_to_llc(self, h, small_config):
+        base = paddr(small_config, 0)
+        h.store(0, base, 8, 0x42, 0)
+        # Fill core 0's L1 set until the block is evicted.
+        sets = small_config.l1d.num_sets
+        for i in range(1, small_config.l1d.assoc + 1):
+            h.load(0, base + i * sets * small_config.block_size, 8, i * 100)
+        assert h.l1_state(0, base) is I
+        llc_blk = h.llc_block(base)
+        assert llc_blk is not None and llc_blk.dirty
+        assert llc_blk.data.read_word(0, 8) == 0x42
+
+    def test_llc_eviction_back_invalidates_l1(self, h, small_config):
+        base = paddr(small_config, 0)
+        h.store(0, base, 8, 0x42, 0)
+        for i, addr in enumerate(
+            conflict_addresses(small_config, base, small_config.llc.assoc)
+        ):
+            h.load(1, addr, 8, (i + 1) * 1000)
+        assert h.llc_block(base) is None
+        assert h.l1_state(0, base) is I  # inclusion enforced
+
+    def test_llc_eviction_writes_back_nvmm(self, h, small_config):
+        # Under NoPersistency (no silent drop) the dirty block must reach
+        # the media.
+        base = paddr(small_config, 0)
+        h.store(0, base, 8, 0x42, 0)
+        for i, addr in enumerate(
+            conflict_addresses(small_config, base, small_config.llc.assoc)
+        ):
+            h.load(1, addr, 8, (i + 1) * 1000)
+        assert h.nvmm.media.read_word(base, 8) == 0x42
+        assert h.stats.llc_writebacks >= 1
+
+    def test_dram_block_llc_eviction_writes_volatile_image(self, h, small_config):
+        base = daddr(small_config, 0)
+        h.store(0, base, 8, 0x99, 0)
+        for i, addr in enumerate(
+            conflict_addresses(small_config, base, small_config.llc.assoc)
+        ):
+            h.load(1, addr, 8, (i + 1) * 1000)
+        baddr = base & ~(small_config.block_size - 1)
+        assert h.volatile_image[baddr].read_word(0, 8) == 0x99
+        assert h.stats.dram_writes >= 1
+
+
+class TestFlush:
+    def test_flush_writes_current_value_to_media(self, h, small_config):
+        addr = paddr(small_config, 0)
+        h.store(0, addr, 8, 0x1234, 0)
+        done = h.flush_block_to_wpq(0, addr, 100)
+        assert done > 100
+        assert h.nvmm.media.read_word(addr, 8) == 0x1234
+
+    def test_flush_marks_copies_clean(self, h, small_config):
+        addr = paddr(small_config, 0)
+        h.store(0, addr, 8, 0x1234, 0)
+        h.flush_block_to_wpq(0, addr, 100)
+        baddr = addr & ~(small_config.block_size - 1)
+        assert not h.l1s[0].lookup(baddr, touch=False).dirty
+
+    def test_flush_clean_block_is_noop(self, h, small_config):
+        addr = paddr(small_config, 0)
+        h.load(0, addr, 8, 0)
+        before = h.stats.nvmm_writes
+        assert h.flush_block_to_wpq(0, addr, 100) == 100
+        assert h.stats.nvmm_writes == before
+
+    def test_flush_dram_block_is_noop(self, h, small_config):
+        addr = daddr(small_config, 0)
+        h.store(0, addr, 8, 1, 0)
+        assert h.flush_block_to_wpq(0, addr, 100) == 100
+
+
+class TestCrashSupport:
+    def test_lose_volatile_state_clears_everything(self, h, small_config):
+        addr = paddr(small_config, 0)
+        h.store(0, addr, 8, 1, 0)
+        h.lose_volatile_state()
+        assert h.l1_state(0, addr) is I
+        assert h.llc_block(addr) is None
+        assert not h.volatile_image

@@ -1,0 +1,154 @@
+"""Property-based tests for the bbPB buffers (repro.core.bbpb)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bbpb import MemorySideBBPB, ProcessorSideBBPB
+from repro.mem.block import BlockData
+from repro.sim.config import BBBConfig
+
+
+class RecordingSink:
+    def __init__(self, latency=25):
+        self.latency = latency
+        self.port_free = 0
+        self.drained = []  # (addr, word0)
+
+    def __call__(self, addr, data, now):
+        start = max(now, self.port_free)
+        done = start + self.latency
+        self.port_free = done
+        self.drained.append((addr, data.read_word(0)))
+        return done
+
+
+def word(v):
+    d = BlockData()
+    d.write_word(0, v)
+    return d
+
+
+store_seqs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=15), st.integers(min_value=1, max_value=1 << 32)),
+    min_size=1,
+    max_size=60,
+)
+entry_counts = st.sampled_from([1, 2, 4, 8, 32])
+buffer_kinds = st.sampled_from([MemorySideBBPB, ProcessorSideBBPB])
+
+
+def run_buffer(cls, entries, seq):
+    sink = RecordingSink()
+    cfg = BBBConfig(entries=entries, memory_side=cls is MemorySideBBPB)
+    buf = cls(cfg, core_id=0, drain=sink)
+    now = 0
+    for block_idx, value in seq:
+        buf.put(0x10000 + block_idx * 64, word(value), now)
+        now += 10
+    return buf, sink, now
+
+
+@given(buffer_kinds, entry_counts, store_seqs)
+def test_occupancy_never_exceeds_capacity(cls, entries, seq):
+    sink = RecordingSink()
+    cfg = BBBConfig(entries=entries, memory_side=cls is MemorySideBBPB)
+    buf = cls(cfg, core_id=0, drain=sink)
+    now = 0
+    for block_idx, value in seq:
+        buf.put(0x10000 + block_idx * 64, word(value), now)
+        assert len(buf) <= entries
+        now += 10
+
+
+@given(buffer_kinds, entry_counts, store_seqs)
+def test_nothing_is_ever_lost(cls, entries, seq):
+    """Every block's final value is durable after drain_all: it appears in
+    the drain stream, and the *last* drain of each block carries the final
+    value."""
+    buf, sink, now = run_buffer(cls, entries, seq)
+    buf.drain_all(now + 10_000)
+    final_values = {}
+    for block_idx, value in seq:
+        final_values[0x10000 + block_idx * 64] = value
+    last_drained = {}
+    for addr, value in sink.drained:
+        last_drained[addr] = value
+    assert last_drained == final_values
+
+
+@given(entry_counts, store_seqs)
+def test_memory_side_drains_bounded_by_allocations(entries, seq):
+    buf, sink, now = run_buffer(MemorySideBBPB, entries, seq)
+    buf.drain_all(now + 10_000)
+    assert len(sink.drained) == buf.allocations
+    assert buf.allocations + buf.coalesces == len(seq)
+
+
+@given(entry_counts, store_seqs)
+def test_processor_side_never_drains_fewer_than_memory_side(entries, seq):
+    m_buf, m_sink, now = run_buffer(MemorySideBBPB, entries, seq)
+    p_buf, p_sink, _ = run_buffer(ProcessorSideBBPB, entries, seq)
+    m_buf.drain_all(now + 10_000)
+    p_buf.drain_all(now + 10_000)
+    assert len(p_sink.drained) >= len(m_sink.drained)
+
+
+@given(store_seqs)
+def test_processor_side_drains_in_program_order(seq):
+    buf, sink, now = run_buffer(ProcessorSideBBPB, 4, seq)
+    buf.drain_all(now + 10_000)
+    # Reconstruct the expected order: records in arrival order, with
+    # consecutive same-block stores coalesced into one record.
+    expected = []
+    for block_idx, value in seq:
+        addr = 0x10000 + block_idx * 64
+        if expected and expected[-1][0] == addr and not expected[-1][2]:
+            expected[-1] = (addr, value, expected[-1][2])
+        else:
+            expected.append((addr, value, False))
+    # In-flight records cannot coalesce; program order of drained addrs
+    # must be a supersequence-respecting order: addresses appear in the
+    # order records were created.
+    drained_addrs = [a for a, _ in sink.drained]
+    created_order = []
+    for addr, _, _ in expected:
+        created_order.append(addr)
+    # The drained sequence must preserve relative order of first
+    # occurrences of each record — verify it's sorted by record index.
+    assert len(drained_addrs) >= 1
+    # every drain corresponds to some record in order: check monotonicity
+    # by walking both lists.
+    i = 0
+    for addr in drained_addrs:
+        while i < len(created_order) and created_order[i] != addr:
+            i += 1
+        if i == len(created_order):
+            break
+    # If we walked off the end, ordering was violated somewhere -- but
+    # in-flight splits may create extra records, so only assert when the
+    # counts match exactly.
+    if len(drained_addrs) == len(created_order):
+        assert drained_addrs == created_order
+
+
+@given(entry_counts, store_seqs)
+def test_crash_drain_preserves_final_values(entries, seq):
+    buf, sink, now = run_buffer(MemorySideBBPB, entries, seq)
+    crash_content = dict(
+        (addr, data.read_word(0)) for addr, data in buf.crash_drain()
+    )
+    final_values = {}
+    for block_idx, value in seq:
+        final_values[0x10000 + block_idx * 64] = value
+    durable = {}
+    for addr, value in sink.drained:
+        durable[addr] = value
+    durable.update(crash_content)
+    assert durable == final_values
+
+
+@given(store_seqs)
+def test_invariant_single_residency_within_buffer(seq):
+    buf, _, _ = run_buffer(MemorySideBBPB, 8, seq)
+    blocks = buf.resident_blocks()
+    assert len(blocks) == len(set(blocks))

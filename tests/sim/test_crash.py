@@ -1,0 +1,83 @@
+"""Unit tests for the crash injector (repro.sim.crash)."""
+
+import pytest
+
+from repro.core.recovery import check_exact_durability
+from repro.sim.crash import CrashInjector, CrashOutcome, CrashSweepReport
+from repro.sim.system import bbb, no_persistency
+from repro.sim.trace import TraceOp
+from tests.conftest import conflict_addresses, paddr, single_thread_trace
+
+
+def strict_checker(system, result):
+    check = check_exact_durability(system.nvmm_media, result.committed_persists)
+    return check.consistent, check.violations
+
+
+@pytest.fixture
+def trace(small_config):
+    ops = [TraceOp.store(paddr(small_config, i), i + 1) for i in range(6)]
+    return single_thread_trace(*ops)
+
+
+class TestCrashPoints:
+    def test_all_points_by_default(self, small_config, trace):
+        inj = CrashInjector(lambda: bbb(small_config), trace, strict_checker)
+        assert inj.crash_points() == list(range(1, 7))
+
+    def test_sampling_is_deterministic(self, small_config, trace):
+        inj = CrashInjector(lambda: bbb(small_config), trace, strict_checker)
+        a = inj.crash_points(sample=3, seed=7)
+        b = inj.crash_points(sample=3, seed=7)
+        assert a == b and len(a) == 3
+
+    def test_sample_larger_than_space_returns_all(self, small_config, trace):
+        inj = CrashInjector(lambda: bbb(small_config), trace, strict_checker)
+        assert len(inj.crash_points(sample=100)) == 6
+
+
+class TestSweep:
+    def test_bbb_sweep_is_fully_consistent(self, small_config, trace):
+        inj = CrashInjector(lambda: bbb(small_config), trace, strict_checker)
+        report = inj.sweep()
+        assert report.total == 6
+        assert report.all_consistent
+        assert "6 consistent" in report.summary()
+
+    def test_outcomes_carry_crash_op(self, small_config, trace):
+        inj = CrashInjector(lambda: bbb(small_config), trace, strict_checker)
+        report = inj.sweep(sample=2, seed=0)
+        assert all(isinstance(o, CrashOutcome) for o in report.outcomes)
+        assert all(1 <= o.crash_op <= 6 for o in report.outcomes)
+
+    def test_no_persistency_sweep_detects_violations(self, small_config):
+        """Directed set-conflict scenario: a 'head' block is evicted (and
+        thus persisted in replacement order) while the older 'node' store
+        is still cached — the per-core prefix check must fail for some
+        crash point (Section II-A's corruption)."""
+        from repro.core.recovery import check_prefix_consistency
+
+        def prefix_checker(system, result):
+            check = check_prefix_consistency(
+                system.nvmm_media, result.committed_persists
+            )
+            return check.consistent, check.violations
+
+        node = paddr(small_config, 1)
+        head = paddr(small_config, 0)
+        ops = [TraceOp.store(node, 0x1111), TraceOp.store(head, 0x2222)]
+        # Loads that evict the head block from the LLC (writeback persists
+        # head) while node stays cached.
+        for addr in conflict_addresses(small_config, head, small_config.llc.assoc):
+            ops.append(TraceOp.load(addr))
+        trace = single_thread_trace(*ops)
+        inj = CrashInjector(
+            lambda: no_persistency(small_config), trace, prefix_checker
+        )
+        report = inj.sweep()
+        assert not report.all_consistent
+        assert any(
+            "persist order violated" in v
+            for o in report.inconsistent
+            for v in o.violations
+        )

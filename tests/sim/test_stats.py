@@ -1,0 +1,81 @@
+"""Unit tests for statistics (repro.sim.stats)."""
+
+from repro.sim.stats import CoreStats, SimStats
+
+
+class TestCoreStats:
+    def test_hit_rate(self):
+        cs = CoreStats(l1_hits=3, l1_misses=1)
+        assert cs.l1_hit_rate == 0.75
+
+    def test_hit_rate_no_accesses(self):
+        assert CoreStats().l1_hit_rate == 0.0
+
+
+class TestSimStats:
+    def test_per_core_list_created(self):
+        stats = SimStats(num_cores=4)
+        assert len(stats.core) == 4
+
+    def test_execution_cycles_is_max(self):
+        stats = SimStats(num_cores=2)
+        stats.core[0].cycles = 100
+        stats.core[1].cycles = 250
+        assert stats.execution_cycles == 250
+
+    def test_totals_aggregate_cores(self):
+        stats = SimStats(num_cores=2)
+        stats.core[0].stores = 3
+        stats.core[0].persisting_stores = 1
+        stats.core[1].stores = 5
+        stats.core[1].persisting_stores = 2
+        assert stats.total_stores == 8
+        assert stats.total_persisting_stores == 3
+        assert stats.persist_store_fraction == 3 / 8
+
+    def test_fraction_with_no_stores(self):
+        assert SimStats(num_cores=1).persist_store_fraction == 0.0
+
+    def test_bbpb_stall_total(self):
+        stats = SimStats(num_cores=2)
+        stats.core[0].stall_cycles_bbpb_full = 10
+        stats.core[1].stall_cycles_bbpb_full = 5
+        assert stats.total_bbpb_stalls == 15
+
+    def test_summary_contains_headline_metrics(self):
+        stats = SimStats(num_cores=1)
+        summary = stats.summary()
+        for key in ("execution_cycles", "nvmm_writes", "bbpb_rejections",
+                    "bbpb_drains", "p_store_fraction"):
+            assert key in summary
+
+    def test_str_renders(self):
+        assert "SimStats" in str(SimStats(num_cores=1))
+
+
+class TestSerialisation:
+    def test_to_dict_structure(self):
+        stats = SimStats(num_cores=2)
+        stats.core[0].stores = 3
+        d = stats.to_dict()
+        assert d["summary"]["stores"] == 3
+        assert len(d["cores"]) == 2
+        assert {"persist_latency", "llc", "cores"} <= set(d)
+
+    def test_to_json_roundtrips(self):
+        import json
+
+        stats = SimStats(num_cores=1)
+        stats.record_persist_latency(10)
+        stats.record_persist_latency(30)
+        d = json.loads(stats.to_json())
+        assert d["persist_latency"] == {"count": 2, "avg": 20.0, "max": 30}
+
+    def test_persist_latency_accumulation(self):
+        stats = SimStats(num_cores=1)
+        assert stats.persist_latency_avg == 0.0
+        stats.record_persist_latency(5)
+        stats.record_persist_latency(-3)  # clamped to 0
+        assert stats.persist_latency_count == 2
+        assert stats.persist_latency_avg == 2.5
+        assert stats.persist_latency_max == 5

@@ -1,0 +1,77 @@
+"""Unit tests for system assembly and factories (repro.sim.system)."""
+
+import pytest
+
+from repro.core.persistency import BBBScheme, BEP, EADR, NoPersistency, StrictPMEM
+from repro.sim.system import (
+    System,
+    bbb,
+    bbb_processor_side,
+    bep,
+    eadr,
+    no_persistency,
+    pmem_strict,
+)
+from repro.sim.trace import TraceOp
+from tests.conftest import paddr, single_thread_trace
+
+
+class TestFactories:
+    def test_default_system_uses_bbb(self):
+        assert isinstance(System().scheme, BBBScheme)
+
+    def test_eadr(self, small_config):
+        assert isinstance(eadr(small_config).scheme, EADR)
+
+    def test_bbb_entries_and_threshold(self, small_config):
+        system = bbb(small_config, entries=8, drain_threshold=0.5)
+        assert system.scheme.bbb_config.entries == 8
+        assert system.scheme.bbb_config.drain_threshold == 0.5
+
+    def test_processor_side(self, small_config):
+        system = bbb_processor_side(small_config, entries=8)
+        assert isinstance(system.scheme, BBBScheme)
+        assert not system.scheme.bbb_config.memory_side
+
+    def test_pmem(self, small_config):
+        assert isinstance(pmem_strict(small_config).scheme, StrictPMEM)
+
+    def test_bep(self, small_config):
+        system = bep(small_config, entries=16)
+        assert isinstance(system.scheme, BEP)
+        assert system.scheme.entries == 16
+
+    def test_no_persistency(self, small_config):
+        assert isinstance(no_persistency(small_config).scheme, NoPersistency)
+
+
+class TestAssembly:
+    def test_scheme_attached_to_hierarchy(self, small_config):
+        system = bbb(small_config)
+        assert system.scheme.hierarchy is system.hierarchy
+        assert len(system.scheme.buffers) == small_config.num_cores
+
+    def test_stats_shared(self, small_config):
+        system = bbb(small_config)
+        assert system.stats is system.hierarchy.stats
+        assert system.stats.num_cores == small_config.num_cores
+
+    def test_nvmm_media_accessor(self, small_config):
+        system = bbb(small_config)
+        assert system.nvmm_media is system.hierarchy.nvmm.media
+
+    def test_end_to_end_run(self, small_config):
+        system = bbb(small_config)
+        trace = single_thread_trace(
+            TraceOp.store(paddr(small_config, 0), 0xAB),
+            TraceOp.load(paddr(small_config, 0)),
+        )
+        result = system.run(trace)
+        assert result.stats.total_stores == 1
+        assert system.nvmm_media.read_word(paddr(small_config, 0), 8) == 0xAB
+
+    def test_battery_backed_sb_only_for_bbb_and_eadr(self, small_config):
+        assert bbb(small_config).hierarchy.store_buffers[0].battery_backed
+        assert eadr(small_config).hierarchy.store_buffers[0].battery_backed
+        assert not pmem_strict(small_config).hierarchy.store_buffers[0].battery_backed
+        assert not no_persistency(small_config).hierarchy.store_buffers[0].battery_backed

@@ -1,0 +1,134 @@
+"""Tests for trace file I/O (repro.sim.tracefile)."""
+
+import json
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.trace import OpKind, ProgramTrace, ThreadTrace, TraceOp
+from repro.sim.tracefile import TraceFormatError, load_trace, save_trace
+from repro.workloads.base import WorkloadSpec, registry
+
+
+def sample_trace():
+    return ProgramTrace(
+        [
+            ThreadTrace(
+                [
+                    TraceOp.load(0x1000, size=4),
+                    TraceOp.store(0x1008, 0xDEADBEEF, tag="x"),
+                    TraceOp.flush(0x1000),
+                    TraceOp.fence(),
+                    TraceOp.compute(17),
+                    TraceOp.epoch(),
+                ]
+            ),
+            ThreadTrace([TraceOp.store(0x2000, 7)]),
+        ]
+    )
+
+
+def ops_tuple(trace):
+    return [
+        (tid, op.kind, op.addr, op.size, op.value, op.cycles, op.tag)
+        for tid, thread in enumerate(trace.threads)
+        for op in thread
+    ]
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.trace"
+        count = save_trace(trace, path)
+        assert count == trace.total_ops()
+        loaded = load_trace(path)
+        assert ops_tuple(loaded) == ops_tuple(trace)
+
+    def test_roundtrip_workload_trace(self, tmp_path):
+        cfg = SystemConfig(num_cores=2).scaled_for_testing()
+        workload = registry(cfg.mem, WorkloadSpec(threads=2, ops=10))["hashmap"]
+        trace = workload.build()
+        path = tmp_path / "w.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.total_ops() == trace.total_ops()
+        assert loaded.total_stores() == trace.total_stores()
+
+    def test_loaded_trace_runs_identically(self, tmp_path):
+        from repro.sim.system import bbb
+
+        cfg = SystemConfig(num_cores=2).scaled_for_testing()
+        workload = registry(cfg.mem, WorkloadSpec(threads=2, ops=10))["ctree"]
+        trace = workload.build()
+        path = tmp_path / "c.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        r1 = bbb(cfg).run(trace)
+        r2 = bbb(cfg).run(loaded)
+        assert r1.execution_cycles == r2.execution_cycles
+        assert r1.stats.nvmm_writes == r2.stats.nvmm_writes
+
+
+class TestFormat:
+    def test_header_line(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(sample_trace(), path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"repro-trace": 1, "threads": 2}
+
+    def test_zero_fields_omitted(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(ProgramTrace.single([TraceOp.fence()]), path)
+        record = json.loads(path.read_text().splitlines()[1])
+        assert set(record) == {"t", "k"}
+
+
+class TestErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not json\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"repro-trace": 99, "threads": 1}\n')
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace(path)
+
+    def test_bad_thread_count(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"repro-trace": 1, "threads": 0}\n')
+        with pytest.raises(TraceFormatError, match="thread count"):
+            load_trace(path)
+
+    def test_thread_out_of_range(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(
+            '{"repro-trace": 1, "threads": 1}\n{"t": 5, "k": "L"}\n'
+        )
+        with pytest.raises(TraceFormatError, match="out of range"):
+            load_trace(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(
+            '{"repro-trace": 1, "threads": 1}\n{"t": 0, "k": "Z"}\n'
+        )
+        with pytest.raises(TraceFormatError, match="unknown op kind"):
+            load_trace(path)
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"repro-trace": 1, "threads": 1}\n{{{\n')
+        with pytest.raises(TraceFormatError, match="invalid JSON"):
+            load_trace(path)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "ok.trace"
+        path.write_text(
+            '{"repro-trace": 1, "threads": 1}\n\n{"t": 0, "k": "B"}\n\n'
+        )
+        trace = load_trace(path)
+        assert trace.total_ops() == 1

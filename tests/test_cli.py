@@ -1,0 +1,99 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import SCHEME_FACTORIES, build_parser, main
+
+FAST = ["--threads", "2", "--ops", "10", "--elements", "512"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "bogus"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "bogus"])
+
+    def test_all_schemes_registered(self):
+        assert set(SCHEME_FACTORIES) == {
+            "bbb", "bbb-proc", "eadr", "pmem", "bsp", "bep", "none",
+        }
+
+
+class TestRun:
+    @pytest.mark.parametrize("scheme", sorted(SCHEME_FACTORIES))
+    def test_run_every_scheme(self, capsys, scheme):
+        rc = main(["run", "--workload", "mutateNC", "--scheme", scheme] + FAST)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "execution_cycles" in out
+        assert "mutateNC" in out
+
+    def test_run_reports_persist_latency(self, capsys):
+        main(["run", "--workload", "mutateNC", "--scheme", "bbb"] + FAST)
+        assert "persist_latency_avg" in capsys.readouterr().out
+
+    def test_no_finalize_flag(self, capsys):
+        rc = main(
+            ["run", "--workload", "mutateNC", "--scheme", "bbb", "--no-finalize"]
+            + FAST
+        )
+        assert rc == 0
+
+
+class TestCompare:
+    def test_compare_prints_all_schemes(self, capsys):
+        rc = main(["compare", "--workload", "mutateNC"] + FAST)
+        assert rc == 0
+        out = capsys.readouterr().out
+        for scheme in ("bbb", "eadr", "pmem", "bsp"):
+            assert scheme in out
+
+
+class TestCrash:
+    def test_bbb_sweep_consistent(self, capsys):
+        rc = main(
+            ["crash", "--workload", "hashmap", "--scheme", "bbb", "--sample", "5"]
+            + FAST
+        )
+        assert rc == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_exit_code_reflects_consistency(self, capsys):
+        rc = main(
+            ["crash", "--workload", "hashmap", "--scheme", "bbb", "--sample", "3"]
+            + FAST
+        )
+        assert rc == 0
+
+
+class TestStaticCommands:
+    def test_energy(self, capsys):
+        assert main(["energy"]) == 0
+        out = capsys.readouterr().out
+        assert "Mobile Class" in out and "Server Class" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "PoP location" in out and "bbPB/L1D" in out
+
+
+class TestTraceCommand:
+    def test_trace_writes_file(self, capsys, tmp_path):
+        out_file = tmp_path / "w.trace"
+        rc = main(
+            ["trace", "--workload", "mutateNC", "--out", str(out_file)] + FAST
+        )
+        assert rc == 0
+        assert out_file.exists()
+        from repro.sim.tracefile import load_trace
+
+        trace = load_trace(out_file)
+        assert trace.num_threads == 2
