@@ -10,6 +10,12 @@ Simulation benchmarks run the Table III system scaled down (see
 ``repro.analysis.experiments.default_sim_config``) with workload sizes
 chosen so the persistent footprint far exceeds the LLC — the regime the
 paper's 1M-node workloads operate in.
+
+The experiment drivers fan their (workload x scheme) grids across CPU
+cores via :mod:`repro.analysis.batch`; set ``REPRO_JOBS=1`` to force
+serial execution (results are bit-identical either way) or ``REPRO_JOBS=N``
+to pin the worker count.  Note the wall-clock that ``pytest-benchmark``
+reports therefore depends on the machine's core count.
 """
 
 from __future__ import annotations

@@ -1,0 +1,171 @@
+"""Batch execution of independent simulation runs.
+
+Every paper exhibit (Fig. 7a/7b, the Fig. 8 sweep, the battery tables) is a
+set of fully independent (workload x scheme x sweep-point) simulations, so
+the experiment drivers describe their runs as picklable :class:`RunSpec`
+descriptors and hand the whole list to :func:`run_batch`, which fans them
+out across CPU cores with :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Design points:
+
+* **Worker-side construction.**  A ``RunSpec`` carries only plain data
+  (workload name, scheme name + kwargs, ``WorkloadSpec``, ``SystemConfig``);
+  each worker process resolves the scheme through
+  :data:`repro.sim.system.SCHEME_FACTORIES`, builds (or fetches from its
+  process-local memoized cache) the trace, constructs a fresh ``System``,
+  and runs it.  Nothing stateful crosses the process boundary.
+
+* **Deterministic ordering.**  Results come back in exactly the order the
+  specs were submitted, regardless of worker scheduling, so parallel and
+  serial execution produce identical result lists (each simulation is
+  itself deterministic).
+
+* **Graceful serial fallback.**  ``REPRO_JOBS=1`` (or ``jobs=1``), a single
+  spec, a non-picklable spec, or a platform where process pools cannot
+  start all degrade to a plain in-process loop with the same results.
+
+``REPRO_JOBS`` controls the default worker count (unset -> one worker per
+CPU).  :func:`run_tasks` is the same machinery for arbitrary module-level
+functions (used by the analytical battery sweeps).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.workloads.base import WorkloadSpec
+
+__all__ = [
+    "RunSpec",
+    "decide_jobs",
+    "execute_spec",
+    "run_batch",
+    "run_tasks",
+]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation run, described as plain picklable data.
+
+    ``scheme`` is a key of :data:`repro.sim.system.SCHEME_FACTORIES`;
+    ``scheme_kwargs`` are passed to that factory (e.g. ``(("entries", 32),)``
+    for a 32-entry bbPB).  ``config=None`` means the Table III default from
+    :func:`repro.analysis.experiments.default_sim_config`.  ``label`` is an
+    arbitrary caller-side tag (e.g. the Fig. 7 bar name); the runner carries
+    it through untouched.
+    """
+
+    workload: str
+    scheme: str
+    scheme_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    spec: WorkloadSpec = field(default_factory=WorkloadSpec)
+    config: Optional[SystemConfig] = None
+    label: Optional[str] = None
+
+
+def decide_jobs(jobs: Optional[int] = None, num_items: int = 0) -> int:
+    """Resolve the worker count: explicit arg > ``REPRO_JOBS`` env > CPU
+    count, clamped to the number of items (no idle workers)."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}")
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if num_items:
+        jobs = min(jobs, num_items)
+    return jobs
+
+
+def execute_spec(spec: RunSpec):
+    """Run one :class:`RunSpec` to completion and return its ``WorkloadRun``.
+
+    Module-level so ``ProcessPoolExecutor`` can pickle it by reference;
+    also the serial-fallback unit of work.
+    """
+    # Imported lazily: this function is the bottom of the worker-side call
+    # stack, and a module-level import would be circular (experiments ->
+    # batch -> experiments).
+    from repro.analysis.experiments import default_sim_config, run_workload
+    from repro.sim.system import SCHEME_FACTORIES
+
+    cfg = spec.config or default_sim_config()
+    try:
+        factory = SCHEME_FACTORIES[spec.scheme]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {spec.scheme!r}; pick from {sorted(SCHEME_FACTORIES)}"
+        )
+    kwargs = dict(spec.scheme_kwargs)
+    return run_workload(
+        spec.workload, lambda: factory(cfg, **kwargs), spec.spec, cfg
+    )
+
+
+def _is_picklable(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def _fan_out(
+    fn: Callable[[Any], Any], items: Sequence[Any], jobs: Optional[int]
+) -> List[Any]:
+    """Shared fan-out core: map ``fn`` over ``items`` preserving order,
+    in parallel when it is safe and worth it, serially otherwise."""
+    items = list(items)
+    jobs = decide_jobs(jobs, num_items=len(items))
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    if not (_is_picklable(fn) and all(_is_picklable(i) for i in items)):
+        # Non-picklable payload (e.g. a config carrying a closure): the
+        # process pool cannot ship it, so run in-process instead.
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            # Executor.map preserves submission order -> deterministic
+            # results regardless of which worker finishes first.
+            return list(pool.map(fn, items))
+    except (OSError, ImportError):  # pragma: no cover - platform-specific
+        # Process pools can be unavailable (sandboxes without /dev/shm,
+        # missing _multiprocessing); the batch still has to run.
+        return [fn(item) for item in items]
+
+
+def run_batch(specs: Sequence[RunSpec], jobs: Optional[int] = None) -> List[Any]:
+    """Execute independent :class:`RunSpec` s, fanned across processes.
+
+    Returns one ``WorkloadRun`` per spec, in submission order.  With
+    ``jobs=1`` (or ``REPRO_JOBS=1``) the batch runs serially in-process
+    and produces bit-identical results.
+    """
+    return _fan_out(execute_spec, specs, jobs)
+
+
+def _apply_task(task: Tuple[Callable, tuple, dict]) -> Any:
+    fn, args, kwargs = task
+    return fn(*args, **kwargs)
+
+
+def run_tasks(
+    tasks: Sequence[Tuple[Callable, tuple, Dict[str, Any]]],
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """Generic fan-out for ``(fn, args, kwargs)`` tuples of module-level
+    functions (the analytical sweeps: battery sizing, energy models).
+    Results come back in submission order; the same serial-fallback rules
+    as :func:`run_batch` apply."""
+    return _fan_out(_apply_task, tasks, jobs)

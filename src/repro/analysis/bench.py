@@ -1,0 +1,184 @@
+"""Performance benchmark: a fixed smoke suite with machine-readable output.
+
+``repro bench`` times a small, fixed set of suites and writes a
+``BENCH_<revision>.json`` next to the working directory, so the perf
+trajectory of the simulator is measurable across commits: run it on two
+revisions and compare ``ops_per_sec``.
+
+Suites:
+
+* ``engine_tso``       — single-process engine throughput (trace ops/sec)
+                         over a fixed (workload x scheme) grid under TSO,
+                         timing ``System.run`` only (trace build excluded).
+* ``engine_relaxed``   — same, under relaxed consistency (exercises the
+                         out-of-order store-buffer release path).
+* ``trace_build``      — uncached workload trace generation for the full
+                         Table IV suite.
+* ``batch_fig7``       — end-to-end Fig. 7 driver on a reduced workload
+                         set through the batch runner (includes fan-out /
+                         result-collection overhead).
+
+All suites use fixed seeds and sizes; the numbers are comparable across
+runs on the same machine.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.experiments import default_sim_config, fig7
+from repro.sim.config import ConsistencyModel, SystemConfig
+from repro.sim.system import SCHEME_FACTORIES
+from repro.workloads.base import (
+    WORKLOAD_NAMES,
+    WorkloadSpec,
+    build_cached,
+    make_workload,
+    seed_media_words,
+)
+
+#: Engine-suite grid: (workload, scheme, scheme kwargs).
+ENGINE_GRID: Tuple[Tuple[str, str, Tuple[Tuple[str, int], ...]], ...] = (
+    ("hashmap", "bbb", (("entries", 32),)),
+    ("hashmap", "eadr", ()),
+    ("mutateC", "bbb", (("entries", 32),)),
+    ("mutateC", "eadr", ()),
+    ("swapNC", "bbb", (("entries", 32),)),
+    ("swapNC", "eadr", ()),
+)
+
+#: Workload size for the engine suites.
+ENGINE_SPEC = WorkloadSpec(threads=8, ops=200, elements=16384, seed=42)
+
+#: Reduced grid for the relaxed-consistency suite (slower per op).
+RELAXED_GRID: Tuple[Tuple[str, str, Tuple[Tuple[str, int], ...]], ...] = (
+    ("mutateNC", "bbb", (("entries", 32),)),
+    ("hashmap", "bbb", (("entries", 32),)),
+)
+
+#: Workloads for the batch-driver suite.
+BATCH_WORKLOADS: Tuple[str, ...] = ("hashmap", "mutateC", "swapNC")
+BATCH_SPEC = WorkloadSpec(threads=8, ops=100, elements=8192, seed=42)
+
+
+def repo_revision() -> str:
+    """Short git revision of the working tree, or ``dev`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        )
+        return out.stdout.strip() or "dev"
+    except Exception:
+        return "dev"
+
+
+def _suite_result(wall_s: float, ops: int, extra: Optional[Dict[str, Any]] = None
+                  ) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "wall_s": round(wall_s, 4),
+        "ops": ops,
+        "ops_per_sec": round(ops / wall_s, 1) if wall_s > 0 else None,
+    }
+    if extra:
+        result.update(extra)
+    return result
+
+
+def _run_engine_grid(
+    grid, spec: WorkloadSpec, config: SystemConfig
+) -> Dict[str, Any]:
+    """Time ``System.run`` (only) for each grid cell; one process, serial."""
+    total_ops = 0
+    total_s = 0.0
+    per_run: List[Dict[str, Any]] = []
+    for workload, scheme, kwargs in grid:
+        trace, initial_words = build_cached(workload, config.mem, spec)
+        system = SCHEME_FACTORIES[scheme](config, **dict(kwargs))
+        seed_media_words(system.nvmm_media, initial_words)
+        t0 = time.perf_counter()
+        system.run(trace, finalize=False)
+        dt = time.perf_counter() - t0
+        n = trace.total_ops()
+        total_ops += n
+        total_s += dt
+        per_run.append(
+            {"workload": workload, "scheme": scheme, "wall_s": round(dt, 4),
+             "ops_per_sec": round(n / dt, 1) if dt > 0 else None}
+        )
+    return _suite_result(total_s, total_ops, {"runs": per_run})
+
+
+def bench_engine_tso() -> Dict[str, Any]:
+    return _run_engine_grid(ENGINE_GRID, ENGINE_SPEC, default_sim_config())
+
+
+def bench_engine_relaxed() -> Dict[str, Any]:
+    import dataclasses
+
+    config = dataclasses.replace(
+        default_sim_config(), consistency=ConsistencyModel.RELAXED
+    )
+    return _run_engine_grid(RELAXED_GRID, ENGINE_SPEC, config)
+
+
+def bench_trace_build() -> Dict[str, Any]:
+    """Uncached trace generation for the whole Table IV suite."""
+    config = default_sim_config()
+    total_ops = 0
+    t0 = time.perf_counter()
+    for name in WORKLOAD_NAMES:
+        workload = make_workload(name, config.mem, ENGINE_SPEC)
+        trace = workload.build()
+        total_ops += trace.total_ops()
+    return _suite_result(time.perf_counter() - t0, total_ops)
+
+
+def bench_batch_fig7(jobs: Optional[int] = None) -> Dict[str, Any]:
+    """End-to-end Fig. 7 driver through the batch runner (3 workloads x
+    BBB-32/eADR), including fan-out and result collection."""
+    config = default_sim_config()
+    sim_ops = 0
+    for name in BATCH_WORKLOADS:
+        trace, _ = build_cached(name, config.mem, BATCH_SPEC)
+        sim_ops += 2 * trace.total_ops()  # two schemes per workload
+    t0 = time.perf_counter()
+    fig7(
+        spec=BATCH_SPEC,
+        config=config,
+        workloads=BATCH_WORKLOADS,
+        entries_variants=(32,),
+        jobs=jobs,
+    )
+    return _suite_result(time.perf_counter() - t0, sim_ops)
+
+
+def run_bench(jobs: Optional[int] = None) -> Dict[str, Any]:
+    """Run every suite and return the full report structure."""
+    suites = {
+        "engine_tso": bench_engine_tso(),
+        "engine_relaxed": bench_engine_relaxed(),
+        "trace_build": bench_trace_build(),
+        "batch_fig7": bench_batch_fig7(jobs),
+    }
+    return {
+        "revision": repo_revision(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "jobs": jobs,
+        "suites": suites,
+    }
+
+
+def write_bench(report: Dict[str, Any], out_path: Optional[str] = None) -> str:
+    """Write the report as JSON; default filename ``BENCH_<rev>.json``."""
+    path = out_path or f"BENCH_{report['revision']}.json"
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.batch import RunSpec, run_batch, run_tasks
 from repro.analysis.tables import geomean
 from repro.energy import battery as battery_mod
 from repro.energy import model as energy_mod
@@ -26,7 +27,13 @@ from repro.sim.system import (
     bbb_processor_side,
     eadr,
 )
-from repro.workloads.base import WORKLOAD_NAMES, WorkloadSpec, registry
+from repro.workloads.base import (
+    WORKLOAD_NAMES,
+    WorkloadSpec,
+    build_cached,
+    registry,
+    seed_media_words,
+)
 
 
 # ----------------------------------------------------------------------
@@ -115,11 +122,12 @@ def run_workload(
 ) -> WorkloadRun:
     cfg = config or default_sim_config()
     wspec = spec or WorkloadSpec()
-    workload = registry(cfg.mem, wspec)[name]
-    trace = workload.build()
+    # Trace generation is deterministic in (name, mem, spec); the memoized
+    # build means sweeps and normalization baselines pay for it once.
+    trace, initial_words = build_cached(name, cfg.mem, wspec)
     system = system_factory()
     # Pre-populated structures are durable before the window starts.
-    workload.seed_media(system.nvmm_media)
+    seed_media_words(system.nvmm_media, initial_words)
     # finalize=False: measure the execution window only, like the paper's
     # simulated window — end-of-run settling drains would charge BBB for
     # writes whose eADR counterparts (dirty blocks left in caches) are
@@ -138,16 +146,16 @@ def run_workload(
     )
 
 
-def _scheme_factories(
-    cfg: SystemConfig, entries_variants: Sequence[int] = (32, 1024)
-) -> Dict[str, Callable[[], System]]:
-    factories: Dict[str, Callable[[], System]] = {}
+def _scheme_variants(
+    entries_variants: Sequence[int] = (32, 1024),
+) -> List[Tuple[str, str, Tuple[Tuple[str, int], ...]]]:
+    """The Fig. 7 comparison space as (label, scheme, kwargs) rows — plain
+    data, so the batch runner can ship them to worker processes."""
+    variants: List[Tuple[str, str, Tuple[Tuple[str, int], ...]]] = []
     for entries in entries_variants:
-        factories[f"BBB ({entries})"] = (
-            lambda e=entries: bbb(cfg, entries=e)
-        )
-    factories["Optimal (eADR)"] = lambda: eadr(cfg)
-    return factories
+        variants.append((f"BBB ({entries})", "bbb", (("entries", int(entries)),)))
+    variants.append(("Optimal (eADR)", "eadr", ()))
+    return variants
 
 
 # ----------------------------------------------------------------------
@@ -166,16 +174,30 @@ def fig7(
     config: Optional[SystemConfig] = None,
     workloads: Sequence[str] = WORKLOAD_NAMES,
     entries_variants: Sequence[int] = (32, 1024),
+    jobs: Optional[int] = None,
 ) -> List[Fig7Row]:
     """Execution time (a) and NVMM writes (b) for BBB-32 and BBB-1024,
-    normalized to eADR, per workload."""
+    normalized to eADR, per workload.  The (workload x scheme) grid is
+    fanned across processes by the batch runner (``jobs``/``REPRO_JOBS``)."""
     cfg = config or default_sim_config()
+    wspec = spec or WorkloadSpec()
+    variants = _scheme_variants(entries_variants)
+    specs = [
+        RunSpec(
+            workload=name,
+            scheme=scheme,
+            scheme_kwargs=kwargs,
+            spec=wspec,
+            config=cfg,
+            label=label,
+        )
+        for name in workloads
+        for label, scheme, kwargs in variants
+    ]
+    results = iter(run_batch(specs, jobs=jobs))
     rows: List[Fig7Row] = []
     for name in workloads:
-        runs = {
-            label: run_workload(name, factory, spec, cfg)
-            for label, factory in _scheme_factories(cfg, entries_variants).items()
-        }
+        runs = {label: next(results) for label, _, _ in variants}
         base = runs["Optimal (eADR)"]
         row = Fig7Row(workload=name)
         for label, run in runs.items():
@@ -203,6 +225,7 @@ def processor_side_write_ratio(
     workloads: Sequence[str] = WORKLOAD_NAMES,
     entries: int = 32,
     coalesce_consecutive: bool = True,
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """NVMM writes of processor-side BBB normalized to eADR, per workload.
 
@@ -211,17 +234,22 @@ def processor_side_write_ratio(
     drain" reading) the amplification is largest.
     """
     cfg = config or default_sim_config()
+    wspec = spec or WorkloadSpec()
+    proc_kwargs = (
+        ("entries", int(entries)),
+        ("coalesce_consecutive", bool(coalesce_consecutive)),
+    )
+    specs = []
+    for name in workloads:
+        specs.append(
+            RunSpec(name, "bbb-proc", proc_kwargs, spec=wspec, config=cfg)
+        )
+        specs.append(RunSpec(name, "eadr", spec=wspec, config=cfg))
+    results = iter(run_batch(specs, jobs=jobs))
     ratios: Dict[str, float] = {}
     for name in workloads:
-        proc = run_workload(
-            name,
-            lambda: bbb_processor_side(
-                cfg, entries=entries, coalesce_consecutive=coalesce_consecutive
-            ),
-            spec,
-            cfg,
-        )
-        base = run_workload(name, lambda: eadr(cfg), spec, cfg)
+        proc = next(results)
+        base = next(results)
         ratios[name] = proc.nvmm_writes / max(1, base.nvmm_writes)
     return ratios
 
@@ -243,16 +271,28 @@ def fig8(
     spec: Optional[WorkloadSpec] = None,
     config: Optional[SystemConfig] = None,
     workloads: Sequence[str] = WORKLOAD_NAMES,
+    jobs: Optional[int] = None,
 ) -> List[Fig8Point]:
     """Sensitivity of rejections (a), execution time (b), and drains (c) to
-    the bbPB entry count, geomean-normalized to the 1-entry configuration."""
+    the bbPB entry count, geomean-normalized to the 1-entry configuration.
+    The full (size x workload) sweep is one batch fan-out."""
     cfg = config or default_sim_config()
-    per_size: Dict[int, List[WorkloadRun]] = {}
-    for entries in sizes:
-        per_size[entries] = [
-            run_workload(name, lambda e=entries: bbb(cfg, entries=e), spec, cfg)
-            for name in workloads
-        ]
+    wspec = spec or WorkloadSpec()
+    specs = [
+        RunSpec(
+            workload=name,
+            scheme="bbb",
+            scheme_kwargs=(("entries", int(entries)),),
+            spec=wspec,
+            config=cfg,
+        )
+        for entries in sizes
+        for name in workloads
+    ]
+    results = iter(run_batch(specs, jobs=jobs))
+    per_size: Dict[int, List[WorkloadRun]] = {
+        entries: [next(results) for _ in workloads] for entries in sizes
+    }
     base_runs = {run.workload: run for run in per_size[sizes[0]]}
     points: List[Fig8Point] = []
     for entries in sizes:
@@ -333,12 +373,25 @@ def table9() -> List[battery_mod.BatteryEstimate]:
 
 def table10(
     entry_counts: Sequence[int] = (1, 4, 16, 32, 64, 256, 1024),
+    jobs: Optional[int] = None,
 ) -> Dict[Tuple[str, str], Dict[int, float]]:
-    """Battery volume (mm^3) vs bbPB entries per (technology, platform)."""
-    out: Dict[Tuple[str, str], Dict[int, float]] = {}
-    for tech in ("SuperCap", "Li-thin"):
-        for key, platform in (("M", MOBILE), ("S", SERVER)):
-            out[(tech, key)] = battery_mod.battery_size_sweep(
-                platform, tech, entry_counts
-            )
-    return out
+    """Battery volume (mm^3) vs bbPB entries per (technology, platform).
+
+    The four (technology, platform) sweeps are independent analytical
+    computations, fanned out through the same batch machinery as the
+    simulation exhibits."""
+    combos = [
+        (tech, key, platform)
+        for tech in ("SuperCap", "Li-thin")
+        for key, platform in (("M", MOBILE), ("S", SERVER))
+    ]
+    sweeps = run_tasks(
+        [
+            (battery_mod.battery_size_sweep, (platform, tech, tuple(entry_counts)), {})
+            for tech, key, platform in combos
+        ],
+        jobs=jobs,
+    )
+    return {
+        (tech, key): sweep for (tech, key, _), sweep in zip(combos, sweeps)
+    }

@@ -8,6 +8,7 @@ Commands:
 * ``energy``  — print the draining-cost and battery-sizing tables.
 * ``table1``  — print the qualitative scheme comparison.
 * ``trace``   — generate a workload trace and save it to a file.
+* ``bench``   — time the fixed perf smoke suite and write ``BENCH_<rev>.json``.
 
 Examples::
 
@@ -21,8 +22,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 from repro.analysis.experiments import (
     default_sim_config,
@@ -35,28 +37,9 @@ from repro.core.recovery import check_prefix_consistency
 from repro.energy import battery, model
 from repro.energy.platforms import MOBILE, SERVER
 from repro.sim.crash import CrashInjector
-from repro.sim.system import (
-    System,
-    bbb,
-    bbb_processor_side,
-    bep,
-    bsp,
-    eadr,
-    no_persistency,
-    pmem_strict,
-)
+from repro.sim.system import SCHEME_FACTORIES, System, eadr
 from repro.sim.tracefile import save_trace
 from repro.workloads.base import WORKLOAD_NAMES, WorkloadSpec, registry
-
-SCHEME_FACTORIES: Dict[str, Callable] = {
-    "bbb": bbb,
-    "bbb-proc": bbb_processor_side,
-    "eadr": eadr,
-    "pmem": pmem_strict,
-    "bsp": bsp,
-    "bep": bep,
-    "none": no_persistency,
-}
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -218,6 +201,40 @@ def cmd_table1(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    # Imported here so the (slow-ish) bench module does not tax every other
+    # CLI invocation.
+    from repro.analysis.batch import decide_jobs
+    from repro.analysis.bench import run_bench, write_bench
+
+    try:
+        # Resolve --jobs/REPRO_JOBS up front: fail before any suite runs,
+        # and record the concrete worker count in the report.
+        jobs = decide_jobs(args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out_dir = os.path.dirname(args.out) if args.out else ""
+    if out_dir and not os.path.isdir(out_dir):
+        # Fail before spending seconds on suites whose report can't be saved.
+        print(f"error: output directory {out_dir!r} does not exist",
+              file=sys.stderr)
+        return 2
+    report = run_bench(jobs=jobs)
+    path = write_bench(report, args.out)
+    rows = [
+        (name, f"{suite['wall_s']:.3f}", f"{suite['ops']:,}",
+         f"{suite['ops_per_sec']:,.0f}" if suite["ops_per_sec"] else "-")
+        for name, suite in report["suites"].items()
+    ]
+    print(render_table(
+        ["suite", "wall (s)", "ops", "ops/sec"], rows,
+        title=f"bench @ {report['revision']} (python {report['python']})",
+    ))
+    print(f"wrote {path}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     config = default_sim_config()
     spec = _spec(args)
@@ -270,6 +287,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_trace)
     p_trace.add_argument("--out", required=True, help="output trace file")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the fixed perf smoke suite, write BENCH_<rev>.json"
+    )
+    p_bench.add_argument("--out", default=None,
+                         help="output path (default: BENCH_<rev>.json)")
+    p_bench.add_argument("--jobs", type=int, default=None,
+                         help="workers for the batch suite (default: REPRO_JOBS/CPUs)")
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 

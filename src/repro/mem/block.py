@@ -71,14 +71,19 @@ class BlockData:
 
     def write_word(self, offset: int, value: int, size: int = 8) -> None:
         """Write ``size`` bytes of ``value`` little-endian at ``offset``."""
+        b = self.bytes
         for i in range(size):
-            self.write(offset + i, (value >> (8 * i)) & 0xFF)
+            b[offset + i] = (value >> (8 * i)) & 0xFF
 
     def read(self, offset: int) -> int:
         return self.bytes.get(offset, 0)
 
     def read_word(self, offset: int, size: int = 8) -> int:
-        return sum(self.read(offset + i) << (8 * i) for i in range(size))
+        get = self.bytes.get
+        word = 0
+        for i in range(size):
+            word |= get(offset + i, 0) << (8 * i)
+        return word
 
     def merge_from(self, other: "BlockData") -> None:
         """Overlay ``other``'s written bytes onto this block (other wins)."""
@@ -115,7 +120,7 @@ class CacheBlock:
 
     @property
     def valid(self) -> bool:
-        return self.state.is_valid
+        return self.state is not I
 
     def invalidate(self) -> None:
         self.state = I

@@ -4,51 +4,67 @@ This is a *storage* model: it tracks which blocks are resident, their MESI
 state, dirtiness, and data.  The coherence *protocol* (who may transition
 what, when invalidations flow) lives in :mod:`repro.mem.coherence`; the
 hierarchy wiring lives in :mod:`repro.mem.hierarchy`.
+
+Each set is a tag-indexed dict (``block_addr -> CacheBlock``) so the
+lookup/insert/remove fast path is O(1) instead of a linear frame scan;
+victim selection still walks the (small, ``assoc``-bounded) set.  The LRU
+use-clock is per-array, which keeps replacement decisions deterministic per
+run regardless of what other arrays exist in the process and lets cache
+state pickle cleanly for batch-runner worker processes.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, Optional
 
-from repro.mem.block import CacheBlock
+from repro.mem.block import CacheBlock, I
 from repro.sim.config import CacheConfig
-
-_use_clock = itertools.count(1)
 
 
 class CacheArray:
     """One level of cache: ``num_sets`` sets of ``assoc`` frames each.
 
-    Frames are materialised lazily per set.  LRU is tracked with a global
+    Sets are materialised lazily.  LRU is tracked with an array-local
     monotonic use-clock stamped on every touch.
     """
 
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
         self.config = config
         self.name = name
-        self._sets: Dict[int, List[CacheBlock]] = {}
+        self._sets: Dict[int, Dict[int, CacheBlock]] = {}
+        self._use = 0
+        # block_size is validated to be a power of two; num_sets usually is
+        # too, in which case set indexing reduces to a shift and a mask.
+        self._block_shift = config.block_size.bit_length() - 1
+        num_sets = config.num_sets
+        self._set_mask = num_sets - 1 if num_sets & (num_sets - 1) == 0 else None
 
     # ------------------------------------------------------------------
     # Address helpers
     # ------------------------------------------------------------------
     def set_index(self, block_addr: int) -> int:
-        return (block_addr // self.config.block_size) % self.config.num_sets
+        if self._set_mask is not None:
+            return (block_addr >> self._block_shift) & self._set_mask
+        return (block_addr >> self._block_shift) % self.config.num_sets
 
-    def _set_for(self, block_addr: int) -> List[CacheBlock]:
-        return self._sets.setdefault(self.set_index(block_addr), [])
+    def _set_for(self, block_addr: int) -> Dict[int, CacheBlock]:
+        return self._sets.setdefault(self.set_index(block_addr), {})
 
     # ------------------------------------------------------------------
     # Lookup / touch
     # ------------------------------------------------------------------
     def lookup(self, block_addr: int, touch: bool = True) -> Optional[CacheBlock]:
         """Return the resident valid block for ``block_addr`` or ``None``."""
-        for blk in self._set_for(block_addr):
-            if blk.addr == block_addr and blk.valid:
-                if touch:
-                    blk.last_use = next(_use_clock)
-                return blk
-        return None
+        frames = self._sets.get(self.set_index(block_addr))
+        if frames is None:
+            return None
+        blk = frames.get(block_addr)
+        if blk is None or blk.state is I:
+            return None
+        if touch:
+            self._use += 1
+            blk.last_use = self._use
+        return blk
 
     def contains(self, block_addr: int) -> bool:
         return self.lookup(block_addr, touch=False) is not None
@@ -62,10 +78,13 @@ class CacheArray:
         frames = self._set_for(block_addr)
         if len(frames) < self.config.assoc:
             return None
-        invalid = [b for b in frames if not b.valid]
-        if invalid:
-            return None
-        return min(frames, key=lambda b: b.last_use)
+        victim = None
+        for blk in frames.values():
+            if not blk.valid:
+                return None
+            if victim is None or blk.last_use < victim.last_use:
+                victim = blk
+        return victim
 
     def insert(self, block: CacheBlock) -> Optional[CacheBlock]:
         """Install ``block``; return the evicted victim block, if any.
@@ -76,22 +95,32 @@ class CacheArray:
         if not block.valid:
             raise ValueError("cannot insert an invalid block")
         frames = self._set_for(block.addr)
-        existing = self.lookup(block.addr, touch=False)
-        if existing is not None:
+        existing = frames.get(block.addr)
+        if existing is not None and existing.valid:
             raise ValueError(
                 f"{self.name}: block 0x{block.addr:x} already resident"
             )
-        block.last_use = next(_use_clock)
-        # Reuse an invalid frame if present.
-        for i, frame in enumerate(frames):
-            if not frame.valid:
-                frames[i] = block
+        self._use += 1
+        block.last_use = self._use
+        # Reuse an invalidated-in-place frame if one exists.
+        if existing is not None:
+            del frames[existing.addr]
+            frames[block.addr] = block
+            return None
+        for blk in frames.values():
+            if not blk.valid:
+                del frames[blk.addr]
+                frames[block.addr] = block
                 return None
         if len(frames) < self.config.assoc:
-            frames.append(block)
+            frames[block.addr] = block
             return None
-        victim = min(frames, key=lambda b: b.last_use)
-        frames[frames.index(victim)] = block
+        victim = None
+        for blk in frames.values():
+            if victim is None or blk.last_use < victim.last_use:
+                victim = blk
+        del frames[victim.addr]
+        frames[block.addr] = block
         return victim
 
     def remove(self, block_addr: int) -> Optional[CacheBlock]:
@@ -99,8 +128,7 @@ class CacheArray:
         blk = self.lookup(block_addr, touch=False)
         if blk is None:
             return None
-        frames = self._set_for(block_addr)
-        frames.remove(blk)
+        del self._sets[self.set_index(block_addr)][block_addr]
         return blk
 
     # ------------------------------------------------------------------
@@ -108,7 +136,7 @@ class CacheArray:
     # ------------------------------------------------------------------
     def blocks(self) -> Iterator[CacheBlock]:
         for frames in self._sets.values():
-            for blk in frames:
+            for blk in frames.values():
                 if blk.valid:
                     yield blk
 

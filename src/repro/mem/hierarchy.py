@@ -37,7 +37,6 @@ from repro.mem.block import (
     I,
     M,
     S,
-    block_address,
     block_offset,
 )
 from repro.mem.cache import CacheArray
@@ -65,6 +64,10 @@ class MemoryHierarchy:
         self.config = config
         self.scheme = scheme
         self.stats = stats or SimStats(num_cores=config.num_cores)
+        # block_size is a validated power of two: block address / offset
+        # arithmetic in the hot paths reduces to a mask.
+        self._block_mask = config.block_size - 1
+        self._is_persistent = config.mem.is_persistent
         self.l1s = [
             CacheArray(config.l1d, name=f"L1D{c}") for c in range(config.num_cores)
         ]
@@ -91,15 +94,16 @@ class MemoryHierarchy:
         return self.config.block_size
 
     def _baddr(self, addr: int) -> int:
-        return block_address(addr, self.block_size)
+        return addr & ~self._block_mask
 
     # ------------------------------------------------------------------
     # Load path
     # ------------------------------------------------------------------
     def load(self, core: int, addr: int, size: int, now: int) -> Tuple[int, int]:
         """Blocking load.  Returns ``(value, completion_cycle)``."""
-        baddr = self._baddr(addr)
-        off = block_offset(addr, self.block_size)
+        mask = self._block_mask
+        baddr = addr & ~mask
+        off = addr & mask
         cs = self.stats.core[core]
         cs.loads += 1
         l1 = self.l1s[core]
@@ -177,15 +181,24 @@ class MemoryHierarchy:
         ``now + 1`` plus any scheme-imposed stall; the coherence work runs
         off the critical path (see module docstring).
         """
-        baddr = self._baddr(addr)
-        off = block_offset(addr, self.block_size)
-        persistent = self.config.mem.is_persistent(addr)
+        mask = self._block_mask
+        baddr = addr & ~mask
+        off = addr & mask
+        persistent = self._is_persistent(addr)
         cs = self.stats.core[core]
         cs.stores += 1
         if persistent:
             cs.persisting_stores += 1
 
-        blk, coherence_delay = self._obtain_writable(core, baddr, now)
+        # Fast path: the core already holds the block in M state (the
+        # overwhelmingly common case for thread-private data); otherwise run
+        # the full coherence state machine.  ``_obtain_writable`` re-touches
+        # the block, which is LRU-neutral (it is already most recent).
+        blk = self.l1s[core].lookup(baddr)
+        if blk is not None and blk.state is M:
+            coherence_delay = 0
+        else:
+            blk, coherence_delay = self._obtain_writable(core, baddr, now)
         blk.data.write_word(off, value, size)
         blk.dirty = True
         if persistent:

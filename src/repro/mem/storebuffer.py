@@ -18,7 +18,7 @@ The buffer holds byte-granular store records in program order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from typing import Deque, Iterable, List, Optional
 from collections import deque
 
 
@@ -90,6 +90,19 @@ class StoreBuffer:
 
     def entries(self) -> List[SBEntry]:
         return list(self._fifo)
+
+    def requeue(self, entries: Iterable[SBEntry]) -> None:
+        """Replace the buffer contents with ``entries`` (in the given order).
+
+        Used by relaxed-consistency release: the engine drains some entries
+        out of order and reinstates the unreleased remainder, preserving
+        their original relative (program) order.
+        """
+        kept = list(entries)
+        if len(kept) > self.capacity:
+            raise RuntimeError("cannot requeue more entries than capacity")
+        self._fifo.clear()
+        self._fifo.extend(kept)
 
     def drain_order_on_crash(self) -> List[SBEntry]:
         """Entries in the order they must reach the WPQ on power failure

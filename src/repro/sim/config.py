@@ -110,28 +110,37 @@ class MemConfig:
             raise ValueError("persistent region cannot exceed NVMM size")
         if self.nvmm_channels < 1:
             raise ValueError("need at least one NVMM channel")
+        # Region bounds are consulted on every simulated memory access;
+        # cache them as plain ints so ``is_nvmm``/``is_persistent`` are two
+        # integer compares instead of chained property evaluations.
+        object.__setattr__(self, "_nvmm_base", self.dram_bytes)
+        object.__setattr__(self, "_nvmm_limit", self.dram_bytes + self.nvmm_bytes)
+        object.__setattr__(
+            self, "_persistent_base",
+            self.dram_bytes + self.nvmm_bytes - self.persistent_bytes,
+        )
 
     @property
     def nvmm_base(self) -> int:
-        return self.dram_bytes
+        return self._nvmm_base
 
     @property
     def nvmm_limit(self) -> int:
-        return self.dram_bytes + self.nvmm_bytes
+        return self._nvmm_limit
 
     @property
     def persistent_base(self) -> int:
         """First byte of the persistent region (top of NVMM)."""
-        return self.nvmm_limit - self.persistent_bytes
+        return self._persistent_base
 
     def is_nvmm(self, addr: int) -> bool:
-        return self.nvmm_base <= addr < self.nvmm_limit
+        return self._nvmm_base <= addr < self._nvmm_limit
 
     def is_persistent(self, addr: int) -> bool:
         """Persisting stores are identified by page/region, not by special
         instructions (Section III-A): anything allocated by ``palloc`` lands
         here."""
-        return self.persistent_base <= addr < self.nvmm_limit
+        return self._persistent_base <= addr < self._nvmm_limit
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ persisting store; the recovery checker uses them as the golden state.
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -85,6 +86,10 @@ class Engine:
         self._release_probability = release_probability
         self._log_enabled = log
         self._seq = 0
+        # Hot-loop bound references (resolved once, not per executed op).
+        self._tso = self.consistency is ConsistencyModel.TSO
+        self._is_persistent = self.config.mem.is_persistent
+        self._store_buffers = hierarchy.store_buffers
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -109,25 +114,29 @@ class Engine:
                 f"{self.config.num_cores} cores"
             )
         result = RunResult(stats=self.stats)
-        clocks = [0] * trace.num_threads
-        indices = [0] * trace.num_threads
-        flush_outstanding: List[List[int]] = [[] for _ in range(trace.num_threads)]
+        num_threads = trace.num_threads
+        clocks = [0] * num_threads
+        indices = [0] * num_threads
+        flush_outstanding: List[List[int]] = [[] for _ in range(num_threads)]
         executed = 0
 
-        def active_cores() -> List[int]:
-            return [c for c in range(trace.num_threads) if indices[c] < len(trace.threads[c])]
-
-        while True:
-            live = active_cores()
-            if not live:
-                break
-            core = min(live, key=lambda c: clocks[c])
-            op = trace.threads[core][indices[core]]
-            indices[core] += 1
-            clocks[core] = self._execute(
-                core, op, clocks[core], result, flush_outstanding[core]
-            )
+        # Min-heap scheduler: always step the core with the smallest clock,
+        # ties broken by core index — identical to a min() over live cores,
+        # but O(log n) per step and with no per-step liveness list-build.
+        ops_per_core = [t.ops for t in trace.threads]
+        lengths = [len(ops) for ops in ops_per_core]
+        heap = [(0, c) for c in range(num_threads) if lengths[c]]
+        execute = self._execute
+        while heap:
+            clock, core = heapq.heappop(heap)
+            i = indices[core]
+            op = ops_per_core[core][i]
+            indices[core] = i + 1
+            clock = execute(core, op, clock, result, flush_outstanding[core])
+            clocks[core] = clock
             executed += 1
+            if i + 1 < lengths[core]:
+                heapq.heappush(heap, (clock, core))
             if crash_at_op is not None and executed >= crash_at_op:
                 result.crashed = True
                 result.crash_op = executed
@@ -160,12 +169,15 @@ class Engine:
         flush_outstanding: List[int],
     ) -> int:
         kind = op.kind
+        if kind is OpKind.STORE:
+            return self._commit_store(core, op, now, result)
+
         if kind is OpKind.COMPUTE:
             self.stats.core[core].compute_cycles += op.cycles
             return now + op.cycles
 
         if kind is OpKind.LOAD:
-            forwarded = self.hierarchy.store_buffers[core].forward(op.addr, op.size)
+            forwarded = self._store_buffers[core].forward(op.addr, op.size)
             if forwarded is not None:
                 self.stats.core[core].sb_forwards += 1
                 self.stats.core[core].loads += 1
@@ -185,9 +197,6 @@ class Engine:
                     LogRecord(LogKind.LOAD, core, op.addr, op.size, value_with_local)
                 )
             return done
-
-        if kind is OpKind.STORE:
-            return self._commit_store(core, op, now, result)
 
         if kind is OpKind.FLUSH:
             # clwb is asynchronous: it starts the writeback and retires.
@@ -222,7 +231,30 @@ class Engine:
     def _commit_store(
         self, core: int, op: TraceOp, now: int, result: RunResult
     ) -> int:
-        sb = self.hierarchy.store_buffers[core]
+        sb = self._store_buffers[core]
+        if self._tso and not len(sb):
+            # TSO fast path: release is eager, so by the time a store
+            # commits the buffer is empty again — the entry would be pushed
+            # and immediately popped.  Skip the round trip; the observable
+            # behaviour (records, stats, timing) is identical.
+            addr, size, value = op.addr, op.size, op.value
+            persistent = self._is_persistent(addr)
+            if persistent:
+                self._seq += 1
+                result.committed_persists.append(
+                    PersistRecord(core, addr, size, value, self._seq)
+                )
+            now += 1  # commit cost
+            done, persistent = self.hierarchy.store(core, addr, size, value, now)
+            if self._log_enabled:
+                result.log.append(LogRecord(LogKind.STORE, core, addr, size, value))
+            if persistent:
+                self._seq += 1
+                result.performed_persists.append(
+                    PersistRecord(core, addr, size, value, self._seq)
+                )
+            return done
+
         if sb.full:
             now = self._release_oldest(core, now, result)
         persistent = self.config.mem.is_persistent(op.addr)
@@ -284,7 +316,5 @@ class Engine:
             else:
                 kept.append(entry)
                 blocked_blocks.add(baddr)
-        sb.clear()
-        for entry in kept:
-            sb._fifo.append(entry)  # preserve original relative order
+        sb.requeue(kept)  # preserve original relative order
         return now

@@ -127,3 +127,18 @@ def bsp(config: Optional[SystemConfig] = None, entries: int = 32, **kw) -> Syste
 def no_persistency(config: Optional[SystemConfig] = None, **kw) -> System:
     """Volatile caches, no ordering: the motivating failure mode."""
     return System(config, NoPersistency(), **kw)
+
+
+#: Canonical scheme-name -> factory registry.  The CLI and the batch runner
+#: both resolve schemes through this table, so a :class:`~repro.analysis.batch.RunSpec`
+#: can name a scheme with a plain (picklable) string and worker processes
+#: rebuild the System on their side.
+SCHEME_FACTORIES = {
+    "bbb": bbb,
+    "bbb-proc": bbb_processor_side,
+    "eadr": eadr,
+    "pmem": pmem_strict,
+    "bsp": bsp,
+    "bep": bep,
+    "none": no_persistency,
+}

@@ -18,7 +18,9 @@ Every workload can also report expected recovery invariants via
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+import threading
+from collections import OrderedDict
+from dataclasses import astuple, dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.sim.config import MemConfig
@@ -66,22 +68,7 @@ class Workload:
     def seed_media(self, media) -> int:
         """Install the pre-populated structure into the NVMM media image
         (it is durable before the run begins).  Returns words written."""
-        from repro.mem.block import BlockData, block_address, block_offset
-
-        by_block: Dict[int, "BlockData"] = {}
-        for addr, value in self.initial_words.items():
-            baddr = block_address(addr, 64)
-            by_block.setdefault(baddr, BlockData()).write_word(
-                block_offset(addr, 64), value, WORD
-            )
-        for baddr, data in by_block.items():
-            media.write_block(baddr, data)
-        # Seeding models state persisted before the measured window; do not
-        # let it pollute the window's write counters.
-        media.total_writes -= len(by_block)
-        for baddr in by_block:
-            media.write_counts[baddr] -= 1
-        return len(self.initial_words)
+        return seed_media_words(media, self.initial_words)
 
     # ------------------------------------------------------------------
     # To implement
@@ -106,25 +93,109 @@ class Workload:
         return None
 
 
-def registry(mem: MemConfig, spec: Optional[WorkloadSpec] = None) -> Dict[str, Workload]:
-    """All Table IV workloads, keyed by the paper's names."""
+def seed_media_words(media, initial_words: Dict[int, int]) -> int:
+    """Install pre-populated persistent words into an NVMM media image
+    (they are durable before the measured run begins).  Returns the number
+    of words written."""
+    from repro.mem.block import BlockData, block_address, block_offset
+
+    by_block: Dict[int, "BlockData"] = {}
+    for addr, value in initial_words.items():
+        baddr = block_address(addr, 64)
+        by_block.setdefault(baddr, BlockData()).write_word(
+            block_offset(addr, 64), value, WORD
+        )
+    for baddr, data in by_block.items():
+        media.write_block(baddr, data)
+    # Seeding models state persisted before the measured window; do not
+    # let it pollute the window's write counters.
+    media.total_writes -= len(by_block)
+    for baddr in by_block:
+        media.write_counts[baddr] -= 1
+    return len(initial_words)
+
+
+def make_workload(
+    name: str, mem: MemConfig, spec: Optional[WorkloadSpec] = None
+) -> Workload:
+    """Construct exactly one Table IV workload (cheaper than ``registry``
+    when only one is needed — the registry instantiates all seven)."""
     from repro.workloads.arrays import ArrayMutate, ArraySwap
     from repro.workloads.ctree import CTreeInsert
     from repro.workloads.hashmap import HashmapInsert
     from repro.workloads.rtree import RTreeInsert
 
-    def mk(cls, **kw):
-        return cls(mem, spec, **kw) if kw else cls(mem, spec)
-
-    return {
-        "rtree": mk(RTreeInsert),
-        "ctree": mk(CTreeInsert),
-        "hashmap": mk(HashmapInsert),
-        "mutateNC": ArrayMutate(mem, spec, conflicting=False),
-        "mutateC": ArrayMutate(mem, spec, conflicting=True),
-        "swapNC": ArraySwap(mem, spec, conflicting=False),
-        "swapC": ArraySwap(mem, spec, conflicting=True),
+    builders: Dict[str, Callable[[], Workload]] = {
+        "rtree": lambda: RTreeInsert(mem, spec),
+        "ctree": lambda: CTreeInsert(mem, spec),
+        "hashmap": lambda: HashmapInsert(mem, spec),
+        "mutateNC": lambda: ArrayMutate(mem, spec, conflicting=False),
+        "mutateC": lambda: ArrayMutate(mem, spec, conflicting=True),
+        "swapNC": lambda: ArraySwap(mem, spec, conflicting=False),
+        "swapC": lambda: ArraySwap(mem, spec, conflicting=True),
     }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; pick from {WORKLOAD_NAMES}")
+
+
+def registry(mem: MemConfig, spec: Optional[WorkloadSpec] = None) -> Dict[str, Workload]:
+    """All Table IV workloads, keyed by the paper's names."""
+    return {name: make_workload(name, mem, spec) for name in WORKLOAD_NAMES}
+
+
+# ----------------------------------------------------------------------
+# Memoized trace building
+# ----------------------------------------------------------------------
+
+#: Bound on the number of cached (trace, initial_words) pairs.  Sweeps reuse
+#: a handful of (workload, spec) combinations dozens of times; the bound
+#: just keeps pathological many-spec callers from accumulating traces.
+_TRACE_CACHE_MAX = 32
+_trace_cache: "OrderedDict[Tuple, Tuple[ProgramTrace, Dict[int, int]]]" = OrderedDict()
+_trace_cache_lock = threading.Lock()
+
+
+def _trace_key(name: str, mem: MemConfig, spec: WorkloadSpec) -> Tuple:
+    # WorkloadSpec is a plain (unfrozen) dataclass; flatten it to a value
+    # tuple so logically-equal specs share a cache entry.  MemConfig is
+    # frozen and hashes by value.  The seed is part of the spec tuple.
+    return (name, mem, astuple(spec))
+
+
+def build_cached(
+    name: str, mem: MemConfig, spec: Optional[WorkloadSpec] = None
+) -> Tuple[ProgramTrace, Dict[int, int]]:
+    """Build (or fetch) the trace and pre-population words for a workload.
+
+    Trace generation is deterministic in ``(workload name, MemConfig,
+    WorkloadSpec)`` — the workload seeds its own RNG from ``spec.seed`` —
+    so repeated experiment runs (sweeps, normalization baselines, batch
+    workers) can share one build.  Returned objects are cached: callers
+    must treat both the trace and the words dict as read-only.
+    """
+    wspec = spec or WorkloadSpec()
+    key = _trace_key(name, mem, wspec)
+    with _trace_cache_lock:
+        hit = _trace_cache.get(key)
+        if hit is not None:
+            _trace_cache.move_to_end(key)
+            return hit
+    workload = make_workload(name, mem, wspec)
+    trace = workload.build()
+    entry = (trace, workload.initial_words)
+    with _trace_cache_lock:
+        _trace_cache[key] = entry
+        while len(_trace_cache) > _TRACE_CACHE_MAX:
+            _trace_cache.popitem(last=False)
+    return entry
+
+
+def clear_trace_cache() -> None:
+    """Drop all memoized traces (mainly for tests and memory pressure)."""
+    with _trace_cache_lock:
+        _trace_cache.clear()
 
 
 WORKLOAD_NAMES: Tuple[str, ...] = (

@@ -49,8 +49,9 @@ def test_no_duplicate_residency(ops):
 def test_blocks_live_in_their_set(ops):
     cache = apply_ops(ops)
     for set_idx, frames in cache._sets.items():
-        for blk in frames:
+        for addr, blk in frames.items():
             if blk.valid:
+                assert blk.addr == addr
                 assert cache.set_index(blk.addr) == set_idx
 
 

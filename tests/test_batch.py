@@ -1,0 +1,140 @@
+"""Tests for the batch experiment runner (repro.analysis.batch).
+
+The acceptance bar for the parallel fan-out is *bit-identical* results:
+running a grid of simulations through a process pool must produce exactly
+the same result list as running them serially in-process, because each
+simulation is deterministic and the runner preserves submission order.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.batch import (
+    RunSpec,
+    decide_jobs,
+    execute_spec,
+    run_batch,
+    run_tasks,
+)
+from repro.analysis.experiments import default_sim_config, fig7
+from repro.workloads.base import WorkloadSpec
+
+#: Small enough to keep the whole module under a few seconds.
+SPEC = WorkloadSpec(threads=2, ops=40, elements=1024, seed=7)
+WORKLOADS = ("hashmap", "mutateC")
+
+
+def _grid_specs():
+    return [
+        RunSpec(workload=name, scheme=scheme, scheme_kwargs=kwargs, spec=SPEC)
+        for name in WORKLOADS
+        for scheme, kwargs in (("bbb", (("entries", 4),)), ("eadr", ()))
+    ]
+
+
+# ----------------------------------------------------------------------
+# Parallel == serial
+# ----------------------------------------------------------------------
+
+def test_run_batch_parallel_identical_to_serial():
+    specs = _grid_specs()
+    serial = run_batch(specs, jobs=1)
+    parallel = run_batch(specs, jobs=2)
+    assert serial == parallel  # WorkloadRun dataclasses, field-exact
+    assert [r.workload for r in serial] == [s.workload for s in specs]
+
+
+def test_fig7_parallel_identical_to_serial():
+    """Fig. 7a/7b on a reduced workload set: fanning the grid across a
+    process pool must not change a single normalized value."""
+    kwargs = dict(
+        spec=SPEC,
+        config=default_sim_config(),
+        workloads=WORKLOADS,
+        entries_variants=(4,),
+    )
+    serial = fig7(jobs=1, **kwargs)
+    parallel = fig7(jobs=2, **kwargs)
+    assert serial == parallel  # Fig7Row dataclasses: exec_time + nvmm_writes
+    for row in serial:
+        assert row.exec_time["Optimal (eADR)"] == pytest.approx(1.0)
+
+
+def test_run_batch_matches_direct_execute():
+    specs = _grid_specs()
+    assert run_batch(specs, jobs=2) == [execute_spec(s) for s in specs]
+
+
+# ----------------------------------------------------------------------
+# Serial fallback paths
+# ----------------------------------------------------------------------
+
+def test_non_picklable_spec_falls_back_to_serial():
+    """A spec carrying a closure cannot cross the process boundary; the
+    runner must notice and run in-process with the same results."""
+    specs = _grid_specs()
+    tagged = [dataclasses.replace(s, label=lambda: None) for s in specs]
+    assert run_batch(tagged, jobs=4) == run_batch(specs, jobs=1)
+
+
+def test_single_spec_runs_serially():
+    (spec,) = _grid_specs()[:1]
+    (result,) = run_batch([spec], jobs=8)
+    assert result == execute_spec(spec)
+
+
+def test_empty_batch():
+    assert run_batch([], jobs=4) == []
+
+
+# ----------------------------------------------------------------------
+# Worker-count resolution
+# ----------------------------------------------------------------------
+
+def test_decide_jobs_explicit_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    assert decide_jobs(3, num_items=100) == 3
+
+
+def test_decide_jobs_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert decide_jobs(None, num_items=100) == 5
+
+
+def test_decide_jobs_clamps_to_items(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "16")
+    assert decide_jobs(None, num_items=3) == 3
+
+
+def test_decide_jobs_rejects_bad_values(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "zero")
+    with pytest.raises(ValueError):
+        decide_jobs(None)
+    monkeypatch.delenv("REPRO_JOBS")
+    with pytest.raises(ValueError):
+        decide_jobs(0)
+
+
+def test_repro_jobs_one_forces_serial(monkeypatch):
+    """REPRO_JOBS=1 is the documented escape hatch: results must still be
+    identical to the parallel run."""
+    specs = _grid_specs()
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    env_serial = run_batch(specs)
+    monkeypatch.delenv("REPRO_JOBS")
+    assert env_serial == run_batch(specs, jobs=2)
+
+
+# ----------------------------------------------------------------------
+# Generic task fan-out
+# ----------------------------------------------------------------------
+
+def _square(x, offset=0):
+    return x * x + offset
+
+
+def test_run_tasks_preserves_order():
+    tasks = [(_square, (i,), {"offset": 1}) for i in range(10)]
+    assert run_tasks(tasks, jobs=4) == [i * i + 1 for i in range(10)]
+    assert run_tasks(tasks, jobs=1) == [i * i + 1 for i in range(10)]
