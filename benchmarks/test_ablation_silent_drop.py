@@ -11,7 +11,7 @@ import dataclasses
 
 from repro.analysis.experiments import run_workload
 from repro.analysis.tables import render_table
-from repro.sim.system import bbb
+from repro.api import build_system
 
 WORKLOADS = ("mutateNC", "swapNC", "hashmap", "rtree")
 
@@ -25,10 +25,10 @@ def test_ablation_silent_writeback_drop(benchmark, report, sim_config, sweep_spe
         results = {}
         for name in WORKLOADS:
             with_drop = run_workload(
-                name, lambda: bbb(sim_config, entries=32), sweep_spec, sim_config
+                name, lambda: build_system("bbb", entries=32, config=sim_config), sweep_spec, sim_config
             )
             without_drop = run_workload(
-                name, lambda: bbb(no_drop_cfg, entries=32), sweep_spec, no_drop_cfg
+                name, lambda: build_system("bbb", entries=32, config=no_drop_cfg), sweep_spec, no_drop_cfg
             )
             results[name] = (with_drop.nvmm_writes, without_drop.nvmm_writes)
         return results

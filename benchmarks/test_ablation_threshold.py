@@ -10,7 +10,7 @@ maximises coalescing but every burst hits a full buffer.
 
 from repro.analysis.experiments import default_sim_config, run_workload
 from repro.analysis.tables import geomean, render_table
-from repro.sim.system import bbb
+from repro.api import build_system
 
 THRESHOLDS = (0.25, 0.50, 0.75, 1.00)
 WORKLOADS = ("swapNC", "hashmap", "rtree")
@@ -23,8 +23,9 @@ def test_ablation_drain_threshold(benchmark, report, sim_config, sweep_spec):
             runs = [
                 run_workload(
                     name,
-                    lambda t=threshold: bbb(
-                        sim_config, entries=32, drain_threshold=t
+                    lambda t=threshold: build_system(
+                        "bbb", entries=32, config=sim_config,
+                        drain_threshold=t,
                     ),
                     sweep_spec,
                     sim_config,

@@ -10,7 +10,7 @@ import dataclasses
 
 from repro.analysis.experiments import run_workload
 from repro.analysis.tables import render_table
-from repro.sim.system import bbb
+from repro.api import build_system
 
 CHANNELS = (1, 2, 4, 8)
 WORKLOAD = "swapNC"
@@ -26,7 +26,7 @@ def test_channel_count_vs_drain_stalls(benchmark, report, sim_config, sweep_spec
                 mem=dataclasses.replace(sim_config.mem, nvmm_channels=channels),
             )
             run = run_workload(
-                WORKLOAD, lambda c=cfg: bbb(c, entries=ENTRIES), sweep_spec, cfg
+                WORKLOAD, lambda c=cfg: build_system("bbb", entries=ENTRIES, config=c), sweep_spec, cfg
             )
             rows.append((channels, run.execution_cycles, run.bbpb_rejections))
         return rows

@@ -10,7 +10,7 @@ obligation scales with cache dirtiness while BBB's is bounded by
 
 from repro.analysis.experiments import default_sim_config
 from repro.analysis.tables import render_table
-from repro.sim.system import bbb, eadr
+from repro.api import build_system
 from repro.workloads.base import registry
 
 WORKLOADS = ("swapNC", "hashmap", "rtree")
@@ -23,10 +23,10 @@ def test_crash_drain_footprint(benchmark, report, sim_config, sweep_spec):
             trace = registry(sim_config.mem, sweep_spec)[name].build()
             crash_at = trace.total_ops() // 2
 
-            e_sys = eadr(sim_config)
+            e_sys = build_system("eadr", config=sim_config)
             e_res = e_sys.run(trace, crash_at_op=crash_at)
 
-            b_sys = bbb(sim_config, entries=32)
+            b_sys = build_system("bbb", entries=32, config=sim_config)
             b_res = b_sys.run(trace, crash_at_op=crash_at)
 
             bound = sim_config.num_cores * 32

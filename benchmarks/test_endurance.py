@@ -13,7 +13,7 @@ Two exhibits:
 from repro.analysis.experiments import default_sim_config
 from repro.analysis.tables import render_table
 from repro.energy import endurance
-from repro.sim.system import bbb, bbb_processor_side, eadr
+from repro.api import build_system
 from repro.workloads.base import registry
 
 WORKLOAD = "swapNC"
@@ -53,11 +53,13 @@ def test_hottest_block_writes_by_scheme(benchmark, report, sim_config, sweep_spe
     def sweep():
         rows = []
         for label, factory in (
-            ("eADR", lambda c: eadr(c)),
-            ("BBB (32)", lambda c: bbb(c, entries=32)),
-            ("BBB (1024)", lambda c: bbb(c, entries=1024)),
-            ("BBB proc-side", lambda c: bbb_processor_side(
-                c, entries=32, coalesce_consecutive=False)),
+            ("eADR", lambda c: build_system("eadr", config=c)),
+            ("BBB (32)", lambda c: build_system("bbb", entries=32, config=c)),
+            ("BBB (1024)", lambda c: build_system("bbb", entries=1024,
+                                                  config=c)),
+            ("BBB proc-side", lambda c: build_system(
+                "bbb-proc", entries=32, config=c,
+                coalesce_consecutive=False)),
         ):
             workload = registry(sim_config.mem, sweep_spec)[WORKLOAD]
             trace = workload.build()

@@ -10,9 +10,10 @@ from repro.analysis.tables import render_table
 
 
 def test_fig7b_nvmm_writes(benchmark, report, sim_config, bench_spec):
-    rows = benchmark.pedantic(
+    result = benchmark.pedantic(
         lambda: fig7(spec=bench_spec, config=sim_config), rounds=1, iterations=1
     )
+    rows = result.data
     _, writes_avg = fig7_averages(rows)
 
     labels = list(rows[0].nvmm_writes)

@@ -13,15 +13,15 @@ L1D write and its durability — under each scheme:
 
 from repro.analysis.experiments import default_sim_config
 from repro.analysis.tables import render_table
-from repro.sim.system import bbb, bep, bsp, eadr, pmem_strict
+from repro.api import build_system
 from repro.workloads.base import registry
 
 SCHEMES = (
-    ("BBB (32)", lambda cfg: bbb(cfg, entries=32)),
-    ("eADR", eadr),
-    ("PMEM strict", pmem_strict),
-    ("BSP", bsp),
-    ("BEP", bep),
+    ("BBB (32)", lambda cfg: build_system("bbb", entries=32, config=cfg)),
+    ("eADR", lambda cfg: build_system("eadr", config=cfg)),
+    ("PMEM strict", lambda cfg: build_system("pmem", config=cfg)),
+    ("BSP", lambda cfg: build_system("bsp", config=cfg)),
+    ("BEP", lambda cfg: build_system("bep", config=cfg)),
 )
 WORKLOAD = "hashmap"
 

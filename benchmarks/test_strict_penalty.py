@@ -9,7 +9,7 @@ column: High vs Low vs None).
 
 from repro.analysis.experiments import run_workload
 from repro.analysis.tables import geomean, render_table
-from repro.sim.system import bbb, bsp, eadr, pmem_strict
+from repro.api import build_system
 
 WORKLOADS = ("rtree", "ctree", "hashmap", "mutateNC", "swapNC", "swapC")
 
@@ -18,15 +18,15 @@ def test_strict_persistency_penalty(benchmark, report, sim_config, sweep_spec):
     def sweep():
         rows = []
         for name in WORKLOADS:
-            base = run_workload(name, lambda: eadr(sim_config), sweep_spec, sim_config)
+            base = run_workload(name, lambda: build_system("eadr", config=sim_config), sweep_spec, sim_config)
             b = run_workload(
-                name, lambda: bbb(sim_config, entries=32), sweep_spec, sim_config
+                name, lambda: build_system("bbb", entries=32, config=sim_config), sweep_spec, sim_config
             )
             s_ = run_workload(
-                name, lambda: bsp(sim_config, entries=32), sweep_spec, sim_config
+                name, lambda: build_system("bsp", entries=32, config=sim_config), sweep_spec, sim_config
             )
             p = run_workload(
-                name, lambda: pmem_strict(sim_config), sweep_spec, sim_config
+                name, lambda: build_system("pmem", config=sim_config), sweep_spec, sim_config
             )
             rows.append(
                 (

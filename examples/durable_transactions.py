@@ -20,7 +20,7 @@ Run:  python examples/durable_transactions.py
 
 import random
 
-from repro import SystemConfig, bbb, no_persistency
+from repro import SystemConfig, build_system
 from repro.core.txn import TransactionContext, recover
 from repro.mem.block import BlockData, block_address, block_offset
 from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
@@ -71,13 +71,13 @@ def seed(system, words):
         system.nvmm_media.write_block(baddr, data)
 
 
-def crash_sweep(config, factory, barriers):
+def crash_sweep(config, scheme, barriers):
     ctx, accounts, trace = build_program(config, barriers, with_pressure=True)
     words = ctx.initial_words()
     bad = []
     total_ops = trace.total_ops()
     for crash_at in range(1, total_ops + 1):
-        system = factory(config)
+        system = build_system(scheme, config=config)
         seed(system, words)
         system.run(trace, crash_at_op=crash_at)
         result = recover(system.nvmm_media, ctx.layout, accounts)
@@ -93,18 +93,18 @@ def main() -> None:
 
     print(f"bank invariant: total balance must always recover to {expected}\n")
 
-    total, bad = crash_sweep(config, no_persistency, barriers=False)
+    total, bad = crash_sweep(config, "none", barriers=False)
     print(f"ADR only, plain undo-log code: {len(bad)}/{total} crash points "
           f"violate the invariant")
     for crash_at, got in bad[:3]:
         print(f"  crash after op {crash_at}: recovered total = {got} "
               f"({got - expected:+d})")
 
-    total, bad = crash_sweep(config, bbb, barriers=False)
+    total, bad = crash_sweep(config, "bbb", barriers=False)
     print(f"\nBBB, the same plain code:     {len(bad)}/{total} crash points "
           f"violate the invariant")
 
-    total, bad = crash_sweep(config, no_persistency, barriers=True)
+    total, bad = crash_sweep(config, "none", barriers=True)
     print(f"ADR only + flush/fence pairs:  {len(bad)}/{total} crash points "
           f"violate the invariant (but every step pays a barrier)")
 

@@ -17,7 +17,7 @@ program under three designs and try to recover:
 Run:  python examples/linked_list_crash.py
 """
 
-from repro import SystemConfig, WorkloadSpec, bbb, no_persistency
+from repro import SystemConfig, WorkloadSpec, build_system
 from repro.sim.crash import CrashInjector
 from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
 from repro.workloads.linkedlist import LinkedListAppend
@@ -51,7 +51,7 @@ def build_trace(config, barriers: bool):
     return workload, ProgramTrace([ThreadTrace(ops)])
 
 
-def sweep(config, system_factory, barriers: bool):
+def sweep(config, scheme, barriers: bool):
     workload, trace = build_trace(config, barriers)
     checker_fn = workload.make_checker()
 
@@ -59,7 +59,7 @@ def sweep(config, system_factory, barriers: bool):
         return checker_fn(system, result)
 
     def factory():
-        system = system_factory(config)
+        system = build_system(scheme, config=config)
         workload.seed_media(system.nvmm_media)
         return system
 
@@ -71,17 +71,17 @@ def main() -> None:
     config = SystemConfig(num_cores=2).scaled_for_testing()
 
     print("Figure 2 code (no flushes/fences), volatile caches + ADR:")
-    report = sweep(config, no_persistency, barriers=False)
+    report = sweep(config, "none", barriers=False)
     print(f"  {report.summary()}")
     for outcome in report.inconsistent[:3]:
         print(f"  crash after op {outcome.crash_op}: {outcome.violations[0]}")
 
     print("\nFigure 2 code (no flushes/fences), BBB:")
-    report = sweep(config, bbb, barriers=False)
+    report = sweep(config, "bbb", barriers=False)
     print(f"  {report.summary()}")
 
     print("\nFigure 3 code (explicit writeBack + persistBarrier), ADR only:")
-    report = sweep(config, no_persistency, barriers=True)
+    report = sweep(config, "none", barriers=True)
     print(f"  {report.summary()}")
 
     print(

@@ -16,7 +16,7 @@ Run:  python examples/paper_scale.py [--small]
 import sys
 import time
 
-from repro import TABLE_III_CONFIG, WorkloadSpec, bbb, eadr
+from repro import TABLE_III_CONFIG, WorkloadSpec, build_system
 from repro.analysis.experiments import steady_state_nvmm_writes
 from repro.analysis.tables import render_table
 from repro.workloads.base import registry
@@ -39,8 +39,8 @@ def main() -> None:
 
     rows = []
     for label, factory in (
-        ("BBB (32)", lambda c: bbb(c, entries=32)),
-        ("eADR", eadr),
+        ("BBB (32)", lambda c: build_system("bbb", entries=32, config=c)),
+        ("eADR", lambda c: build_system("eadr", config=c)),
     ):
         workload = registry(config.mem, spec)["mutateNC"]
         trace = workload.build()

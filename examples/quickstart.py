@@ -12,7 +12,7 @@ This is the 60-second tour of the library:
 Run:  python examples/quickstart.py
 """
 
-from repro import SystemConfig, WorkloadSpec, bbb, eadr, registry
+from repro import SystemConfig, WorkloadSpec, build_system, registry
 from repro.analysis.experiments import default_sim_config, steady_state_nvmm_writes
 from repro.analysis.tables import render_table
 
@@ -36,8 +36,8 @@ def main() -> None:
           f"{workload.p_store_fraction(trace) * 100:.1f}% persisting stores\n")
 
     rows = []
-    for label, factory in (("BBB (32 entries)", bbb), ("eADR (optimal)", eadr)):
-        system = factory(config)
+    for label, scheme in (("BBB (32 entries)", "bbb"), ("eADR (optimal)", "eadr")):
+        system = build_system(scheme, config=config)
         workload.seed_media(system.nvmm_media)
         result = system.run(trace, finalize=False)
         stats = result.stats

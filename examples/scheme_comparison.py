@@ -14,7 +14,7 @@ import sys
 from repro import WorkloadSpec
 from repro.analysis.experiments import default_sim_config, run_workload
 from repro.analysis.tables import geomean, render_table
-from repro.sim.system import bbb, bbb_processor_side, bsp, eadr, pmem_strict
+from repro.api import build_system
 from repro.workloads.base import WORKLOAD_NAMES
 
 
@@ -27,12 +27,13 @@ def main() -> None:
         elements=16384 if quick else 65536,
     )
     schemes = {
-        "eADR": lambda: eadr(config),
-        "BBB-32": lambda: bbb(config, entries=32),
-        "BBB-1024": lambda: bbb(config, entries=1024),
-        "BBB proc-side": lambda: bbb_processor_side(config, entries=32),
-        "BSP": lambda: bsp(config, entries=32),
-        "PMEM strict": lambda: pmem_strict(config),
+        "eADR": lambda: build_system("eadr", config=config),
+        "BBB-32": lambda: build_system("bbb", entries=32, config=config),
+        "BBB-1024": lambda: build_system("bbb", entries=1024, config=config),
+        "BBB proc-side": lambda: build_system("bbb-proc", entries=32,
+                                              config=config),
+        "BSP": lambda: build_system("bsp", entries=32, config=config),
+        "PMEM strict": lambda: build_system("pmem", config=config),
     }
 
     time_rows, write_rows = [], []

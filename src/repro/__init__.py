@@ -9,21 +9,25 @@ The package provides:
   comparison space (:mod:`repro.core`),
 * the Table IV workload suite over a persistent heap (:mod:`repro.workloads`),
 * the Section IV-C draining-cost and battery-sizing models
-  (:mod:`repro.energy`), and
-* per-table/figure experiment drivers (:mod:`repro.analysis`).
+  (:mod:`repro.energy`),
+* per-table/figure experiment drivers (:mod:`repro.analysis`), and
+* an opt-in observability layer — event tracing, metrics, profiling
+  (:mod:`repro.obs`).
 
 Quickstart::
 
-    from repro import SystemConfig, WorkloadSpec, bbb, eadr, registry
+    from repro import SystemConfig, WorkloadSpec, build_system, registry
 
     cfg = SystemConfig().scaled_for_testing()
     workload = registry(cfg.mem, WorkloadSpec(threads=4, ops=100))["hashmap"]
     trace = workload.build()
-    result = bbb(cfg, entries=32).run(trace)
+    result = build_system("bbb", entries=32, config=cfg).run(trace)
     print(result.stats.nvmm_writes, result.execution_cycles)
 """
 
+from repro.api import Scheme, SCHEMES, build_system
 from repro.core.bbpb import MemorySideBBPB, ProcessorSideBBPB
+from repro.obs.bus import EventBus, EventRecorder, NULL_BUS
 from repro.core.bsp import BSP
 from repro.core.persistency import (
     BBBScheme,
@@ -75,6 +79,14 @@ from repro.workloads.queue import QueueAppend
 __version__ = "1.0.0"
 
 __all__ = [
+    # public construction API
+    "build_system",
+    "Scheme",
+    "SCHEMES",
+    # observability
+    "EventBus",
+    "EventRecorder",
+    "NULL_BUS",
     # core
     "MemorySideBBPB",
     "ProcessorSideBBPB",

@@ -11,7 +11,7 @@ Design points:
 * **Worker-side construction.**  A ``RunSpec`` carries only plain data
   (workload name, scheme name + kwargs, ``WorkloadSpec``, ``SystemConfig``);
   each worker process resolves the scheme through
-  :data:`repro.sim.system.SCHEME_FACTORIES`, builds (or fetches from its
+  :func:`repro.api.build_system`, builds (or fetches from its
   process-local memoized cache) the trace, constructs a fresh ``System``,
   and runs it.  Nothing stateful crosses the process boundary.
 
@@ -27,6 +27,11 @@ Design points:
 ``REPRO_JOBS`` controls the default worker count (unset -> one worker per
 CPU).  :func:`run_tasks` is the same machinery for arbitrary module-level
 functions (used by the analytical battery sweeps).
+
+Both runners accept a ``progress(done, total)`` callback, invoked in the
+caller's process once per completed unit — in submission order (results
+stream back ordered), so ``done`` is monotonically increasing and ends at
+``total``.
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ from repro.sim.config import SystemConfig
 from repro.workloads.base import WorkloadSpec
 
 __all__ = [
+    "Progress",
     "RunSpec",
     "decide_jobs",
     "execute_spec",
@@ -48,13 +54,16 @@ __all__ = [
     "run_tasks",
 ]
 
+#: Progress callback: ``progress(done, total)``.
+Progress = Callable[[int, int], None]
+
 
 @dataclass(frozen=True)
 class RunSpec:
     """One independent simulation run, described as plain picklable data.
 
-    ``scheme`` is a key of :data:`repro.sim.system.SCHEME_FACTORIES`;
-    ``scheme_kwargs`` are passed to that factory (e.g. ``(("entries", 32),)``
+    ``scheme`` is a name :func:`repro.api.build_system` accepts;
+    ``scheme_kwargs`` are passed through to it (e.g. ``(("entries", 32),)``
     for a 32-entry bbPB).  ``config=None`` means the Table III default from
     :func:`repro.analysis.experiments.default_sim_config`.  ``label`` is an
     arbitrary caller-side tag (e.g. the Fig. 7 bar name); the runner carries
@@ -98,18 +107,15 @@ def execute_spec(spec: RunSpec):
     # stack, and a module-level import would be circular (experiments ->
     # batch -> experiments).
     from repro.analysis.experiments import default_sim_config, run_workload
-    from repro.sim.system import SCHEME_FACTORIES
+    from repro.api import build_system
 
     cfg = spec.config or default_sim_config()
-    try:
-        factory = SCHEME_FACTORIES[spec.scheme]
-    except KeyError:
-        raise KeyError(
-            f"unknown scheme {spec.scheme!r}; pick from {sorted(SCHEME_FACTORIES)}"
-        )
     kwargs = dict(spec.scheme_kwargs)
     return run_workload(
-        spec.workload, lambda: factory(cfg, **kwargs), spec.spec, cfg
+        spec.workload,
+        lambda: build_system(spec.scheme, config=cfg, **kwargs),
+        spec.spec,
+        cfg,
     )
 
 
@@ -121,38 +127,61 @@ def _is_picklable(obj: Any) -> bool:
         return False
 
 
+def _collect(
+    results_iter,
+    total: int,
+    progress: Optional[Progress],
+) -> List[Any]:
+    """Drain an ordered result stream, firing ``progress`` per result."""
+    results: List[Any] = []
+    for result in results_iter:
+        results.append(result)
+        if progress is not None:
+            progress(len(results), total)
+    return results
+
+
 def _fan_out(
-    fn: Callable[[Any], Any], items: Sequence[Any], jobs: Optional[int]
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: Optional[int],
+    progress: Optional[Progress] = None,
 ) -> List[Any]:
     """Shared fan-out core: map ``fn`` over ``items`` preserving order,
-    in parallel when it is safe and worth it, serially otherwise."""
+    in parallel when it is safe and worth it, serially otherwise.
+    ``progress(done, total)`` fires per completed item in submission order."""
     items = list(items)
-    jobs = decide_jobs(jobs, num_items=len(items))
-    if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+    total = len(items)
+    jobs = decide_jobs(jobs, num_items=total)
+    if jobs <= 1 or total <= 1:
+        return _collect(map(fn, items), total, progress)
     if not (_is_picklable(fn) and all(_is_picklable(i) for i in items)):
         # Non-picklable payload (e.g. a config carrying a closure): the
         # process pool cannot ship it, so run in-process instead.
-        return [fn(item) for item in items]
+        return _collect(map(fn, items), total, progress)
     try:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             # Executor.map preserves submission order -> deterministic
             # results regardless of which worker finishes first.
-            return list(pool.map(fn, items))
+            return _collect(pool.map(fn, items), total, progress)
     except (OSError, ImportError):  # pragma: no cover - platform-specific
         # Process pools can be unavailable (sandboxes without /dev/shm,
         # missing _multiprocessing); the batch still has to run.
-        return [fn(item) for item in items]
+        return _collect(map(fn, items), total, progress)
 
 
-def run_batch(specs: Sequence[RunSpec], jobs: Optional[int] = None) -> List[Any]:
+def run_batch(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    progress: Optional[Progress] = None,
+) -> List[Any]:
     """Execute independent :class:`RunSpec` s, fanned across processes.
 
     Returns one ``WorkloadRun`` per spec, in submission order.  With
     ``jobs=1`` (or ``REPRO_JOBS=1``) the batch runs serially in-process
     and produces bit-identical results.
     """
-    return _fan_out(execute_spec, specs, jobs)
+    return _fan_out(execute_spec, specs, jobs, progress)
 
 
 def _apply_task(task: Tuple[Callable, tuple, dict]) -> Any:
@@ -163,9 +192,10 @@ def _apply_task(task: Tuple[Callable, tuple, dict]) -> Any:
 def run_tasks(
     tasks: Sequence[Tuple[Callable, tuple, Dict[str, Any]]],
     jobs: Optional[int] = None,
+    progress: Optional[Progress] = None,
 ) -> List[Any]:
     """Generic fan-out for ``(fn, args, kwargs)`` tuples of module-level
     functions (the analytical sweeps: battery sizing, energy models).
     Results come back in submission order; the same serial-fallback rules
     as :func:`run_batch` apply."""
-    return _fan_out(_apply_task, tasks, jobs)
+    return _fan_out(_apply_task, tasks, jobs, progress)

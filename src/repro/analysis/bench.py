@@ -31,8 +31,8 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.experiments import default_sim_config, fig7
+from repro.api import build_system
 from repro.sim.config import ConsistencyModel, SystemConfig
-from repro.sim.system import SCHEME_FACTORIES
 from repro.workloads.base import (
     WORKLOAD_NAMES,
     WorkloadSpec,
@@ -98,7 +98,7 @@ def _run_engine_grid(
     per_run: List[Dict[str, Any]] = []
     for workload, scheme, kwargs in grid:
         trace, initial_words = build_cached(workload, config.mem, spec)
-        system = SCHEME_FACTORIES[scheme](config, **dict(kwargs))
+        system = build_system(scheme, config=config, **dict(kwargs))
         seed_media_words(system.nvmm_media, initial_words)
         t0 = time.perf_counter()
         system.run(trace, finalize=False)
@@ -108,7 +108,10 @@ def _run_engine_grid(
         total_s += dt
         per_run.append(
             {"workload": workload, "scheme": scheme, "wall_s": round(dt, 4),
-             "ops_per_sec": round(n / dt, 1) if dt > 0 else None}
+             "ops_per_sec": round(n / dt, 1) if dt > 0 else None,
+             # Full counter set in the shared repro.simstats/v1 schema, so
+             # perf numbers are comparable only when the work matched.
+             "stats": system.stats.to_dict()}
         )
     return _suite_result(total_s, total_ops, {"runs": per_run})
 

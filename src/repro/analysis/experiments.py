@@ -1,9 +1,18 @@
 """One driver per paper table/figure (the experiment index of DESIGN.md).
 
 Each ``fig*``/``table*`` function computes the data behind one exhibit of
-the paper's evaluation and returns plain Python structures; the benchmark
-files under ``benchmarks/`` call these and print the rendered tables, and
-``EXPERIMENTS.md`` records the paper-vs-measured comparison.
+the paper's evaluation; the benchmark files under ``benchmarks/`` call
+these and print the rendered tables, and ``EXPERIMENTS.md`` records the
+paper-vs-measured comparison.
+
+The sweep drivers — :func:`fig7`, :func:`fig8`,
+:func:`processor_side_write_ratio`, :func:`table10` — share one calling
+convention: every one accepts ``jobs=`` (batch-runner worker count) and
+``progress=`` (a ``progress(done, total)`` callback fired per completed
+unit, in submission order) and returns an :class:`ExperimentResult` whose
+``data`` carries the driver-specific rows.  :data:`EXPERIMENT_DRIVERS`
+indexes them by exhibit name so front-ends need no per-driver
+special-casing.
 
 Performance experiments run the trace simulator at a scaled-down size
 (``WorkloadSpec``); the energy/battery experiments are exact reproductions
@@ -13,20 +22,15 @@ of the paper's analytical model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.analysis.batch import RunSpec, run_batch, run_tasks
+from repro.analysis.batch import Progress, RunSpec, run_batch, run_tasks
 from repro.analysis.tables import geomean
 from repro.energy import battery as battery_mod
 from repro.energy import model as energy_mod
 from repro.energy.platforms import MOBILE, SERVER
 from repro.sim.config import SystemConfig
-from repro.sim.system import (
-    System,
-    bbb,
-    bbb_processor_side,
-    eadr,
-)
+from repro.sim.system import System
 from repro.workloads.base import (
     WORKLOAD_NAMES,
     WorkloadSpec,
@@ -34,6 +38,21 @@ from repro.workloads.base import (
     registry,
     seed_media_words,
 )
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform return shape of the sweep drivers.
+
+    ``data`` is the driver-specific payload (``fig7`` -> ``List[Fig7Row]``,
+    ``fig8`` -> ``List[Fig8Point]``, ...); ``runs`` counts the independent
+    batch units that produced it.
+    """
+
+    name: str
+    title: str
+    data: Any
+    runs: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -55,6 +74,10 @@ class WorkloadRun:
     bbpb_rejections: int
     bbpb_drains: int
     p_store_fraction: float
+    #: Full counter set as the versioned ``repro.simstats/v1`` payload
+    #: (:meth:`repro.sim.stats.SimStats.to_dict`), so batch results carry
+    #: the same schema as ``repro run --json``.
+    stats: Optional[Dict[str, object]] = None
 
 
 def steady_state_nvmm_writes(system) -> int:
@@ -143,6 +166,7 @@ def run_workload(
         bbpb_rejections=stats.bbpb_rejections,
         bbpb_drains=stats.bbpb_drains,
         p_store_fraction=stats.persist_store_fraction,
+        stats=stats.to_dict(),
     )
 
 
@@ -175,10 +199,12 @@ def fig7(
     workloads: Sequence[str] = WORKLOAD_NAMES,
     entries_variants: Sequence[int] = (32, 1024),
     jobs: Optional[int] = None,
-) -> List[Fig7Row]:
+    progress: Optional[Progress] = None,
+) -> ExperimentResult:
     """Execution time (a) and NVMM writes (b) for BBB-32 and BBB-1024,
     normalized to eADR, per workload.  The (workload x scheme) grid is
-    fanned across processes by the batch runner (``jobs``/``REPRO_JOBS``)."""
+    fanned across processes by the batch runner (``jobs``/``REPRO_JOBS``);
+    ``data`` is ``List[Fig7Row]``."""
     cfg = config or default_sim_config()
     wspec = spec or WorkloadSpec()
     variants = _scheme_variants(entries_variants)
@@ -194,7 +220,7 @@ def fig7(
         for name in workloads
         for label, scheme, kwargs in variants
     ]
-    results = iter(run_batch(specs, jobs=jobs))
+    results = iter(run_batch(specs, jobs=jobs, progress=progress))
     rows: List[Fig7Row] = []
     for name in workloads:
         runs = {label: next(results) for label, _, _ in variants}
@@ -204,11 +230,21 @@ def fig7(
             row.exec_time[label] = run.execution_cycles / max(1, base.execution_cycles)
             row.nvmm_writes[label] = run.nvmm_writes / max(1, base.nvmm_writes)
         rows.append(row)
-    return rows
+    return ExperimentResult(
+        name="fig7",
+        title="Fig. 7 — exec time & NVMM writes vs eADR",
+        data=rows,
+        runs=len(specs),
+    )
 
 
-def fig7_averages(rows: List[Fig7Row]) -> Tuple[Dict[str, float], Dict[str, float]]:
-    """Geomean across workloads of the normalized metrics."""
+def fig7_averages(
+    rows: Union[ExperimentResult, List[Fig7Row]],
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Geomean across workloads of the normalized metrics.  Accepts the
+    :func:`fig7` result or its ``data`` rows directly."""
+    if isinstance(rows, ExperimentResult):
+        rows = rows.data
     labels = rows[0].exec_time.keys()
     exec_avg = {l: geomean([r.exec_time[l] for r in rows]) for l in labels}
     writes_avg = {l: geomean([r.nvmm_writes[l] for r in rows]) for l in labels}
@@ -226,8 +262,10 @@ def processor_side_write_ratio(
     entries: int = 32,
     coalesce_consecutive: bool = True,
     jobs: Optional[int] = None,
-) -> Dict[str, float]:
-    """NVMM writes of processor-side BBB normalized to eADR, per workload.
+    progress: Optional[Progress] = None,
+) -> ExperimentResult:
+    """NVMM writes of processor-side BBB normalized to eADR, per workload;
+    ``data`` is ``Dict[workload, ratio]``.
 
     The paper reports ~2.8x on average; with ``coalesce_consecutive=False``
     (the paper's "almost every persisting store must go to the bbPB and
@@ -245,13 +283,18 @@ def processor_side_write_ratio(
             RunSpec(name, "bbb-proc", proc_kwargs, spec=wspec, config=cfg)
         )
         specs.append(RunSpec(name, "eadr", spec=wspec, config=cfg))
-    results = iter(run_batch(specs, jobs=jobs))
+    results = iter(run_batch(specs, jobs=jobs, progress=progress))
     ratios: Dict[str, float] = {}
     for name in workloads:
         proc = next(results)
         base = next(results)
         ratios[name] = proc.nvmm_writes / max(1, base.nvmm_writes)
-    return ratios
+    return ExperimentResult(
+        name="sec5c",
+        title="Section V-C — processor-side bbPB write amplification",
+        data=ratios,
+        runs=len(specs),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -272,10 +315,12 @@ def fig8(
     config: Optional[SystemConfig] = None,
     workloads: Sequence[str] = WORKLOAD_NAMES,
     jobs: Optional[int] = None,
-) -> List[Fig8Point]:
+    progress: Optional[Progress] = None,
+) -> ExperimentResult:
     """Sensitivity of rejections (a), execution time (b), and drains (c) to
     the bbPB entry count, geomean-normalized to the 1-entry configuration.
-    The full (size x workload) sweep is one batch fan-out."""
+    The full (size x workload) sweep is one batch fan-out; ``data`` is
+    ``List[Fig8Point]``."""
     cfg = config or default_sim_config()
     wspec = spec or WorkloadSpec()
     specs = [
@@ -289,7 +334,7 @@ def fig8(
         for entries in sizes
         for name in workloads
     ]
-    results = iter(run_batch(specs, jobs=jobs))
+    results = iter(run_batch(specs, jobs=jobs, progress=progress))
     per_size: Dict[int, List[WorkloadRun]] = {
         entries: [next(results) for _ in workloads] for entries in sizes
     }
@@ -310,7 +355,12 @@ def fig8(
                 drains=geomean(dr),
             )
         )
-    return points
+    return ExperimentResult(
+        name="fig8",
+        title="Fig. 8 — sensitivity to bbPB entry count",
+        data=points,
+        runs=len(specs),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -374,8 +424,10 @@ def table9() -> List[battery_mod.BatteryEstimate]:
 def table10(
     entry_counts: Sequence[int] = (1, 4, 16, 32, 64, 256, 1024),
     jobs: Optional[int] = None,
-) -> Dict[Tuple[str, str], Dict[int, float]]:
-    """Battery volume (mm^3) vs bbPB entries per (technology, platform).
+    progress: Optional[Progress] = None,
+) -> ExperimentResult:
+    """Battery volume (mm^3) vs bbPB entries per (technology, platform);
+    ``data`` is ``Dict[(technology, platform-key), Dict[entries, mm^3]]``.
 
     The four (technology, platform) sweeps are independent analytical
     computations, fanned out through the same batch machinery as the
@@ -391,7 +443,23 @@ def table10(
             for tech, key, platform in combos
         ],
         jobs=jobs,
+        progress=progress,
     )
-    return {
-        (tech, key): sweep for (tech, key, _), sweep in zip(combos, sweeps)
-    }
+    return ExperimentResult(
+        name="table10",
+        title="Table X — battery volume vs bbPB entries",
+        data={
+            (tech, key): sweep for (tech, key, _), sweep in zip(combos, sweeps)
+        },
+        runs=len(combos),
+    )
+
+
+#: The unified driver registry: every entry is callable as
+#: ``driver(jobs=None, progress=None, **driver_specific) -> ExperimentResult``.
+EXPERIMENT_DRIVERS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig7": fig7,
+    "fig8": fig8,
+    "sec5c": processor_side_write_ratio,
+    "table10": table10,
+}

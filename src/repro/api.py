@@ -1,0 +1,125 @@
+"""The public construction API: schemes by name, one entry point.
+
+::
+
+    from repro.api import Scheme, build_system
+
+    system = build_system(Scheme.BBB, entries=32)
+    system = build_system("pmem", config=my_config)
+
+:func:`build_system` replaces the seven per-scheme factory functions that
+used to live in :mod:`repro.sim.system` (``eadr()``, ``bbb()``, ...), which
+remain as deprecated wrappers around it.  Scheme names are stable strings
+(the same ones the CLI accepts); :class:`Scheme` enumerates them.
+
+Scheme-specific keyword arguments accepted via ``**kw``:
+
+=====================  ==========================  ==========================
+keyword                schemes                     meaning
+=====================  ==========================  ==========================
+``drain_threshold``    ``bbb``                     bbPB drain threshold
+                                                   (fraction of entries)
+``coalesce_consecutive``  ``bbb-proc``             allow coalescing of
+                                                   consecutive same-block
+                                                   records
+``reorder_seed``       all                         RNG seed for relaxed-
+                                                   consistency release
+``bus``                all                         :class:`repro.obs.bus.
+                                                   EventBus` receiving the
+                                                   run's events
+=====================  ==========================  ==========================
+
+``entries`` sizes the persist buffer for the schemes that have one (bbb,
+bbb-proc, bep, bsp) and is ignored by the bufferless schemes, matching the
+old factories' behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+from repro.core.bsp import BSP
+from repro.core.persistency import (
+    BBBScheme,
+    BEP,
+    EADR,
+    NoPersistency,
+    StrictPMEM,
+)
+from repro.obs.bus import NULL_BUS
+from repro.sim.config import BBBConfig, SystemConfig
+from repro.sim.system import System
+
+
+class Scheme(str, enum.Enum):
+    """The persistency schemes of the paper's comparison space (Fig. 7)."""
+
+    BBB = "bbb"              # memory-side bbPB (the paper's design)
+    BBB_PROC = "bbb-proc"    # processor-side bbPB (Section V-C baseline)
+    EADR = "eadr"            # whole-hierarchy battery ("Optimal")
+    PMEM = "pmem"            # strict persistency, hardware clwb+sfence
+    BSP = "bsp"              # bulk strict persistency (MICRO'15)
+    BEP = "bep"              # buffered epoch persistency, volatile buffers
+    NONE = "none"            # no persistency control
+
+    def __str__(self) -> str:  # argparse-friendly
+        return self.value
+
+
+#: Stable tuple of scheme names, in the canonical comparison order.
+SCHEMES = tuple(s.value for s in Scheme)
+
+
+def build_system(
+    scheme: Union[str, Scheme],
+    *,
+    entries: int = 32,
+    config: Optional[SystemConfig] = None,
+    **kw,
+) -> System:
+    """Build a runnable :class:`~repro.sim.system.System` for ``scheme``.
+
+    ``scheme`` is a :class:`Scheme` or its string value.  ``entries`` sizes
+    the scheme's persist buffer where it has one.  See the module docstring
+    for the scheme-specific ``**kw``.
+    """
+    try:
+        name = Scheme(scheme)
+    except ValueError:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; valid schemes: {', '.join(SCHEMES)}"
+        ) from None
+
+    bus = kw.pop("bus", NULL_BUS)
+    reorder_seed = kw.pop("reorder_seed", 0)
+
+    if name is Scheme.BBB:
+        scheme_obj = BBBScheme(BBBConfig(
+            entries=entries,
+            drain_threshold=kw.pop("drain_threshold", 0.75),
+            memory_side=True,
+        ))
+    elif name is Scheme.BBB_PROC:
+        scheme_obj = BBBScheme(BBBConfig(
+            entries=entries,
+            memory_side=False,
+            proc_coalesce_consecutive=kw.pop("coalesce_consecutive", True),
+        ))
+    elif name is Scheme.EADR:
+        scheme_obj = EADR()
+    elif name is Scheme.PMEM:
+        scheme_obj = StrictPMEM()
+    elif name is Scheme.BEP:
+        scheme_obj = BEP(entries=entries)
+    elif name is Scheme.BSP:
+        scheme_obj = BSP(entries=entries)
+    else:
+        scheme_obj = NoPersistency()
+
+    if kw:
+        raise TypeError(
+            f"unexpected keyword arguments for scheme {name.value!r}: "
+            f"{', '.join(sorted(kw))}"
+        )
+    return System(config, scheme_obj, reorder_seed=reorder_seed, bus=bus)

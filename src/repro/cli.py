@@ -4,16 +4,25 @@ Commands:
 
 * ``run``     — simulate one workload under one scheme and print the stats.
 * ``compare`` — run every scheme on one workload, normalized to eADR.
+* ``profile`` — run with full observability on and print a profile report.
 * ``crash``   — crash-sweep a workload under a scheme and report recovery.
 * ``energy``  — print the draining-cost and battery-sizing tables.
 * ``table1``  — print the qualitative scheme comparison.
 * ``trace``   — generate a workload trace and save it to a file.
 * ``bench``   — time the fixed perf smoke suite and write ``BENCH_<rev>.json``.
 
+``run`` and ``compare`` accept ``--events PATH`` (JSONL event log) and
+``--trace-out PATH`` (Chrome ``trace_event`` file for chrome://tracing or
+https://ui.perfetto.dev); ``compare`` writes one file per scheme with the
+scheme name spliced in before the extension.
+
 Examples::
 
     python -m repro run --workload hashmap --scheme bbb --entries 32
+    python -m repro run --workload ctree --scheme bbb --trace-out trace.json
     python -m repro compare --workload swapNC --ops 200
+    python -m repro profile --workload hashmap --scheme bbb --cprofile
+    python -m repro profile --smoke
     python -m repro crash --workload hashmap --scheme none --sample 50
     python -m repro energy
     python -m repro trace --workload rtree --out rtree.trace
@@ -32,12 +41,14 @@ from repro.analysis.experiments import (
     steady_state_nvmm_writes,
 )
 from repro.analysis.tables import fmt_ratio, fmt_si, render_table
+from repro.api import SCHEMES, build_system
 from repro.core.persistency import table1_rows
 from repro.core.recovery import check_prefix_consistency
 from repro.energy import battery, model
 from repro.energy.platforms import MOBILE, SERVER
+from repro.obs.bus import NULL_BUS, EventBus, EventRecorder
 from repro.sim.crash import CrashInjector
-from repro.sim.system import SCHEME_FACTORIES, System, eadr
+from repro.sim.system import System
 from repro.sim.tracefile import save_trace
 from repro.workloads.base import WORKLOAD_NAMES, WorkloadSpec, registry
 
@@ -61,12 +72,38 @@ def _spec(args) -> WorkloadSpec:
     )
 
 
-def _make_system(scheme: str, entries: int) -> System:
-    config = default_sim_config()
-    factory = SCHEME_FACTORIES[scheme]
-    if scheme in ("bbb", "bbb-proc", "bsp", "bep"):
-        return factory(config, entries=entries)
-    return factory(config)
+def _make_system(scheme: str, entries: int, bus: EventBus = NULL_BUS) -> System:
+    return build_system(
+        scheme, entries=entries, config=default_sim_config(), bus=bus
+    )
+
+
+def _observability(args):
+    """(bus, recorder) when --events/--trace-out were given, else the shared
+    disabled bus (zero hot-path cost)."""
+    if not (getattr(args, "events", None) or getattr(args, "trace_out", None)):
+        return NULL_BUS, None
+    bus = EventBus()
+    return bus, EventRecorder(bus)
+
+
+def _export_events(recorder, events_path, trace_path) -> None:
+    if recorder is None:
+        return
+    from repro.obs.exporters import write_chrome_trace, write_jsonl
+
+    if events_path:
+        n = write_jsonl(recorder.events, events_path)
+        print(f"wrote {n:,} events to {events_path}", file=sys.stderr)
+    if trace_path:
+        n = write_chrome_trace(recorder.events, trace_path)
+        print(f"wrote {n:,} trace entries to {trace_path}", file=sys.stderr)
+
+
+def _scheme_path(path: str, scheme: str) -> str:
+    """``out/trace.json`` + ``bbb`` -> ``out/trace.bbb.json``."""
+    root, ext = os.path.splitext(path)
+    return f"{root}.{scheme}{ext}" if ext else f"{path}.{scheme}"
 
 
 def cmd_run(args) -> int:
@@ -74,10 +111,12 @@ def cmd_run(args) -> int:
     spec = _spec(args)
     workload = registry(config.mem, spec)[args.workload]
     trace = workload.build()
-    system = _make_system(args.scheme, args.entries)
+    bus, recorder = _observability(args)
+    system = _make_system(args.scheme, args.entries, bus=bus)
     workload.seed_media(system.nvmm_media)
     result = system.run(trace, finalize=not args.no_finalize)
     stats = result.stats
+    _export_events(recorder, args.events, args.trace_out)
     if args.json:
         print(stats.to_json())
         return 0
@@ -96,16 +135,27 @@ def cmd_compare(args) -> int:
     config = default_sim_config()
     spec = _spec(args)
     rows = []
-    base = run_workload(args.workload, lambda: eadr(config), spec, config)
-    for name, factory in SCHEME_FACTORIES.items():
+
+    def compare_one(name: str):
+        bus, recorder = _observability(args)
+        run = run_workload(
+            args.workload,
+            lambda: build_system(name, entries=args.entries, config=config,
+                                 bus=bus),
+            spec, config,
+        )
+        _export_events(
+            recorder,
+            _scheme_path(args.events, name) if args.events else None,
+            _scheme_path(args.trace_out, name) if args.trace_out else None,
+        )
+        return run
+
+    base = compare_one("eadr")
+    for name in SCHEMES:
         if name == "none":
             continue
-        system_factory = (
-            (lambda f=factory: f(config, entries=args.entries))
-            if name in ("bbb", "bbb-proc", "bsp", "bep")
-            else (lambda f=factory: f(config))
-        )
-        run = run_workload(args.workload, system_factory, spec, config)
+        run = base if name == "eadr" else compare_one(name)
         rows.append(
             (
                 name,
@@ -119,6 +169,26 @@ def cmd_compare(args) -> int:
         rows,
         title=f"scheme comparison on {args.workload}",
     ))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    # Imported here so the obs/profiling machinery does not tax the other
+    # commands' startup.
+    from repro.obs.profile import profile_run, smoke_report
+
+    if args.smoke:
+        report = smoke_report()
+    else:
+        report = profile_run(
+            args.workload, args.scheme, entries=args.entries,
+            spec=_spec(args), cprofile=args.cprofile,
+        )
+    print(report.render())
+    if not report.ok:
+        print("error: event log does not reconcile with SimStats",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -252,24 +322,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_observability_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--events", metavar="PATH", default=None,
+                       help="write the run's event log as JSONL")
+        p.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write a Chrome trace_event file "
+                            "(chrome://tracing / ui.perfetto.dev)")
+
     p_run = sub.add_parser("run", help="simulate one workload under one scheme")
     _add_workload_args(p_run)
-    p_run.add_argument("--scheme", choices=sorted(SCHEME_FACTORIES), default="bbb")
+    p_run.add_argument("--scheme", choices=sorted(SCHEMES), default="bbb")
     p_run.add_argument("--entries", type=int, default=32, help="bbPB entries")
     p_run.add_argument("--no-finalize", action="store_true",
                        help="measure the execution window only")
     p_run.add_argument("--json", action="store_true",
-                       help="dump the full stats as JSON")
+                       help="dump the full stats as JSON "
+                            "(repro.simstats/v1 schema)")
+    _add_observability_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="all schemes on one workload")
     _add_workload_args(p_cmp)
     p_cmp.add_argument("--entries", type=int, default=32)
+    _add_observability_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one workload with full observability and print the report",
+    )
+    _add_workload_args(p_prof)
+    p_prof.add_argument("--scheme", choices=sorted(SCHEMES), default="bbb")
+    p_prof.add_argument("--entries", type=int, default=32, help="bbPB entries")
+    p_prof.add_argument("--cprofile", action="store_true",
+                        help="include a cProfile hotspot table")
+    p_prof.add_argument("--smoke", action="store_true",
+                        help="fixed tiny run for CI; exits non-zero if the "
+                             "event log and SimStats disagree")
+    p_prof.set_defaults(func=cmd_profile)
 
     p_crash = sub.add_parser("crash", help="crash-sweep a workload")
     _add_workload_args(p_crash)
-    p_crash.add_argument("--scheme", choices=sorted(SCHEME_FACTORIES), default="bbb")
+    p_crash.add_argument("--scheme", choices=sorted(SCHEMES), default="bbb")
     p_crash.add_argument("--entries", type=int, default=32)
     p_crash.add_argument("--sample", type=int, default=40,
                          help="number of crash points to test")

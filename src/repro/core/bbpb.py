@@ -28,6 +28,16 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.mem.block import BlockData
+from repro.obs.bus import NULL_BUS, EventBus
+from repro.obs.events import (
+    BbpbAlloc,
+    BbpbCoalesce,
+    BbpbReject,
+    BbpbRemove,
+    DrainEnd,
+    DrainStart,
+    ForcedDrain,
+)
 from repro.sim.config import BBBConfig, DrainPolicy
 
 #: Signature of the drain sink: ``(block_addr, data, now) -> completion``.
@@ -64,10 +74,12 @@ class MemorySideBBPB:
       ``force_drain`` it (LLC dirty-inclusion) at any time.
     """
 
-    def __init__(self, config: BBBConfig, core_id: int, drain: DrainFn) -> None:
+    def __init__(self, config: BBBConfig, core_id: int, drain: DrainFn,
+                 bus: EventBus = NULL_BUS) -> None:
         self.config = config
         self.core_id = core_id
         self._drain = drain
+        self._bus = bus
         #: Resident (coalescible) entries, in allocation (FCFS) order.
         self._resident: "OrderedDict[int, BBPBEntry]" = OrderedDict()
         #: Entries whose drain is in flight; they still occupy capacity
@@ -134,11 +146,19 @@ class MemorySideBBPB:
             existing.data = data.copy()
             existing.last_write = now
             self.coalesces += 1
+            if self._bus.enabled:
+                self._bus.emit(
+                    BbpbCoalesce(now, self.core_id, block_addr, len(self))
+                )
             return 0, False
 
         stall = 0
         while self.full:
             self.rejections += 1
+            if self._bus.enabled:
+                self._bus.emit(
+                    BbpbReject(now + stall, self.core_id, block_addr, len(self))
+                )
             freed_at = self._wait_for_space(now + stall)
             stall = max(stall, freed_at - now)
             self.reap(now + stall)
@@ -151,6 +171,10 @@ class MemorySideBBPB:
             last_write=now + stall,
         )
         self.allocations += 1
+        if self._bus.enabled:
+            self._bus.emit(
+                BbpbAlloc(now + stall, self.core_id, block_addr, len(self))
+            )
         self._maybe_start_drains(now + stall)
         return stall, True
 
@@ -171,6 +195,11 @@ class MemorySideBBPB:
         entry.complete_at = self._drain(entry.block_addr, entry.data, now)
         self._inflight.append(entry)
         self.drains += 1
+        if self._bus.enabled:
+            self._bus.emit(DrainStart(now, self.core_id, entry.block_addr,
+                                      entry.complete_at, len(self)))
+            self._bus.emit(DrainEnd(entry.complete_at, self.core_id,
+                                    entry.block_addr, now))
 
     def _start_oldest_drain(self, now: int) -> BBPBEntry:
         """Start draining the victim the active policy selects: FCFS picks
@@ -205,7 +234,7 @@ class MemorySideBBPB:
     # ------------------------------------------------------------------
     # Coherence interactions (Table II)
     # ------------------------------------------------------------------
-    def remove(self, block_addr: int) -> Optional[BlockData]:
+    def remove(self, block_addr: int, now: int = 0) -> Optional[BlockData]:
         """Remove a block *without draining* — remote invalidation moved
         responsibility to the requesting core's bbPB (Fig. 6a/b).
 
@@ -217,6 +246,8 @@ class MemorySideBBPB:
         if entry is None:
             return None
         self.removes += 1
+        if self._bus.enabled:
+            self._bus.emit(BbpbRemove(now, self.core_id, block_addr))
         return entry.data
 
     def force_drain(self, block_addr: int, now: int) -> int:
@@ -230,6 +261,8 @@ class MemorySideBBPB:
             return max((e.complete_at for e in pending), default=now)
         self._start_drain(entry, now)
         self.forced_drains += 1
+        if self._bus.enabled:
+            self._bus.emit(ForcedDrain(now, self.core_id, block_addr))
         return entry.complete_at
 
     # ------------------------------------------------------------------
@@ -266,10 +299,12 @@ class ProcessorSideBBPB:
     ~2.8x NVMM writes (Section V-C).
     """
 
-    def __init__(self, config: BBBConfig, core_id: int, drain: DrainFn) -> None:
+    def __init__(self, config: BBBConfig, core_id: int, drain: DrainFn,
+                 bus: EventBus = NULL_BUS) -> None:
         self.config = config
         self.core_id = core_id
         self._drain = drain
+        self._bus = bus
         self._fifo: List[BBPBEntry] = []
         self._seq = 0
         self.allocations = 0
@@ -319,10 +354,18 @@ class ProcessorSideBBPB:
         ):
             tail.data = data.copy()
             self.coalesces += 1
+            if self._bus.enabled:
+                self._bus.emit(
+                    BbpbCoalesce(now, self.core_id, block_addr, len(self))
+                )
             return 0, False
         stall = 0
         while self.full:
             self.rejections += 1
+            if self._bus.enabled:
+                self._bus.emit(
+                    BbpbReject(now + stall, self.core_id, block_addr, len(self))
+                )
             head = self._fifo[0]
             if not head.in_flight:
                 self._start_drain(head, now + stall)
@@ -333,6 +376,10 @@ class ProcessorSideBBPB:
             BBPBEntry(block_addr, data.copy(), alloc_time=now + stall, seq=self._seq)
         )
         self.allocations += 1
+        if self._bus.enabled:
+            self._bus.emit(
+                BbpbAlloc(now + stall, self.core_id, block_addr, len(self))
+            )
         self._maybe_start_drains(now + stall)
         return stall, True
 
@@ -340,6 +387,11 @@ class ProcessorSideBBPB:
         entry.in_flight = True
         entry.complete_at = self._drain(entry.block_addr, entry.data, now)
         self.drains += 1
+        if self._bus.enabled:
+            self._bus.emit(DrainStart(now, self.core_id, entry.block_addr,
+                                      entry.complete_at, len(self)))
+            self._bus.emit(DrainEnd(entry.complete_at, self.core_id,
+                                    entry.block_addr, now))
 
     def _maybe_start_drains(self, now: int) -> None:
         if len(self._fifo) < self.config.threshold_entries:
@@ -355,7 +407,7 @@ class ProcessorSideBBPB:
     # ------------------------------------------------------------------
     # Coherence / crash
     # ------------------------------------------------------------------
-    def remove(self, block_addr: int) -> Optional[BlockData]:
+    def remove(self, block_addr: int, now: int = 0) -> Optional[BlockData]:
         """Ordering forbids plucking a middle record on remote invalidation;
         the processor-side design instead drains up to and including the
         block (this is part of why the paper rejects it)."""
@@ -373,6 +425,8 @@ class ProcessorSideBBPB:
                 last = entry.data
                 break
         self.removes += 1
+        if self._bus.enabled:
+            self._bus.emit(BbpbRemove(now, self.core_id, block_addr))
         return last
 
     def force_drain(self, block_addr: int, now: int) -> int:
@@ -384,6 +438,8 @@ class ProcessorSideBBPB:
             if not entry.in_flight:
                 self._start_drain(entry, t)
                 self.forced_drains += 1
+                if self._bus.enabled:
+                    self._bus.emit(ForcedDrain(t, self.core_id, block_addr))
             t = max(t, entry.complete_at)
             self._fifo.pop(0)
             if entry.block_addr == block_addr:

@@ -34,6 +34,7 @@ from typing import List, Optional
 from repro.core.bbpb import ProcessorSideBBPB
 from repro.core.persistency import DrainReport, PersistencyScheme, SchemeTraits
 from repro.mem.block import BlockData, CacheBlock
+from repro.obs.events import STALL_BBPB_FULL, StallBegin, StallEnd
 from repro.sim.config import BBBConfig
 
 
@@ -58,7 +59,8 @@ class BSP(PersistencyScheme):
             proc_coalesce_consecutive=True,
         )
         self.buffers = [
-            ProcessorSideBBPB(cfg, core, self._make_drain_fn(core))
+            ProcessorSideBBPB(cfg, core, self._make_drain_fn(core),
+                              bus=hierarchy.bus)
             for core in range(hierarchy.config.num_cores)
         ]
 
@@ -104,6 +106,9 @@ class BSP(PersistencyScheme):
             h.stats.bbpb_coalesces += 1
         if stall:
             h.stats.core[core].stall_cycles_bbpb_full += stall
+            if h.bus.enabled:
+                h.bus.emit(StallBegin(now, core, STALL_BBPB_FULL))
+                h.bus.emit(StallEnd(now + stall, core, STALL_BBPB_FULL))
         # PoV/PoP gap: the store is visible now but durable only when its
         # record drains.  Latencies are recorded when drains are observed
         # (here, on conflicts, and at finalize).

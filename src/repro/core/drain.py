@@ -15,8 +15,10 @@ the paper found to work well.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.obs.events import DrainStart, Event
+from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.sim.config import BBBConfig, DrainPolicy
 
 #: Human-readable rationale per policy, used in reports.
@@ -61,3 +63,38 @@ def threshold_sweep_configs(
     """Configurations for the drain-threshold ablation."""
     base = BBBConfig(entries=entries)
     return {t: replace(base, drain_threshold=t) for t in thresholds}
+
+
+class DrainLatencyProbe:
+    """Event-bus subscriber measuring per-drain latency.
+
+    Every :class:`~repro.obs.events.DrainStart` carries the WPQ-acceptance
+    cycle the drain callback computed, so the latency of each drain (entry
+    leaving the bbPB until the NVMM WPQ accepts it) is ``complete_at -
+    cycle``.  The distribution is what the threshold sweep trades against
+    coalescing: a backed-up WPQ stretches these latencies, which keeps
+    entries resident longer and shrinks effective capacity.
+    """
+
+    def __init__(self, bus=None, name: str = "drain_latency_cycles") -> None:
+        self.histogram = Histogram(
+            name,
+            description="cycles from bbPB drain start to WPQ acceptance",
+        )
+        if bus is not None:
+            bus.subscribe(self)
+
+    def __call__(self, event: Event) -> None:
+        if isinstance(event, DrainStart):
+            self.histogram.observe(max(0, event.complete_at - event.cycle))
+
+    def summary(self) -> Dict[str, object]:
+        return self.histogram.to_dict()
+
+    def to_registry(self, registry: Optional[MetricsRegistry] = None
+                    ) -> MetricsRegistry:
+        reg = registry if registry is not None else MetricsRegistry()
+        existing = reg.get(self.histogram.name)
+        if existing is None:
+            reg._metrics[self.histogram.name] = self.histogram
+        return reg

@@ -35,6 +35,13 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.bbpb import MemorySideBBPB, ProcessorSideBBPB
 from repro.mem.block import BlockData, CacheBlock
+from repro.obs.events import (
+    STALL_BBPB_FULL,
+    DrainEnd,
+    DrainStart,
+    StallBegin,
+    StallEnd,
+)
 from repro.sim.config import BBBConfig, SystemConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -284,7 +291,7 @@ class BBBScheme(PersistencyScheme):
         self._bbb_config = cfg
         buffer_cls = MemorySideBBPB if cfg.memory_side else ProcessorSideBBPB
         self.buffers = [
-            buffer_cls(cfg, core, self._make_drain_fn(core))
+            buffer_cls(cfg, core, self._make_drain_fn(core), bus=hierarchy.bus)
             for core in range(hierarchy.config.num_cores)
         ]
 
@@ -328,11 +335,14 @@ class BBBScheme(PersistencyScheme):
         h.stats.bbpb_rejections += buf.rejections - before_rejections
         if allocated:
             h.stats.bbpb_allocations += 1
-            h.directory.set_bbpb_owner(block_addr, core)
+            h.directory.set_bbpb_owner(block_addr, core, now)
         else:
             h.stats.bbpb_coalesces += 1
         if stall:
             h.stats.core[core].stall_cycles_bbpb_full += stall
+            if h.bus.enabled:
+                h.bus.emit(StallBegin(now, core, STALL_BBPB_FULL))
+                h.bus.emit(StallEnd(now + stall, core, STALL_BBPB_FULL))
         # PoV == PoP: the store is durable the instant it is visible.
         h.stats.record_persist_latency(0)
         return stall
@@ -347,11 +357,11 @@ class BBBScheme(PersistencyScheme):
         shared copy guarantees it can, battery covering in-flight packets)."""
         assert self.hierarchy is not None
         buf = self.buffers[holder]
-        removed = buf.remove(block_addr)
+        removed = buf.remove(block_addr, now)
         if removed is not None:
             self.hierarchy.stats.bbpb_removes += 1
             self.hierarchy.stats.bbpb_moves += 1
-            self.hierarchy.directory.set_bbpb_owner(block_addr, None)
+            self.hierarchy.directory.set_bbpb_owner(block_addr, None, now)
 
     def on_remote_intervention(
         self, holder: int, block_addr: int, requester: int, now: int
@@ -369,7 +379,7 @@ class BBBScheme(PersistencyScheme):
             before = buf.forced_drains
             buf.force_drain(block.addr, now)
             h.stats.bbpb_forced_drains += buf.forced_drains - before
-            h.directory.set_bbpb_owner(block.addr, None)
+            h.directory.set_bbpb_owner(block.addr, None, now)
         if (
             block.dirty
             and block.persistent
@@ -474,6 +484,9 @@ class BEP(PersistencyScheme):
         done = h.nvmm.write(block_addr, data, start + h.config.mem.mc_transfer_cycles)
         self._drain_busy_until[core] = done
         h.stats.bbpb_drains += 1
+        if h.bus.enabled:
+            h.bus.emit(DrainStart(start, core, block_addr, done, len(buf)))
+            h.bus.emit(DrainEnd(done, core, block_addr, start))
         # PoV/PoP gap: visible at ``born``, durable at WPQ acceptance.
         h.stats.record_persist_latency(max(0, done - born))
         return done

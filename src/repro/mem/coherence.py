@@ -25,6 +25,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Set
 
+from repro.obs.bus import NULL_BUS, EventBus
+from repro.obs.events import CoherenceMove
+
 
 class CoherenceEvent(enum.Enum):
     """Protocol transaction types (terminology follows [83] and Fig. 6)."""
@@ -65,8 +68,9 @@ class Directory:
     any forced bbPB drain, per Invariant 4).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, bus: EventBus = NULL_BUS) -> None:
         self._entries: Dict[int, DirectoryEntry] = {}
+        self._bus = bus
 
     def entry(self, block_addr: int) -> Optional[DirectoryEntry]:
         return self._entries.get(block_addr)
@@ -110,7 +114,8 @@ class Directory:
     # ------------------------------------------------------------------
     # bbPB tracking (Invariant 4)
     # ------------------------------------------------------------------
-    def set_bbpb_owner(self, block_addr: int, core: Optional[int]) -> None:
+    def set_bbpb_owner(self, block_addr: int, core: Optional[int],
+                       now: int = 0) -> None:
         ent = self._entries.get(block_addr)
         if ent is None:
             if core is None:
@@ -118,6 +123,10 @@ class Directory:
             raise RuntimeError(
                 f"bbPB allocates 0x{block_addr:x} but the block is not "
                 f"LLC-resident — dirty-inclusion (Invariant 4) violated"
+            )
+        if self._bus.enabled and ent.bbpb_owner != core:
+            self._bus.emit(
+                CoherenceMove(now, block_addr, src=ent.bbpb_owner, dst=core)
             )
         ent.bbpb_owner = core
 

@@ -43,6 +43,7 @@ from repro.mem.cache import CacheArray
 from repro.mem.coherence import Directory
 from repro.mem.memctrl import DRAMController, NVMMController
 from repro.mem.storebuffer import StoreBuffer
+from repro.obs.bus import NULL_BUS, EventBus
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SimStats
 
@@ -60,10 +61,12 @@ class MemoryHierarchy:
         config: SystemConfig,
         scheme,
         stats: Optional[SimStats] = None,
+        bus: EventBus = NULL_BUS,
     ) -> None:
         self.config = config
         self.scheme = scheme
         self.stats = stats or SimStats(num_cores=config.num_cores)
+        self.bus = bus
         # block_size is a validated power of two: block address / offset
         # arithmetic in the hot paths reduces to a mask.
         self._block_mask = config.block_size - 1
@@ -72,17 +75,18 @@ class MemoryHierarchy:
             CacheArray(config.l1d, name=f"L1D{c}") for c in range(config.num_cores)
         ]
         self.llc = CacheArray(config.llc, name="LLC")
-        self.directory = Directory()
+        self.directory = Directory(bus)
         self.dram = DRAMController(config.mem, self.stats)
-        self.nvmm = NVMMController(config.mem, self.stats)
+        self.nvmm = NVMMController(config.mem, self.stats, bus)
         #: Functional contents of DRAM (volatile: lost on crash).
         self.volatile_image: Dict[int, BlockData] = {}
         battery_sb = getattr(scheme, "name", "") in ("bbb", "eadr") and (
             not config.force_volatile_store_buffer
         )
         self.store_buffers = [
-            StoreBuffer(config.store_buffer_entries, battery_backed=battery_sb)
-            for _ in range(config.num_cores)
+            StoreBuffer(config.store_buffer_entries, battery_backed=battery_sb,
+                        core_id=c, bus=bus)
+            for c in range(config.num_cores)
         ]
         scheme.attach(self)
 
@@ -423,7 +427,7 @@ class MemoryHierarchy:
             l1.clear()
         self.llc.clear()
         self.volatile_image.clear()
-        self.directory = Directory()
+        self.directory = Directory(self.bus)
         for sb in self.store_buffers:
             sb.clear()
 

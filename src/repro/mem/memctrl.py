@@ -26,6 +26,8 @@ from typing import Tuple
 
 from repro.mem.block import BlockData
 from repro.mem.nvmm import NVMMedia
+from repro.obs.bus import NULL_BUS, EventBus
+from repro.obs.events import WpqDrain, WpqEnqueue
 from repro.sim.config import MemConfig
 from repro.sim.stats import SimStats
 
@@ -63,9 +65,11 @@ class NVMMController:
     figure plotted in Fig. 7(b).
     """
 
-    def __init__(self, config: MemConfig, stats: SimStats) -> None:
+    def __init__(self, config: MemConfig, stats: SimStats,
+                 bus: EventBus = NULL_BUS) -> None:
         self.config = config
         self.stats = stats
+        self.bus = bus
         self.media = NVMMedia(config.nvmm_base, config.nvmm_bytes)
         #: Per-channel next-free time; blocks interleave by block address.
         self._port_free = [0] * config.nvmm_channels
@@ -102,6 +106,10 @@ class NVMMController:
         self._port_free[channel] = done
         self.media.write_block(block_addr, data)
         self.stats.nvmm_writes += 1
+        if self.bus.enabled:
+            self.bus.emit(WpqEnqueue(now, block_addr, channel,
+                                     accept_at=done, backlog=start - now))
+            self.bus.emit(WpqDrain(done, block_addr, channel))
         return done
 
     # ------------------------------------------------------------------

@@ -21,6 +21,9 @@ from dataclasses import dataclass
 from typing import Deque, Iterable, List, Optional
 from collections import deque
 
+from repro.obs.bus import NULL_BUS, EventBus
+from repro.obs.events import SbPush, SbRelease
+
 
 @dataclass
 class SBEntry:
@@ -40,11 +43,14 @@ class StoreBuffer:
     (required for relaxed consistency; harmless under TSO).
     """
 
-    def __init__(self, entries: int, battery_backed: bool = False) -> None:
+    def __init__(self, entries: int, battery_backed: bool = False,
+                 core_id: int = 0, bus: EventBus = NULL_BUS) -> None:
         if entries < 1:
             raise ValueError("store buffer needs at least one entry")
         self.capacity = entries
         self.battery_backed = battery_backed
+        self.core_id = core_id
+        self._bus = bus
         self._fifo: Deque[SBEntry] = deque()
         self._seq = 0
 
@@ -55,23 +61,37 @@ class StoreBuffer:
     def full(self) -> bool:
         return len(self._fifo) >= self.capacity
 
-    def push(self, addr: int, value: int, size: int, persistent: bool) -> SBEntry:
+    def push(self, addr: int, value: int, size: int, persistent: bool,
+             now: int = 0) -> SBEntry:
         """Append a committed store; caller must drain first if full."""
         if self.full:
             raise RuntimeError("store buffer full; drain before pushing")
         self._seq += 1
         entry = SBEntry(addr, size, value, self._seq, persistent)
         self._fifo.append(entry)
+        if self._bus.enabled:
+            self._bus.emit(SbPush(now, self.core_id, addr, len(self._fifo)))
         return entry
 
-    def pop_oldest(self) -> Optional[SBEntry]:
-        return self._fifo.popleft() if self._fifo else None
+    def pop_oldest(self, now: int = 0) -> Optional[SBEntry]:
+        if not self._fifo:
+            return None
+        entry = self._fifo.popleft()
+        if self._bus.enabled:
+            self._bus.emit(
+                SbRelease(now, self.core_id, entry.addr, len(self._fifo))
+            )
+        return entry
 
-    def pop_any(self, index: int) -> SBEntry:
+    def pop_any(self, index: int, now: int = 0) -> SBEntry:
         """Remove an arbitrary entry (relaxed consistency: out-of-order
         release to the L1D)."""
         entry = self._fifo[index]
         del self._fifo[index]
+        if self._bus.enabled:
+            self._bus.emit(
+                SbRelease(now, self.core_id, entry.addr, len(self._fifo))
+            )
         return entry
 
     def forward(self, addr: int, size: int) -> Optional[int]:

@@ -1,0 +1,91 @@
+"""Observability: event tracing, metrics, and profiling for the simulator.
+
+The subsystem has three legs, all documented in ``docs/api.md``:
+
+* **Event bus** (:mod:`repro.obs.bus`, :mod:`repro.obs.events`) — typed
+  events (bbPB allocations/coalesces/rejections, drains, coherence moves,
+  WPQ acceptances, stall intervals with cause) emitted by the engine, the
+  persistency schemes, and the memory system.  Emission sites guard with
+  ``if bus.enabled:`` *before* constructing the event, so a disabled bus
+  (the default, :data:`~repro.obs.bus.NULL_BUS`) costs one attribute load
+  and a branch — the hot path of a non-observed run is unchanged.
+
+* **Metrics registry** (:mod:`repro.obs.metrics`) — counters, gauges, and
+  histograms with label support.  :meth:`repro.sim.stats.SimStats.to_registry`
+  projects a run's statistics into a registry; :class:`~repro.obs.timeline.
+  OccupancySampler` feeds bbPB/WPQ occupancy timelines from event traffic.
+
+* **Exporters** (:mod:`repro.obs.exporters`) — JSONL event logs, Chrome
+  ``trace_event`` files for chrome://tracing, and ASCII summaries.
+
+Typical use::
+
+    from repro.api import build_system
+    from repro.obs import EventBus, EventRecorder, OccupancySampler
+    from repro.obs.exporters import write_chrome_trace, write_jsonl
+
+    bus = EventBus()
+    recorder = EventRecorder(bus)
+    sampler = OccupancySampler(bus)
+    system = build_system("bbb", bus=bus)
+    system.run(trace)
+    write_jsonl(recorder.events, "events.jsonl")
+    write_chrome_trace(recorder.events, "trace.json")
+"""
+
+from repro.obs.bus import NULL_BUS, EventBus, EventRecorder
+from repro.obs.events import (
+    EVENT_TYPES,
+    BbpbAlloc,
+    BbpbCoalesce,
+    BbpbReject,
+    BbpbRemove,
+    CoherenceMove,
+    DrainEnd,
+    DrainStart,
+    Event,
+    ForcedDrain,
+    SbPush,
+    SbRelease,
+    StallBegin,
+    StallEnd,
+    WpqDrain,
+    WpqEnqueue,
+    event_from_payload,
+    event_to_payload,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import ProfileReport, profile_run, smoke_report
+from repro.obs.timeline import OccupancySampler
+
+__all__ = [
+    "EventBus",
+    "EventRecorder",
+    "NULL_BUS",
+    "Event",
+    "EVENT_TYPES",
+    "BbpbAlloc",
+    "BbpbCoalesce",
+    "BbpbReject",
+    "BbpbRemove",
+    "DrainStart",
+    "DrainEnd",
+    "ForcedDrain",
+    "CoherenceMove",
+    "WpqEnqueue",
+    "WpqDrain",
+    "SbPush",
+    "SbRelease",
+    "StallBegin",
+    "StallEnd",
+    "event_to_payload",
+    "event_from_payload",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OccupancySampler",
+    "ProfileReport",
+    "profile_run",
+    "smoke_report",
+]

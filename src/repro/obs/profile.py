@@ -1,0 +1,197 @@
+"""Profiling harness behind ``repro profile``.
+
+Runs one (workload, scheme) simulation with the observability layer fully
+enabled — event recorder, occupancy sampler, drain-latency probe — and
+produces a :class:`ProfileReport`: event counts, stall-cycle attribution
+by cause, bbPB/WPQ occupancy statistics, the drain-latency distribution,
+and a reconciliation check proving the event stream and ``SimStats`` agree
+exactly (the observability layer's own correctness gate, run in CI via
+``repro profile --smoke``).
+
+Optionally wraps the run in :mod:`cProfile` to attribute *host* CPU time
+(where the simulator itself spends its cycles — the tool for finding the
+next hot-path PR).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.drain import DrainLatencyProbe
+from repro.obs.bus import EventBus, EventRecorder
+from repro.obs.events import (
+    STALL_BBPB_FULL,
+    STALL_EPOCH,
+    STALL_FLUSH_FENCE,
+    Event,
+)
+from repro.obs.exporters import event_counts, stall_attribution
+from repro.obs.timeline import OccupancySampler
+from repro.sim.stats import SimStats
+
+
+@dataclass
+class ProfileReport:
+    """Everything one observed run produced."""
+
+    workload: str
+    scheme: str
+    stats: SimStats
+    events: List[Event]
+    occupancy: Dict[str, Dict[str, Dict[str, float]]]
+    drain_latency: Dict[str, object]
+    #: name -> (events_observed, stats_counter, matches)
+    reconciliation: Dict[str, Tuple[int, int, bool]] = field(default_factory=dict)
+    hotspots: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every reconciliation row matches."""
+        return all(match for _, _, match in self.reconciliation.values())
+
+    def render(self) -> str:
+        from repro.analysis.tables import render_table
+
+        counts = event_counts(self.events)
+        sections = [
+            render_table(
+                ["event", "count"],
+                [(k, counts[k]) for k in sorted(counts)],
+                title=f"events: {self.workload} under {self.scheme} "
+                      f"({len(self.events):,} total)",
+            )
+        ]
+        stalls = stall_attribution(self.events)
+        if stalls:
+            sections.append(render_table(
+                ["stall cause", "cycles"],
+                sorted(stalls.items()),
+                title="stall attribution",
+            ))
+        occ_rows = [
+            (f"bbpb[core {c}]", s["samples"], s["max"], s["mean"])
+            for c, s in self.occupancy.get("bbpb", {}).items()
+        ] + [
+            (f"wpq[ch {ch}]", s["samples"], s["max"], s["mean"])
+            for ch, s in self.occupancy.get("wpq", {}).items()
+        ]
+        if occ_rows:
+            sections.append(render_table(
+                ["series", "samples", "max", "mean"], occ_rows,
+                title="occupancy timelines (sampled on event boundaries)",
+            ))
+        if self.drain_latency.get("count"):
+            sections.append(render_table(
+                ["metric", "value"],
+                [(k, self.drain_latency[k])
+                 for k in ("count", "mean", "min", "max")],
+                title="drain latency (cycles, bbPB entry -> WPQ acceptance)",
+            ))
+        sections.append(render_table(
+            ["check", "events", "stats", "ok"],
+            [(name, ev, st, "yes" if ok else "NO")
+             for name, (ev, st, ok) in sorted(self.reconciliation.items())],
+            title="event/stats reconciliation",
+        ))
+        if self.hotspots:
+            sections.append("host hotspots (cProfile, cumulative):\n"
+                            + self.hotspots)
+        return "\n\n".join(sections)
+
+
+def _reconcile(events: List[Event], stats: SimStats
+               ) -> Dict[str, Tuple[int, int, bool]]:
+    """Pair event-stream counts with the SimStats counters they must equal."""
+    counts = event_counts(events)
+    stalls = stall_attribution(events)
+    pairs = {
+        "bbpb_allocations": (counts.get("bbpb_alloc", 0),
+                             stats.bbpb_allocations),
+        "bbpb_coalesces": (counts.get("bbpb_coalesce", 0),
+                           stats.bbpb_coalesces),
+        "bbpb_rejections": (counts.get("bbpb_reject", 0),
+                            stats.bbpb_rejections),
+        "bbpb_drains": (counts.get("drain_start", 0), stats.bbpb_drains),
+        "bbpb_forced_drains": (counts.get("forced_drain", 0),
+                               stats.bbpb_forced_drains),
+        "bbpb_removes": (counts.get("bbpb_remove", 0), stats.bbpb_removes),
+        "nvmm_writes": (counts.get("wpq_drain", 0), stats.nvmm_writes),
+        "stall_cycles_bbpb_full": (stalls.get(STALL_BBPB_FULL, 0),
+                                   stats.total_bbpb_stalls),
+        "stall_cycles_flush_fence": (
+            stalls.get(STALL_FLUSH_FENCE, 0),
+            sum(c.stall_cycles_flush_fence for c in stats.core)),
+        "stall_cycles_epoch": (
+            stalls.get(STALL_EPOCH, 0),
+            sum(c.stall_cycles_epoch for c in stats.core)),
+    }
+    return {name: (ev, st, ev == st) for name, (ev, st) in pairs.items()}
+
+
+def profile_run(
+    workload: str,
+    scheme: str = "bbb",
+    *,
+    entries: int = 32,
+    spec=None,
+    config=None,
+    finalize: bool = False,
+    cprofile: bool = False,
+) -> ProfileReport:
+    """Run ``workload`` under ``scheme`` with observability enabled."""
+    # Imported here (not at module top) to keep obs importable without the
+    # analysis/workload layers in minimal embeddings.
+    from repro.analysis.experiments import default_sim_config
+    from repro.api import build_system
+    from repro.workloads.base import WorkloadSpec, build_cached, seed_media_words
+
+    cfg = config or default_sim_config()
+    wspec = spec or WorkloadSpec()
+    trace, initial_words = build_cached(workload, cfg.mem, wspec)
+
+    bus = EventBus()
+    recorder = EventRecorder(bus)
+    sampler = OccupancySampler(bus)
+    probe = DrainLatencyProbe(bus)
+    system = build_system(scheme, config=cfg, entries=entries, bus=bus)
+    seed_media_words(system.nvmm_media, initial_words)
+
+    hotspots: Optional[str] = None
+    if cprofile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        system.run(trace, finalize=finalize)
+        profiler.disable()
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(15)
+        hotspots = buf.getvalue()
+    else:
+        system.run(trace, finalize=finalize)
+
+    return ProfileReport(
+        workload=workload,
+        scheme=scheme,
+        stats=system.stats,
+        events=recorder.events,
+        occupancy=sampler.summary(),
+        drain_latency=probe.summary(),
+        reconciliation=_reconcile(recorder.events, system.stats),
+        hotspots=hotspots,
+    )
+
+
+def smoke_report() -> ProfileReport:
+    """Tiny fixed run for CI: exercises every observability leg in ~a
+    second and fails loudly if events and stats disagree."""
+    from repro.workloads.base import WorkloadSpec
+
+    return profile_run(
+        "hashmap", "bbb", entries=8,
+        spec=WorkloadSpec(threads=4, ops=60, elements=1024, seed=11),
+        finalize=True,
+    )

@@ -30,6 +30,13 @@ from typing import List, Optional
 from repro.core.persistency import DrainReport
 from repro.mem.block import block_address
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs.events import (
+    STALL_EPOCH,
+    STALL_FLUSH_FENCE,
+    SbRelease,
+    StallBegin,
+    StallEnd,
+)
 from repro.sim.config import ConsistencyModel
 from repro.sim.reference import LogKind, LogRecord
 from repro.sim.stats import SimStats
@@ -90,6 +97,7 @@ class Engine:
         self._tso = self.consistency is ConsistencyModel.TSO
         self._is_persistent = self.config.mem.is_persistent
         self._store_buffers = hierarchy.store_buffers
+        self._bus = hierarchy.bus
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -214,6 +222,9 @@ class Engine:
                 target = max(flush_outstanding)
                 if target > now:
                     self.stats.core[core].stall_cycles_flush_fence += target - now
+                    if self._bus.enabled:
+                        self._bus.emit(StallBegin(now, core, STALL_FLUSH_FENCE))
+                        self._bus.emit(StallEnd(target, core, STALL_FLUSH_FENCE))
                     now = target
                 flush_outstanding.clear()
             return now
@@ -221,6 +232,9 @@ class Engine:
         if kind is OpKind.EPOCH:
             now = self._release_all(core, now, result)
             stall = self.hierarchy.scheme.on_epoch_boundary(core, now)
+            if stall and self._bus.enabled:
+                self._bus.emit(StallBegin(now, core, STALL_EPOCH))
+                self._bus.emit(StallEnd(now + stall, core, STALL_EPOCH))
             return now + stall
 
         raise ValueError(f"unknown op kind {kind!r}")  # pragma: no cover
@@ -258,7 +272,7 @@ class Engine:
         if sb.full:
             now = self._release_oldest(core, now, result)
         persistent = self.config.mem.is_persistent(op.addr)
-        sb.push(op.addr, op.value, op.size, persistent)
+        sb.push(op.addr, op.value, op.size, persistent, now)
         if persistent:
             self._seq += 1
             result.committed_persists.append(
@@ -288,13 +302,13 @@ class Engine:
     def _release_all(self, core: int, now: int, result: RunResult) -> int:
         sb = self.hierarchy.store_buffers[core]
         while len(sb):
-            entry = sb.pop_oldest()
+            entry = sb.pop_oldest(now)
             now = self._release_entry(core, entry, now, result)
         return now
 
     def _release_oldest(self, core: int, now: int, result: RunResult) -> int:
         sb = self.hierarchy.store_buffers[core]
-        entry = sb.pop_oldest()
+        entry = sb.pop_oldest(now)
         if entry is not None:
             now = self._release_entry(core, entry, now, result)
         return now
@@ -306,15 +320,24 @@ class Engine:
         sb = self.hierarchy.store_buffers[core]
         blocked_blocks = set()
         kept = []
+        released = []
+        bus_on = self._bus.enabled
         for entry in sb.entries():
             baddr = block_address(entry.addr, self.config.block_size)
             if baddr in blocked_blocks:
                 kept.append(entry)
                 continue
             if self._rng.random() < self._release_probability:
+                if bus_on:
+                    released.append((now, entry.addr))
                 now = self._release_entry(core, entry, now, result)
             else:
                 kept.append(entry)
                 blocked_blocks.add(baddr)
         sb.requeue(kept)  # preserve original relative order
+        if bus_on:
+            # requeue bypasses pop_*, so emit the releases here (occupancy
+            # reflects the post-release buffer, as with pop_oldest).
+            for cycle, addr in released:
+                self._bus.emit(SbRelease(cycle, core, addr, len(kept)))
         return now

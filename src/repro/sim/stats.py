@@ -6,13 +6,57 @@ paper reports: execution time (Fig. 7a, Fig. 8b), number of writes to NVMM
 (Fig. 7b), bbPB rejections due to full buffer (Fig. 8a), and bbPB drains
 (Fig. 8c), plus supporting detail (coalesces, forced drains, coherence
 moves, stall cycles).
+
+Serialisation
+-------------
+
+:meth:`SimStats.to_dict` emits the versioned ``repro.simstats/v1`` schema —
+the one JSON shape shared by ``repro run --json``, ``repro bench``, and the
+batch runner — and :meth:`SimStats.from_dict` parses it back losslessly::
+
+    {
+      "schema": "repro.simstats/v1",
+      "num_cores": <int>,
+      "totals":   {<scalar counter>: <int>, ...},   # SCALAR_FIELDS
+      "bbpb_per_core": {"<core>": <drains>, ...},
+      "cores":    [{<per-core counter>: <int>, ...}, ...],  # CORE_FIELDS
+      "derived":  {...}   # recomputed on load, informational only
+    }
+
+The authoritative field lists are :data:`SCALAR_FIELDS` and
+:data:`CORE_FIELDS`; adding a counter means extending those tuples (and
+bumping the schema tag if the meaning of existing fields changes).
+:meth:`SimStats.to_registry` projects the same counters into a
+:class:`repro.obs.metrics.MetricsRegistry` (per-core counters become
+labelled families) for the observability tooling.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+#: Schema tag emitted/required by to_dict/from_dict.
+STATS_SCHEMA = "repro.simstats/v1"
+
+#: Whole-run scalar counters, in emission order.
+SCALAR_FIELDS = (
+    "nvmm_writes", "nvmm_reads", "dram_reads", "dram_writes",
+    "llc_hits", "llc_misses", "llc_evictions", "llc_writebacks",
+    "llc_writebacks_dropped",
+    "bbpb_allocations", "bbpb_coalesces", "bbpb_drains", "bbpb_rejections",
+    "bbpb_forced_drains", "bbpb_moves", "bbpb_removes",
+    "flushes", "fences", "epoch_barriers", "bsp_conflict_drains",
+    "persist_latency_sum", "persist_latency_count", "persist_latency_max",
+)
+
+#: Per-core counters, in emission order.
+CORE_FIELDS = (
+    "loads", "stores", "persisting_stores", "compute_cycles",
+    "stall_cycles_bbpb_full", "stall_cycles_flush_fence",
+    "stall_cycles_epoch", "l1_hits", "l1_misses", "sb_forwards", "cycles",
+)
 
 
 @dataclass
@@ -150,42 +194,82 @@ class SimStats:
         }
 
     def to_dict(self) -> Dict[str, object]:
-        """Full JSON-serialisable dump (gem5-style stats file)."""
+        """Serialise to the versioned ``repro.simstats/v1`` schema (see the
+        module docstring)."""
         return {
-            "summary": self.summary(),
-            "persist_latency": {
-                "count": self.persist_latency_count,
-                "avg": self.persist_latency_avg,
-                "max": self.persist_latency_max,
+            "schema": STATS_SCHEMA,
+            "num_cores": self.num_cores,
+            "totals": {f: getattr(self, f) for f in SCALAR_FIELDS},
+            "bbpb_per_core": {
+                str(k): v for k, v in sorted(self.bbpb_per_core.items())
             },
-            "llc": {
-                "hits": self.llc_hits,
-                "misses": self.llc_misses,
-                "evictions": self.llc_evictions,
-                "writebacks": self.llc_writebacks,
-                "writebacks_dropped": self.llc_writebacks_dropped,
-            },
-            "bsp_conflict_drains": self.bsp_conflict_drains,
-            "epoch_barriers": self.epoch_barriers,
-            "bbpb_drains_per_core": dict(self.bbpb_per_core),
             "cores": [
-                {
-                    "cycles": c.cycles,
-                    "loads": c.loads,
-                    "stores": c.stores,
-                    "persisting_stores": c.persisting_stores,
-                    "l1_hits": c.l1_hits,
-                    "l1_misses": c.l1_misses,
-                    "l1_hit_rate": round(c.l1_hit_rate, 4),
-                    "sb_forwards": c.sb_forwards,
-                    "compute_cycles": c.compute_cycles,
-                    "stall_cycles_bbpb_full": c.stall_cycles_bbpb_full,
-                    "stall_cycles_flush_fence": c.stall_cycles_flush_fence,
-                    "stall_cycles_epoch": c.stall_cycles_epoch,
-                }
-                for c in self.core
+                {f: getattr(c, f) for f in CORE_FIELDS} for c in self.core
             ],
+            "derived": {
+                "execution_cycles": self.execution_cycles,
+                "total_loads": self.total_loads,
+                "total_stores": self.total_stores,
+                "total_persisting_stores": self.total_persisting_stores,
+                "persist_store_fraction": round(self.persist_store_fraction, 6),
+                "persist_latency_avg": round(self.persist_latency_avg, 4),
+                "total_bbpb_stalls": self.total_bbpb_stalls,
+            },
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimStats":
+        """Parse a :meth:`to_dict` payload back into a :class:`SimStats`.
+
+        Validates the schema tag; the ``derived`` block is ignored (those
+        values are recomputed from the counters).
+        """
+        schema = payload.get("schema")
+        if schema != STATS_SCHEMA:
+            raise ValueError(
+                f"unsupported stats schema {schema!r} (expected "
+                f"{STATS_SCHEMA!r})"
+            )
+        cores_payload = payload.get("cores", [])
+        stats = cls(
+            num_cores=int(payload.get("num_cores", len(cores_payload))),
+            core=[
+                CoreStats(**{f: c[f] for f in CORE_FIELDS})
+                for c in cores_payload
+            ],
+        )
+        totals = payload.get("totals", {})
+        for f in SCALAR_FIELDS:
+            setattr(stats, f, totals[f])
+        stats.bbpb_per_core = Counter(
+            {int(k): v for k, v in payload.get("bbpb_per_core", {}).items()}
+        )
+        return stats
+
+    def to_registry(self, registry: Optional[object] = None):
+        """Project the counters into a :class:`repro.obs.metrics.
+        MetricsRegistry` — scalars as counters (``persist_latency_max`` as a
+        gauge), per-core counters as labelled families."""
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = registry if registry is not None else MetricsRegistry()
+        for f in SCALAR_FIELDS:
+            value = getattr(self, f)
+            if f == "persist_latency_max":
+                reg.gauge(f, "peak PoV->PoP gap, cycles").set(value)
+            else:
+                reg.counter(f).inc(value)
+        for f in CORE_FIELDS:
+            fam = reg.counter_family(f"core_{f}", label="core")
+            for core_id, c in enumerate(self.core):
+                fam.labels(core_id).inc(getattr(c, f))
+        drains = reg.counter_family(
+            "bbpb_drains_per_core", "bbPB drains issued on behalf of each core",
+            label="core",
+        )
+        for core_id, count in sorted(self.bbpb_per_core.items()):
+            drains.labels(core_id).inc(count)
+        return reg
 
     def to_json(self, indent: int = 2) -> str:
         import json

@@ -8,26 +8,21 @@
     result = system.run(trace)
     print(result.stats.nvmm_writes, result.execution_cycles)
 
-Factory helpers build the schemes the paper compares (Fig. 7): ``eadr()``,
-``bbb(entries=32)``, ``bbb_processor_side()``, ``pmem_strict()``, ``bep()``,
-``no_persistency()``.
+Systems for the paper's comparison space are built by name through
+:func:`repro.api.build_system`; the per-scheme factory functions that used
+to live here (``eadr()``, ``bbb()``, ...) remain as deprecated wrappers and
+will be removed in a future release.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
-from repro.core.bsp import BSP
-from repro.core.persistency import (
-    BBBScheme,
-    BEP,
-    EADR,
-    NoPersistency,
-    PersistencyScheme,
-    StrictPMEM,
-)
+from repro.core.persistency import BBBScheme, PersistencyScheme
 from repro.mem.hierarchy import MemoryHierarchy
-from repro.sim.config import BBBConfig, SystemConfig
+from repro.obs.bus import NULL_BUS, EventBus
+from repro.sim.config import SystemConfig
 from repro.sim.engine import Engine, RunResult
 from repro.sim.stats import SimStats
 from repro.sim.trace import ProgramTrace
@@ -41,11 +36,14 @@ class System:
         config: Optional[SystemConfig] = None,
         scheme: Optional[PersistencyScheme] = None,
         reorder_seed: int = 0,
+        bus: EventBus = NULL_BUS,
     ) -> None:
         self.config = config or SystemConfig()
         self.scheme = scheme or BBBScheme()
+        self.bus = bus
         self.stats = SimStats(num_cores=self.config.num_cores)
-        self.hierarchy = MemoryHierarchy(self.config, self.scheme, self.stats)
+        self.hierarchy = MemoryHierarchy(self.config, self.scheme, self.stats,
+                                         bus=bus)
         self.engine = Engine(self.hierarchy, reorder_seed=reorder_seed)
 
     def run(
@@ -65,12 +63,24 @@ class System:
 
 
 # ----------------------------------------------------------------------
-# Scheme/system factories for the paper's comparison space
+# Deprecated per-scheme factories (use repro.api.build_system instead)
 # ----------------------------------------------------------------------
 
+def _warn_factory(old: str, scheme: str) -> None:
+    warnings.warn(
+        f"repro.sim.system.{old}() is deprecated; use "
+        f"repro.api.build_system({scheme!r}, ...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def eadr(config: Optional[SystemConfig] = None, **kw) -> System:
-    """eADR baseline: whole-hierarchy battery backing (the 'Optimal' bars)."""
-    return System(config, EADR(), **kw)
+    """Deprecated: use ``repro.api.build_system("eadr", ...)``."""
+    _warn_factory("eadr", "eadr")
+    from repro.api import build_system
+
+    return build_system("eadr", config=config, **kw)
 
 
 def bbb(
@@ -79,12 +89,14 @@ def bbb(
     drain_threshold: float = 0.75,
     **kw,
 ) -> System:
-    """BBB with a memory-side bbPB (the paper's default design)."""
-    cfg = config or SystemConfig()
-    bbb_cfg = BBBConfig(
-        entries=entries, drain_threshold=drain_threshold, memory_side=True
+    """Deprecated: use ``repro.api.build_system("bbb", ...)``."""
+    _warn_factory("bbb", "bbb")
+    from repro.api import build_system
+
+    return build_system(
+        "bbb", entries=entries, config=config,
+        drain_threshold=drain_threshold, **kw
     )
-    return System(cfg, BBBScheme(bbb_cfg), **kw)
 
 
 def bbb_processor_side(
@@ -93,46 +105,51 @@ def bbb_processor_side(
     coalesce_consecutive: bool = True,
     **kw,
 ) -> System:
-    """BBB with the processor-side bbPB organisation (Section V-C baseline).
+    """Deprecated: use ``repro.api.build_system("bbb-proc", ...)``."""
+    _warn_factory("bbb_processor_side", "bbb-proc")
+    from repro.api import build_system
 
-    ``coalesce_consecutive=False`` models the paper's measured variant in
-    which "almost every persisting store must go to the bbPB and drain to
-    the NVMM" (no coalescing at all).
-    """
-    cfg = config or SystemConfig()
-    bbb_cfg = BBBConfig(
-        entries=entries,
-        memory_side=False,
-        proc_coalesce_consecutive=coalesce_consecutive,
+    return build_system(
+        "bbb-proc", entries=entries, config=config,
+        coalesce_consecutive=coalesce_consecutive, **kw
     )
-    return System(cfg, BBBScheme(bbb_cfg), **kw)
 
 
 def pmem_strict(config: Optional[SystemConfig] = None, **kw) -> System:
-    """Intel-PMEM-style strict persistency (hardware clwb+sfence per store)."""
-    return System(config, StrictPMEM(), **kw)
+    """Deprecated: use ``repro.api.build_system("pmem", ...)``."""
+    _warn_factory("pmem_strict", "pmem")
+    from repro.api import build_system
+
+    return build_system("pmem", config=config, **kw)
 
 
 def bep(config: Optional[SystemConfig] = None, entries: int = 32, **kw) -> System:
-    """Buffered epoch persistency with volatile persist buffers."""
-    return System(config, BEP(entries=entries), **kw)
+    """Deprecated: use ``repro.api.build_system("bep", ...)``."""
+    _warn_factory("bep", "bep")
+    from repro.api import build_system
+
+    return build_system("bep", entries=entries, config=config, **kw)
 
 
 def bsp(config: Optional[SystemConfig] = None, entries: int = 32, **kw) -> System:
-    """Bulk Strict Persistency (Table I's BSP column): volatile ordered
-    buffers that persist-before-respond on remote requests."""
-    return System(config, BSP(entries=entries), **kw)
+    """Deprecated: use ``repro.api.build_system("bsp", ...)``."""
+    _warn_factory("bsp", "bsp")
+    from repro.api import build_system
+
+    return build_system("bsp", entries=entries, config=config, **kw)
 
 
 def no_persistency(config: Optional[SystemConfig] = None, **kw) -> System:
-    """Volatile caches, no ordering: the motivating failure mode."""
-    return System(config, NoPersistency(), **kw)
+    """Deprecated: use ``repro.api.build_system("none", ...)``."""
+    _warn_factory("no_persistency", "none")
+    from repro.api import build_system
+
+    return build_system("none", config=config, **kw)
 
 
-#: Canonical scheme-name -> factory registry.  The CLI and the batch runner
-#: both resolve schemes through this table, so a :class:`~repro.analysis.batch.RunSpec`
-#: can name a scheme with a plain (picklable) string and worker processes
-#: rebuild the System on their side.
+#: Deprecated scheme-name -> factory registry.  Kept so old callers keep
+#: working (each entry warns); new code resolves schemes by name through
+#: :func:`repro.api.build_system`.
 SCHEME_FACTORIES = {
     "bbb": bbb,
     "bbb-proc": bbb_processor_side,

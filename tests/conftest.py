@@ -15,7 +15,6 @@ from repro.sim.config import (
     MemConfig,
     SystemConfig,
 )
-from repro.sim.system import System, bbb, eadr
 from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
 
 

@@ -10,7 +10,7 @@ that contract — and that the epoch barrier is where BEP pays its stalls.
 import pytest
 
 from repro.core.recovery import check_epoch_consistency
-from repro.sim.system import bbb, bep
+from repro.api import build_system
 from repro.sim.trace import OpKind, ProgramTrace, ThreadTrace, TraceOp
 from tests.conftest import paddr, single_thread_trace
 
@@ -53,14 +53,14 @@ class TestEpochConsistencyUnderBEP:
         trace, groups = epoch_program(small_config)
         epochs = to_persist_records(groups)
         for crash_at in range(1, trace.total_ops() + 1):
-            system = bep(small_config, entries=8)
+            system = build_system("bep", config=small_config, entries=8)
             system.run(trace, crash_at_op=crash_at)
             check = check_epoch_consistency(system.nvmm_media, epochs)
             assert check, (crash_at, check.violations)
 
     def test_full_run_persists_every_epoch(self, small_config):
         trace, groups = epoch_program(small_config)
-        system = bep(small_config)
+        system = build_system("bep", config=small_config)
         system.run(trace)
         for group in groups:
             for addr, value in group:
@@ -71,7 +71,7 @@ class TestEpochConsistencyUnderBEP:
         fully durable (the boundary stalls until it drains)."""
         trace, groups = epoch_program(small_config, epochs=2, stores_per_epoch=3)
         # Crash immediately after the first EPOCH op (op index 4 -> 1-based).
-        system = bep(small_config)
+        system = build_system("bep", config=small_config)
         system.run(trace, crash_at_op=4)
         for addr, value in groups[0]:
             assert system.nvmm_media.read_word(addr, 8) == value
@@ -83,7 +83,7 @@ class TestEpochConsistencyUnderBEP:
 class TestEpochBarrierCost:
     def test_barriers_stall_when_prior_epoch_undrained(self, small_config):
         trace, _ = epoch_program(small_config, epochs=8, stores_per_epoch=6)
-        system = bep(small_config, entries=64)
+        system = build_system("bep", config=small_config, entries=64)
         result = system.run(trace, finalize=False)
         assert result.stats.epoch_barriers == 8
         assert sum(c.stall_cycles_epoch for c in result.stats.core) > 0
@@ -92,7 +92,7 @@ class TestEpochBarrierCost:
         """Under BBB the epoch ops are ordering no-ops: strict persistency
         subsumes them, with zero barrier stalls."""
         trace, groups = epoch_program(small_config, epochs=8, stores_per_epoch=6)
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         result = system.run(trace, finalize=False)
         assert sum(c.stall_cycles_epoch for c in result.stats.core) == 0
         # And the durable state is even stronger than epoch consistency.
@@ -103,9 +103,9 @@ class TestEpochBarrierCost:
     def test_bep_faster_than_strict_but_weaker(self, small_config):
         """The classic trade-off: BEP buys performance over per-store
         strictness by weakening the guarantee to epoch granularity."""
-        from repro.sim.system import pmem_strict
+        from repro.api import build_system
 
         trace, _ = epoch_program(small_config, epochs=10, stores_per_epoch=8)
-        t_bep = bep(small_config).run(trace, finalize=False).execution_cycles
-        t_strict = pmem_strict(small_config).run(trace, finalize=False).execution_cycles
+        t_bep = build_system("bep", config=small_config).run(trace, finalize=False).execution_cycles
+        t_strict = build_system("pmem", config=small_config).run(trace, finalize=False).execution_cycles
         assert t_bep < t_strict

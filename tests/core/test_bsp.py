@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.bsp import BSP
 from repro.core.recovery import check_exact_durability, check_prefix_consistency
-from repro.sim.system import bbb, bsp, eadr
+from repro.api import build_system
 from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
 from tests.conftest import paddr, single_thread_trace
 
@@ -22,20 +22,20 @@ def store_trace(config, n):
 
 class TestBuffering:
     def test_stores_buffer_without_immediate_persist(self, small_config):
-        system = bsp(small_config)
+        system = build_system("bsp", config=small_config)
         system.run(store_trace(small_config, 3), finalize=False)
         # Below the drain threshold nothing has persisted yet.
         assert system.nvmm_media.read_word(paddr(small_config, 0), 8) == 0
         assert len(system.scheme.buffers[0]) == 3
 
     def test_finalize_persists_everything(self, small_config):
-        system = bsp(small_config)
+        system = build_system("bsp", config=small_config)
         system.run(store_trace(small_config, 5), finalize=True)
         for i in range(5):
             assert system.nvmm_media.read_word(paddr(small_config, i), 8) == i + 1
 
     def test_background_threshold_draining(self, small_config):
-        system = bsp(small_config, entries=4)
+        system = build_system("bsp", config=small_config, entries=4)
         system.run(store_trace(small_config, 10), finalize=False)
         assert system.stats.bbpb_drains > 0
 
@@ -45,7 +45,7 @@ class TestPersistBeforeRespond:
         """Core 1 reads a block core 0 wrote but has not persisted: the
         value must be durable before the read completes (Invariant 3's
         BSP-style enforcement)."""
-        system = bsp(two_core_config)
+        system = build_system("bsp", config=two_core_config)
         h = system.hierarchy
         x = paddr(two_core_config, 0)
         h.store(0, x, 8, 0xAB, 0)
@@ -59,9 +59,9 @@ class TestPersistBeforeRespond:
         """Same access pattern, but one system already drained its buffer:
         the read that triggers a persist-before-respond completes later."""
         x = paddr(two_core_config, 0)
-        conflicted = bsp(two_core_config)
+        conflicted = build_system("bsp", config=two_core_config)
         conflicted.hierarchy.store(0, x, 8, 1, 0)
-        clean = bsp(two_core_config)
+        clean = build_system("bsp", config=two_core_config)
         clean.hierarchy.store(0, x, 8, 1, 0)
         clean.scheme.finalize(50)  # buffer already empty at the read
         _, t_conflict = conflicted.hierarchy.load(1, x, 8, 100)
@@ -71,7 +71,7 @@ class TestPersistBeforeRespond:
     def test_remote_write_forces_persist_of_older_stores(self, two_core_config):
         """The bulk part: persisting a requested block persists all older
         buffered stores of that core first (in-order buffer)."""
-        system = bsp(two_core_config)
+        system = build_system("bsp", config=two_core_config)
         h = system.hierarchy
         a, b = paddr(two_core_config, 0), paddr(two_core_config, 1)
         h.store(0, a, 8, 0x1, 0)     # older
@@ -84,7 +84,7 @@ class TestPersistBeforeRespond:
     def test_llc_eviction_drains_first_and_drops_writeback(self, two_core_config):
         from tests.conftest import conflict_addresses
 
-        system = bsp(two_core_config)
+        system = build_system("bsp", config=two_core_config)
         h = system.hierarchy
         x = paddr(two_core_config, 0)
         h.store(0, x, 8, 0x42, 0)
@@ -100,7 +100,7 @@ class TestPersistBeforeRespond:
 
 class TestCrashSemantics:
     def test_crash_loses_buffered_stores(self, small_config):
-        system = bsp(small_config)
+        system = build_system("bsp", config=small_config)
         result = system.run(store_trace(small_config, 3), crash_at_op=3)
         assert result.drain_report.total_units == 0
         check = check_exact_durability(system.nvmm_media, result.committed_persists)
@@ -111,7 +111,7 @@ class TestCrashSemantics:
         self, small_config, crash_at
     ):
         """BSP's guarantee: whatever persisted is a per-core prefix."""
-        system = bsp(small_config, entries=4)
+        system = build_system("bsp", config=small_config, entries=4)
         trace = store_trace(small_config, 15)
         result = system.run(trace, crash_at_op=crash_at)
         check = check_prefix_consistency(
@@ -122,7 +122,7 @@ class TestCrashSemantics:
 
 class TestTraitsAndGap:
     def test_table1_row(self, small_config):
-        traits = bsp(small_config).scheme.traits()
+        traits = build_system("bsp", config=small_config).scheme.traits()
         assert traits.name == "BSP"
         assert traits.hw_complexity == "High"
         assert traits.battery == "None"
@@ -131,13 +131,13 @@ class TestTraitsAndGap:
     def test_povpop_gap_is_nonzero(self, small_config):
         """Unlike BBB, BSP leaves the PoV/PoP gap open: persist latencies
         are strictly positive."""
-        system = bsp(small_config, entries=4)
+        system = build_system("bsp", config=small_config, entries=4)
         system.run(store_trace(small_config, 12), finalize=True)
         assert system.stats.persist_latency_count > 0
         assert system.stats.persist_latency_avg > 0
 
     def test_bbb_gap_is_zero_for_comparison(self, small_config):
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         system.run(store_trace(small_config, 12), finalize=True)
         assert system.stats.persist_latency_count == 12
         assert system.stats.persist_latency_avg == 0

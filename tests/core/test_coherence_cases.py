@@ -11,13 +11,13 @@ import pytest
 
 from repro.core.invariants import check_all
 from repro.mem.block import E, I, M, S
-from repro.sim.system import bbb
+from repro.api import build_system
 from tests.conftest import conflict_addresses, paddr
 
 
 @pytest.fixture
 def system(two_core_config):
-    return bbb(two_core_config, entries=8)
+    return build_system("bbb", config=two_core_config, entries=8)
 
 
 @pytest.fixture

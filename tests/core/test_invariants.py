@@ -10,14 +10,14 @@ from repro.core.invariants import (
     check_single_bbpb_residency,
 )
 from repro.mem.block import BlockData
-from repro.sim.system import bbb, eadr
+from repro.api import build_system
 from repro.sim.trace import TraceOp
 from tests.conftest import paddr, single_thread_trace
 
 
 @pytest.fixture
 def system(small_config):
-    return bbb(small_config, entries=8)
+    return build_system("bbb", config=small_config, entries=8)
 
 
 class TestCleanSystems:
@@ -32,7 +32,7 @@ class TestCleanSystems:
         check_all(system)
 
     def test_non_bbb_scheme_passes_vacuously(self, small_config):
-        check_all(eadr(small_config))
+        check_all(build_system("eadr", config=small_config))
 
 
 class TestSeededViolations:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.persistency import table1_rows
 from repro.sim.config import ConsistencyModel, SystemConfig
-from repro.sim.system import bbb, bbb_processor_side, bep, eadr, no_persistency, pmem_strict
+from repro.api import build_system
 from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
 from tests.conftest import paddr, single_thread_trace
 
@@ -18,13 +18,13 @@ def store_trace(config, n, stride_blocks=1):
 
 class TestEADR:
     def test_no_stalls_no_extra_writes_during_run(self, small_config):
-        system = eadr(small_config)
+        system = build_system("eadr", config=small_config)
         result = system.run(store_trace(small_config, 10), finalize=False)
         assert result.stats.total_bbpb_stalls == 0
         assert result.stats.nvmm_writes == 0  # nothing evicted yet
 
     def test_crash_drain_persists_all_dirty_blocks(self, small_config):
-        system = eadr(small_config)
+        system = build_system("eadr", config=small_config)
         result = system.run(store_trace(small_config, 10), crash_at_op=10)
         assert result.crashed
         assert result.drain_report.cache_blocks >= 10
@@ -32,7 +32,7 @@ class TestEADR:
             assert system.nvmm_media.read_word(paddr(small_config, i), 8) == i + 1
 
     def test_crash_drain_prefers_l1_copy_over_stale_llc(self, small_config):
-        system = eadr(small_config)
+        system = build_system("eadr", config=small_config)
         h = system.hierarchy
         x = paddr(small_config, 0)
         h.store(0, x, 8, 1, 0)
@@ -44,7 +44,7 @@ class TestEADR:
     def test_crash_drain_ignores_dram_blocks(self, small_config):
         from tests.conftest import daddr
 
-        system = eadr(small_config)
+        system = build_system("eadr", config=small_config)
         h = system.hierarchy
         h.store(0, daddr(small_config, 0), 8, 7, 0)
         report = system.scheme.crash_drain(10)
@@ -53,21 +53,21 @@ class TestEADR:
 
 class TestStrictPMEM:
     def test_every_persisting_store_flushes_and_fences(self, small_config):
-        system = pmem_strict(small_config)
+        system = build_system("pmem", config=small_config)
         result = system.run(store_trace(small_config, 8), finalize=False)
         assert result.stats.flushes == 8
         assert result.stats.fences == 8
         assert result.stats.nvmm_writes == 8
 
     def test_stores_stall_for_wpq_round_trip(self, small_config):
-        slow = pmem_strict(small_config)
-        fast = eadr(small_config)
+        slow = build_system("pmem", config=small_config)
+        fast = build_system("eadr", config=small_config)
         r_slow = slow.run(store_trace(small_config, 20), finalize=False)
         r_fast = fast.run(store_trace(small_config, 20), finalize=False)
         assert r_slow.execution_cycles > r_fast.execution_cycles * 1.5
 
     def test_durable_immediately_after_each_store(self, small_config):
-        system = pmem_strict(small_config)
+        system = build_system("pmem", config=small_config)
         system.run(store_trace(small_config, 5), crash_at_op=5)
         for i in range(5):
             assert system.nvmm_media.read_word(paddr(small_config, i), 8) == i + 1
@@ -75,7 +75,7 @@ class TestStrictPMEM:
     def test_non_persistent_stores_not_flushed(self, small_config):
         from tests.conftest import daddr
 
-        system = pmem_strict(small_config)
+        system = build_system("pmem", config=small_config)
         trace = single_thread_trace(TraceOp.store(daddr(small_config, 0), 1))
         result = system.run(trace, finalize=False)
         assert result.stats.flushes == 0
@@ -83,35 +83,35 @@ class TestStrictPMEM:
 
 class TestBBBFactories:
     def test_memory_side_default(self, small_config):
-        system = bbb(small_config, entries=16)
+        system = build_system("bbb", config=small_config, entries=16)
         assert system.scheme.bbb_config.memory_side
         assert system.scheme.bbb_config.entries == 16
 
     def test_processor_side_factory(self, small_config):
-        system = bbb_processor_side(small_config, entries=16)
+        system = build_system("bbb-proc", config=small_config, entries=16)
         assert not system.scheme.bbb_config.memory_side
 
     def test_store_allocates_bbpb_entry(self, small_config):
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         result = system.run(store_trace(small_config, 3), finalize=False)
         assert result.stats.bbpb_allocations == 3
 
     def test_same_block_stores_coalesce(self, small_config):
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         ops = [TraceOp.store(paddr(small_config, 0, off), off) for off in (0, 8, 16)]
         result = system.run(single_thread_trace(*ops), finalize=False)
         assert result.stats.bbpb_allocations == 1
         assert result.stats.bbpb_coalesces == 2
 
     def test_crash_drains_bbpb_to_media(self, small_config):
-        system = bbb(small_config, entries=64)
+        system = build_system("bbb", config=small_config, entries=64)
         result = system.run(store_trace(small_config, 10), crash_at_op=10)
         assert result.drain_report.bbpb_blocks == 10
         for i in range(10):
             assert system.nvmm_media.read_word(paddr(small_config, i), 8) == i + 1
 
     def test_finalize_settles_all_buffers(self, small_config):
-        system = bbb(small_config, entries=64)
+        system = build_system("bbb", config=small_config, entries=64)
         system.run(store_trace(small_config, 10), finalize=True)
         assert all(len(b) == 0 for b in system.scheme.buffers)
         for i in range(10):
@@ -124,8 +124,8 @@ class TestBBBFactories:
             block = i % 3  # revisit 3 blocks repeatedly
             ops.append(TraceOp.store(paddr(small_config, block), i))
         trace = single_thread_trace(*ops)
-        mem_side = bbb(small_config, entries=8)
-        proc_side = bbb_processor_side(small_config, entries=8)
+        mem_side = build_system("bbb", config=small_config, entries=8)
+        proc_side = build_system("bbb-proc", config=small_config, entries=8)
         r_mem = mem_side.run(trace)
         r_proc = proc_side.run(trace)
         assert r_proc.stats.nvmm_writes > 2 * r_mem.stats.nvmm_writes
@@ -133,7 +133,7 @@ class TestBBBFactories:
 
 class TestBEP:
     def test_epoch_barriers_counted(self, small_config):
-        system = bep(small_config)
+        system = build_system("bep", config=small_config)
         ops = [
             TraceOp.store(paddr(small_config, 0), 1),
             TraceOp.epoch(),
@@ -144,7 +144,7 @@ class TestBEP:
         assert result.stats.epoch_barriers == 2
 
     def test_epoch_boundary_drains_prior_epoch(self, small_config):
-        system = bep(small_config)
+        system = build_system("bep", config=small_config)
         ops = [
             TraceOp.store(paddr(small_config, 0), 1),
             TraceOp.epoch(),
@@ -153,14 +153,14 @@ class TestBEP:
         assert system.nvmm_media.read_word(paddr(small_config, 0), 8) == 1
 
     def test_crash_loses_volatile_buffer(self, small_config):
-        system = bep(small_config)
+        system = build_system("bep", config=small_config)
         ops = [TraceOp.store(paddr(small_config, 0), 1)]
         result = system.run(single_thread_trace(*ops), crash_at_op=1)
         assert result.drain_report.total_units == 0
         assert system.nvmm_media.read_word(paddr(small_config, 0), 8) == 0
 
     def test_within_epoch_coalescing(self, small_config):
-        system = bep(small_config)
+        system = build_system("bep", config=small_config)
         ops = [
             TraceOp.store(paddr(small_config, 0, 0), 1),
             TraceOp.store(paddr(small_config, 0, 8), 2),
@@ -172,12 +172,12 @@ class TestBEP:
 
 class TestNoPersistency:
     def test_nothing_durable_without_evictions(self, small_config):
-        system = no_persistency(small_config)
+        system = build_system("none", config=small_config)
         system.run(store_trace(small_config, 5), finalize=False)
         assert system.nvmm_media.total_writes == 0
 
     def test_crash_drains_nothing(self, small_config):
-        system = no_persistency(small_config)
+        system = build_system("none", config=small_config)
         result = system.run(store_trace(small_config, 5), crash_at_op=5)
         assert result.drain_report.total_units == 0
 

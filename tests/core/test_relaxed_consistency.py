@@ -19,7 +19,7 @@ import pytest
 from repro.core.recovery import check_exact_durability, check_prefix_consistency
 from repro.sim.config import ConsistencyModel, SystemConfig
 from repro.sim.engine import Engine
-from repro.sim.system import System, bbb
+from repro.sim.system import System
 from repro.core.persistency import BBBScheme
 from repro.sim.config import BBBConfig
 from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp

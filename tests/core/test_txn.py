@@ -11,7 +11,7 @@ import random
 import pytest
 
 from repro.core.txn import RecoveryResult, TransactionContext, recover
-from repro.sim.system import bbb, eadr, no_persistency
+from repro.api import build_system
 from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
 from repro.workloads.alloc import PersistentHeap
 from tests.conftest import conflict_addresses
@@ -83,7 +83,7 @@ class TestProtocolBuilding:
 class TestAtomicityUnderBBB:
     def test_complete_run_balances(self, small_config):
         ctx, accounts, trace = build_bank(small_config)
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         for addr, value in ctx.initial_words().items():
             from repro.mem.block import BlockData, block_address, block_offset
             d = BlockData()
@@ -93,14 +93,14 @@ class TestAtomicityUnderBBB:
         total, _ = recovered_total(system, ctx, accounts)
         assert total == ACCOUNTS * INITIAL
 
-    @pytest.mark.parametrize("factory", [bbb, eadr])
-    def test_every_crash_point_recovers_atomically(self, small_config, factory):
+    @pytest.mark.parametrize("scheme", ["bbb", "eadr"])
+    def test_every_crash_point_recovers_atomically(self, small_config, scheme):
         """The headline: plain undo-log code, zero fences, atomic at every
         crash point under a closed PoV/PoP gap."""
         ctx, accounts, trace = build_bank(small_config, transfers=6)
         seeds = ctx.initial_words()
         for crash_at in range(1, trace.total_ops() + 1, 3):
-            system = factory(small_config)
+            system = build_system(scheme, config=small_config)
             _seed(system, seeds)
             system.run(trace, crash_at_op=crash_at)
             total, result = recovered_total(system, ctx, accounts)
@@ -114,7 +114,7 @@ class TestAtomicityUnderBBB:
         ops = list(trace.threads[0])
         data_indices = [i for i, op in enumerate(ops) if op.tag == "txn-data"]
         crash_at = data_indices[2] + 1  # first data store of txn 2
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         _seed(system, seeds)
         system.run(ProgramTrace([ThreadTrace(ops)]), crash_at_op=crash_at)
         total, result = recovered_total(system, ctx, accounts)
@@ -143,7 +143,7 @@ class TestTornWithoutOrdering:
         ops.extend(ctx.commit())
         torn = False
         for crash_at in range(1, len(ops) + 1):
-            system = no_persistency(small_config)
+            system = build_system("none", config=small_config)
             _seed(system, seeds)
             system.run(ProgramTrace([ThreadTrace(ops)]), crash_at_op=crash_at)
             total, _ = recovered_total(system, ctx, accounts)
@@ -167,7 +167,7 @@ class TestTornWithoutOrdering:
         ops.extend(ctx.txn_store(accounts[1], INITIAL + 25))
         ops.extend(ctx.commit())
         for crash_at in range(1, len(ops) + 1):
-            system = bbb(small_config)
+            system = build_system("bbb", config=small_config)
             _seed(system, seeds)
             system.run(ProgramTrace([ThreadTrace(ops)]), crash_at_op=crash_at)
             total, result = recovered_total(system, ctx, accounts)
@@ -179,7 +179,7 @@ class TestTornWithoutOrdering:
         ctx, accounts, trace = build_bank(small_config, transfers=4, barriers=True)
         seeds = ctx.initial_words()
         for crash_at in range(1, trace.total_ops() + 1, 5):
-            system = no_persistency(small_config)
+            system = build_system("none", config=small_config)
             _seed(system, seeds)
             system.run(trace, crash_at_op=crash_at)
             total, result = recovered_total(system, ctx, accounts)

@@ -81,7 +81,7 @@ class TestEndToEndEffect:
         """A store burst on a 1-entry bbPB: drain completion (and thus core
         stalls) should improve with channel count."""
         from repro.sim.config import SystemConfig
-        from repro.sim.system import bbb
+        from repro.api import build_system
         from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
 
         def run(channels):
@@ -93,7 +93,7 @@ class TestEndToEndEffect:
                 TraceOp.store(cfg.mem.persistent_base + i * 64, i + 1)
                 for i in range(64)
             ]
-            system = bbb(cfg, entries=1)
+            system = build_system("bbb", config=cfg, entries=1)
             result = system.run(ProgramTrace([ThreadTrace(ops)]), finalize=False)
             return result.stats.total_bbpb_stalls
 

@@ -5,13 +5,14 @@ import pytest
 
 from repro.mem.block import E, I, M, S
 from repro.sim.config import SystemConfig
-from repro.sim.system import System, eadr, no_persistency
+from repro.api import build_system
+from repro.sim.system import System
 from tests.conftest import conflict_addresses, daddr, paddr
 
 
 @pytest.fixture
 def system(small_config):
-    return no_persistency(small_config)
+    return build_system("none", config=small_config)
 
 
 @pytest.fixture

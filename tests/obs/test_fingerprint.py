@@ -1,0 +1,111 @@
+"""Observability must be free: bit-identical stats with the bus disabled.
+
+``tests/data/golden_stats.json`` was captured from the simulator *before*
+the event-bus instrumentation landed (nine workload/scheme/consistency
+combos, every SimStats counter).  These tests prove:
+
+1. the instrumented simulator still reproduces every golden counter
+   bit-for-bit with the default (disabled) bus, and
+2. enabling the bus — recorder subscribed, every event constructed and
+   delivered — still changes nothing about the simulated outcome.
+
+If a hot-path change legitimately alters the numbers, recapture the file:
+run every combo below and rewrite the JSON (the fingerprint format is the
+``totals``/``cores`` portion of the ``repro.simstats/v1`` schema, keyed by
+``workload/scheme/{kwargs}/consistency``).
+"""
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import default_sim_config
+from repro.api import build_system
+from repro.obs.bus import EventBus, EventRecorder
+from repro.sim.config import ConsistencyModel
+from repro.sim.stats import CORE_FIELDS, SCALAR_FIELDS
+from repro.workloads.base import WorkloadSpec, build_cached, seed_media_words
+
+GOLDEN_PATH = pathlib.Path(__file__).parent.parent / "data" / "golden_stats.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+SPEC = WorkloadSpec(threads=4, ops=80, elements=2048, seed=7)
+
+COMBOS = [
+    ("hashmap", "bbb", {"entries": 32}, "tso"),
+    ("hashmap", "bbb", {"entries": 4}, "tso"),
+    ("swapNC", "eadr", {}, "tso"),
+    ("mutateC", "pmem", {}, "tso"),
+    ("ctree", "bep", {"entries": 16}, "tso"),
+    ("mutateNC", "bsp", {"entries": 16}, "tso"),
+    ("swapC", "none", {}, "tso"),
+    ("hashmap", "bbb-proc", {"entries": 8}, "tso"),
+    ("hashmap", "bbb", {"entries": 32}, "relaxed"),
+]
+
+
+def _key(workload, scheme, kwargs, consistency):
+    return f"{workload}/{scheme}/{json.dumps(kwargs, sort_keys=True)}/{consistency}"
+
+
+def _fingerprint(stats):
+    out = {f: getattr(stats, f) for f in SCALAR_FIELDS}
+    out["bbpb_per_core"] = {
+        str(k): v for k, v in sorted(stats.bbpb_per_core.items())
+    }
+    out["cores"] = [
+        {f: getattr(c, f) for f in CORE_FIELDS} for c in stats.core
+    ]
+    return out
+
+
+def _run_combo(workload, scheme, kwargs, consistency, bus=None):
+    cfg = default_sim_config()
+    if consistency == "relaxed":
+        cfg = dataclasses.replace(cfg, consistency=ConsistencyModel.RELAXED)
+    trace, initial_words = build_cached(workload, cfg.mem, SPEC)
+    extra = {"bus": bus} if bus is not None else {}
+    system = build_system(scheme, config=cfg, **kwargs, **extra)
+    seed_media_words(system.nvmm_media, initial_words)
+    system.run(trace, finalize=False)
+    return system.stats
+
+
+class TestGoldenFingerprints:
+    def test_golden_file_covers_every_combo(self):
+        assert set(GOLDEN) == {_key(*combo) for combo in COMBOS}
+
+    @pytest.mark.parametrize(
+        "workload,scheme,kwargs,consistency", COMBOS,
+        ids=[_key(*c) for c in COMBOS],
+    )
+    def test_disabled_bus_matches_pre_obs_simulator(
+        self, workload, scheme, kwargs, consistency
+    ):
+        stats = _run_combo(workload, scheme, kwargs, consistency)
+        assert _fingerprint(stats) == GOLDEN[_key(workload, scheme, kwargs,
+                                                  consistency)]
+
+
+class TestEnabledBusIsPure:
+    @pytest.mark.parametrize(
+        "workload,scheme,kwargs,consistency",
+        [
+            ("hashmap", "bbb", {"entries": 4}, "tso"),
+            ("mutateC", "pmem", {}, "tso"),
+            ("ctree", "bep", {"entries": 16}, "tso"),
+        ],
+        ids=["bbb", "pmem", "bep"],
+    )
+    def test_observed_run_has_identical_stats(
+        self, workload, scheme, kwargs, consistency
+    ):
+        bus = EventBus()
+        recorder = EventRecorder(bus)
+        observed = _run_combo(workload, scheme, kwargs, consistency, bus=bus)
+        assert recorder.events  # the run really was observed
+        assert _fingerprint(observed) == GOLDEN[
+            _key(workload, scheme, kwargs, consistency)
+        ]

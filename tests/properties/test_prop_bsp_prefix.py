@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 
 from repro.core.recovery import check_exact_durability, check_prefix_consistency
 from repro.sim.config import SystemConfig
-from repro.sim.system import bsp
+from repro.api import build_system
 from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
 
 CFG = SystemConfig(num_cores=2).scaled_for_testing()
@@ -44,7 +44,7 @@ def test_bsp_crash_state_is_a_prefix(threads, data):
         st.integers(min_value=1, max_value=trace.total_ops()), label="crash_at"
     )
     entries = data.draw(st.sampled_from([2, 4, 8, 32]), label="entries")
-    system = bsp(CFG, entries=entries)
+    system = build_system("bsp", config=CFG, entries=entries)
     result = system.run(trace, crash_at_op=crash_at)
     check = check_prefix_consistency(system.nvmm_media, result.committed_persists)
     assert check, check.violations
@@ -57,7 +57,7 @@ def test_bsp_does_lose_buffered_stores_somewhere():
     trace = build(threads)
     lost_somewhere = False
     for crash_at in range(1, trace.total_ops() + 1):
-        system = bsp(CFG, entries=8)
+        system = build_system("bsp", config=CFG, entries=8)
         result = system.run(trace, crash_at_op=crash_at)
         if not check_exact_durability(system.nvmm_media, result.committed_persists):
             lost_somewhere = True

@@ -11,7 +11,7 @@ from hypothesis import strategies as st
 from repro.core.invariants import check_all
 from repro.core.recovery import check_exact_durability
 from repro.sim.config import ConsistencyModel, SystemConfig
-from repro.sim.system import bbb, bbb_processor_side, eadr, pmem_strict
+from repro.api import build_system
 from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
 
 CFG = SystemConfig(num_cores=2).scaled_for_testing()
@@ -53,7 +53,7 @@ def test_bbb_crash_recovers_exact_committed_state(threads, data):
         st.integers(min_value=1, max_value=trace.total_ops()), label="crash_at"
     )
     entries = data.draw(st.sampled_from([1, 2, 8, 32]), label="entries")
-    system = bbb(CFG, entries=entries)
+    system = build_system("bbb", config=CFG, entries=entries)
     result = system.run(trace, crash_at_op=crash_at)
     check = check_exact_durability(system.nvmm_media, result.committed_persists)
     assert check, check.violations
@@ -66,7 +66,7 @@ def test_processor_side_bbb_also_exact(threads, data):
     crash_at = data.draw(
         st.integers(min_value=1, max_value=trace.total_ops()), label="crash_at"
     )
-    system = bbb_processor_side(CFG, entries=8)
+    system = build_system("bbb-proc", config=CFG, entries=8)
     result = system.run(trace, crash_at_op=crash_at)
     check = check_exact_durability(system.nvmm_media, result.committed_persists)
     assert check, check.violations
@@ -79,7 +79,7 @@ def test_eadr_crash_recovers_exact_committed_state(threads, data):
     crash_at = data.draw(
         st.integers(min_value=1, max_value=trace.total_ops()), label="crash_at"
     )
-    system = eadr(CFG)
+    system = build_system("eadr", config=CFG)
     result = system.run(trace, crash_at_op=crash_at)
     check = check_exact_durability(system.nvmm_media, result.committed_persists)
     assert check, check.violations
@@ -92,7 +92,7 @@ def test_pmem_strict_crash_recovers_exact_committed_state(threads, data):
     crash_at = data.draw(
         st.integers(min_value=1, max_value=trace.total_ops()), label="crash_at"
     )
-    system = pmem_strict(CFG)
+    system = build_system("pmem", config=CFG)
     result = system.run(trace, crash_at_op=crash_at)
     check = check_exact_durability(system.nvmm_media, result.committed_persists)
     assert check, check.violations
@@ -107,7 +107,7 @@ def test_bbb_invariants_hold_at_random_points(threads, data):
         st.integers(min_value=1, max_value=trace.total_ops()), label="stop_at"
     )
     entries = data.draw(st.sampled_from([2, 8, 32]), label="entries")
-    system = bbb(CFG, entries=entries)
+    system = build_system("bbb", config=CFG, entries=entries)
     # Run without crashing: stop the engine at an op boundary by splitting
     # the run into a crash-free prefix (crash_at stops execution but we
     # audit *before* drain by not calling crash_drain — use a plain
@@ -142,7 +142,7 @@ def test_relaxed_bbb_with_battery_sb_exact(threads, data):
         st.integers(min_value=1, max_value=trace.total_ops()), label="crash_at"
     )
     seed = data.draw(st.integers(min_value=0, max_value=99), label="seed")
-    system = bbb(cfg, entries=16, reorder_seed=seed)
+    system = build_system("bbb", config=cfg, entries=16, reorder_seed=seed)
     result = system.run(trace, crash_at_op=crash_at)
     check = check_exact_durability(system.nvmm_media, result.committed_persists)
     assert check, check.violations

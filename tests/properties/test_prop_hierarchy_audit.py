@@ -13,7 +13,7 @@ from repro.mem.audit import (
 )
 from repro.mem.block import CacheBlock, E, M
 from repro.sim.config import SystemConfig
-from repro.sim.system import bbb, bsp, eadr, no_persistency
+from repro.api import build_system
 from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
 
 CFG = SystemConfig(num_cores=4).scaled_for_testing()
@@ -41,10 +41,7 @@ programs = st.lists(
 @settings(max_examples=50, deadline=None)
 @given(programs, st.sampled_from(["bbb", "eadr", "none", "bsp"]))
 def test_hierarchy_consistent_after_random_programs(threads, scheme_name):
-    factory = {"bbb": bbb, "eadr": eadr, "none": no_persistency, "bsp": bsp}[
-        scheme_name
-    ]
-    system = factory(CFG)
+    system = build_system(scheme_name, config=CFG)
     trace = ProgramTrace(
         [ThreadTrace([to_op(*op) for op in ops]) for ops in threads]
     )
@@ -56,7 +53,7 @@ def test_hierarchy_consistent_after_random_programs(threads, scheme_name):
 @given(programs, st.integers(min_value=1, max_value=120))
 def test_hierarchy_consistent_mid_program(threads, prefix):
     """Audit after an arbitrary truncated prefix of the program."""
-    system = bbb(CFG)
+    system = build_system("bbb", config=CFG)
     cut = []
     remaining = prefix
     for ops in threads:
@@ -69,7 +66,7 @@ def test_hierarchy_consistent_mid_program(threads, prefix):
 
 class TestAuditorsCatchSeededBugs:
     def _system(self):
-        system = no_persistency(CFG)
+        system = build_system("none", config=CFG)
         h = system.hierarchy
         x = CFG.mem.persistent_base
         h.store(0, x, 8, 1, 0)

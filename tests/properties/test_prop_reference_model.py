@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Engine
 from repro.sim.reference import FlatMemory, LogKind, LogRecord, check_against_reference
-from repro.sim.system import bbb, bsp, eadr, no_persistency, pmem_strict
+from repro.api import build_system
 from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
 
 CFG = SystemConfig(num_cores=4).scaled_for_testing()
@@ -40,8 +40,8 @@ programs = st.lists(
 )
 
 
-def run_logged(factory, threads):
-    system = factory(CFG)
+def run_logged(scheme, threads):
+    system = build_system(scheme, config=CFG)
     system.engine._log_enabled = True
     trace = ProgramTrace(
         [ThreadTrace([to_trace_op(*op) for op in ops]) for ops in threads]
@@ -52,7 +52,7 @@ def run_logged(factory, threads):
 @settings(max_examples=50, deadline=None)
 @given(programs)
 def test_bbb_hierarchy_matches_flat_memory(threads):
-    result = run_logged(bbb, threads)
+    result = run_logged("bbb", threads)
     divergences = check_against_reference(result.log)
     assert not divergences, divergences[0]
 
@@ -60,21 +60,21 @@ def test_bbb_hierarchy_matches_flat_memory(threads):
 @settings(max_examples=25, deadline=None)
 @given(programs)
 def test_eadr_hierarchy_matches_flat_memory(threads):
-    result = run_logged(eadr, threads)
+    result = run_logged("eadr", threads)
     assert not check_against_reference(result.log)
 
 
 @settings(max_examples=25, deadline=None)
 @given(programs)
 def test_bsp_hierarchy_matches_flat_memory(threads):
-    result = run_logged(bsp, threads)
+    result = run_logged("bsp", threads)
     assert not check_against_reference(result.log)
 
 
 @settings(max_examples=15, deadline=None)
 @given(programs)
 def test_pmem_hierarchy_matches_flat_memory(threads):
-    result = run_logged(pmem_strict, threads)
+    result = run_logged("pmem", threads)
     assert not check_against_reference(result.log)
 
 
@@ -83,7 +83,7 @@ def test_pmem_hierarchy_matches_flat_memory(threads):
 def test_no_persistency_hierarchy_matches_flat_memory(threads):
     """Even the volatile scheme must be *functionally* coherent while
     running — only its crash behaviour differs."""
-    result = run_logged(no_persistency, threads)
+    result = run_logged("none", threads)
     assert not check_against_reference(result.log)
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.recovery import check_exact_durability
 from repro.sim.crash import CrashInjector, CrashOutcome, CrashSweepReport
-from repro.sim.system import bbb, no_persistency
+from repro.api import build_system
 from repro.sim.trace import TraceOp
 from tests.conftest import conflict_addresses, paddr, single_thread_trace
 
@@ -22,30 +22,30 @@ def trace(small_config):
 
 class TestCrashPoints:
     def test_all_points_by_default(self, small_config, trace):
-        inj = CrashInjector(lambda: bbb(small_config), trace, strict_checker)
+        inj = CrashInjector(lambda: build_system("bbb", config=small_config), trace, strict_checker)
         assert inj.crash_points() == list(range(1, 7))
 
     def test_sampling_is_deterministic(self, small_config, trace):
-        inj = CrashInjector(lambda: bbb(small_config), trace, strict_checker)
+        inj = CrashInjector(lambda: build_system("bbb", config=small_config), trace, strict_checker)
         a = inj.crash_points(sample=3, seed=7)
         b = inj.crash_points(sample=3, seed=7)
         assert a == b and len(a) == 3
 
     def test_sample_larger_than_space_returns_all(self, small_config, trace):
-        inj = CrashInjector(lambda: bbb(small_config), trace, strict_checker)
+        inj = CrashInjector(lambda: build_system("bbb", config=small_config), trace, strict_checker)
         assert len(inj.crash_points(sample=100)) == 6
 
 
 class TestSweep:
     def test_bbb_sweep_is_fully_consistent(self, small_config, trace):
-        inj = CrashInjector(lambda: bbb(small_config), trace, strict_checker)
+        inj = CrashInjector(lambda: build_system("bbb", config=small_config), trace, strict_checker)
         report = inj.sweep()
         assert report.total == 6
         assert report.all_consistent
         assert "6 consistent" in report.summary()
 
     def test_outcomes_carry_crash_op(self, small_config, trace):
-        inj = CrashInjector(lambda: bbb(small_config), trace, strict_checker)
+        inj = CrashInjector(lambda: build_system("bbb", config=small_config), trace, strict_checker)
         report = inj.sweep(sample=2, seed=0)
         assert all(isinstance(o, CrashOutcome) for o in report.outcomes)
         assert all(1 <= o.crash_op <= 6 for o in report.outcomes)
@@ -72,7 +72,7 @@ class TestSweep:
             ops.append(TraceOp.load(addr))
         trace = single_thread_trace(*ops)
         inj = CrashInjector(
-            lambda: no_persistency(small_config), trace, prefix_checker
+            lambda: build_system("none", config=small_config), trace, prefix_checker
         )
         report = inj.sweep()
         assert not report.all_consistent

@@ -2,20 +2,20 @@
 
 import pytest
 
-from repro.sim.system import bbb, eadr, no_persistency, pmem_strict
+from repro.api import build_system
 from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
 from tests.conftest import daddr, paddr, single_thread_trace
 
 
 class TestBasicExecution:
     def test_compute_advances_clock(self, small_config):
-        system = eadr(small_config)
+        system = build_system("eadr", config=small_config)
         result = system.run(single_thread_trace(TraceOp.compute(100)))
         assert result.execution_cycles == 100
         assert result.stats.core[0].compute_cycles == 100
 
     def test_store_costs_one_cycle(self, small_config):
-        system = eadr(small_config)
+        system = build_system("eadr", config=small_config)
         result = system.run(
             single_thread_trace(TraceOp.store(paddr(small_config, 0), 1)),
             finalize=False,
@@ -24,7 +24,7 @@ class TestBasicExecution:
         assert result.execution_cycles == 2
 
     def test_load_pays_hierarchy_latency(self, small_config):
-        system = eadr(small_config)
+        system = build_system("eadr", config=small_config)
         result = system.run(
             single_thread_trace(TraceOp.load(paddr(small_config, 0))),
             finalize=False,
@@ -37,7 +37,7 @@ class TestBasicExecution:
         assert result.execution_cycles == expected
 
     def test_too_many_threads_rejected(self, small_config):
-        system = eadr(small_config)
+        system = build_system("eadr", config=small_config)
         threads = [ThreadTrace([TraceOp.compute(1)]) for _ in range(
             small_config.num_cores + 1
         )]
@@ -45,7 +45,7 @@ class TestBasicExecution:
             system.run(ProgramTrace(threads))
 
     def test_per_core_clocks_independent(self, small_config):
-        system = eadr(small_config)
+        system = build_system("eadr", config=small_config)
         trace = ProgramTrace(
             [
                 ThreadTrace([TraceOp.compute(1000)]),
@@ -61,7 +61,7 @@ class TestBasicExecution:
 class TestInterleaving:
     def test_lowest_clock_core_runs_first(self, small_config):
         """Core 1's cheap ops all execute before core 0's second op."""
-        system = no_persistency(small_config)
+        system = build_system("none", config=small_config)
         x = paddr(small_config, 0)
         trace = ProgramTrace(
             [
@@ -97,7 +97,7 @@ class TestStoreBufferForwarding:
 
 class TestFlushFence:
     def test_explicit_flush_fence_round_trip(self, small_config):
-        system = no_persistency(small_config)
+        system = build_system("none", config=small_config)
         x = paddr(small_config, 0)
         trace = single_thread_trace(
             TraceOp.store(x, 5),
@@ -111,12 +111,12 @@ class TestFlushFence:
         assert result.stats.core[0].stall_cycles_flush_fence > 0
 
     def test_fence_without_flush_is_cheap(self, small_config):
-        system = no_persistency(small_config)
+        system = build_system("none", config=small_config)
         result = system.run(single_thread_trace(TraceOp.fence()), finalize=False)
         assert result.stats.core[0].stall_cycles_flush_fence == 0
 
     def test_outstanding_flushes_awaited_at_end(self, small_config):
-        system = no_persistency(small_config)
+        system = build_system("none", config=small_config)
         x = paddr(small_config, 0)
         trace = single_thread_trace(TraceOp.store(x, 5), TraceOp.flush(x))
         result = system.run(trace, finalize=False)
@@ -126,21 +126,21 @@ class TestFlushFence:
 
 class TestCrashInjection:
     def test_crash_stops_execution(self, small_config):
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         ops = [TraceOp.store(paddr(small_config, i), i + 1) for i in range(10)]
         result = system.run(single_thread_trace(*ops), crash_at_op=4)
         assert result.crashed and result.crash_op == 4
         assert result.stats.core[0].stores == 4
 
     def test_crash_produces_drain_report(self, small_config):
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         ops = [TraceOp.store(paddr(small_config, i), i + 1) for i in range(10)]
         result = system.run(single_thread_trace(*ops), crash_at_op=4)
         assert result.drain_report is not None
         assert result.drain_report.scheme == "bbb"
 
     def test_crash_counts_interleaved_ops_globally(self, small_config):
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         trace = ProgramTrace(
             [
                 ThreadTrace([TraceOp.compute(1)] * 5),
@@ -153,7 +153,7 @@ class TestCrashInjection:
 
 class TestPersistRecords:
     def test_committed_equals_performed_under_tso(self, small_config):
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         ops = [TraceOp.store(paddr(small_config, i), i) for i in range(5)]
         result = system.run(single_thread_trace(*ops))
         assert [r.addr for r in result.committed_persists] == [
@@ -161,7 +161,7 @@ class TestPersistRecords:
         ]
 
     def test_volatile_stores_not_recorded(self, small_config):
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         trace = single_thread_trace(
             TraceOp.store(daddr(small_config, 0), 1),
             TraceOp.store(paddr(small_config, 0), 2),
@@ -181,7 +181,7 @@ class TestDeterminism:
 
         def run_once():
             workload = registry(small_config.mem, spec)["ctree"]
-            system = bbb(small_config)
+            system = build_system("bbb", config=small_config)
             workload.seed_media(system.nvmm_media)
             result = system.run(workload.build(), finalize=False)
             return result.stats.to_dict(), sorted(

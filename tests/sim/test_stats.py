@@ -1,6 +1,14 @@
 """Unit tests for statistics (repro.sim.stats)."""
 
-from repro.sim.stats import CoreStats, SimStats
+import pytest
+
+from repro.sim.stats import (
+    CORE_FIELDS,
+    SCALAR_FIELDS,
+    STATS_SCHEMA,
+    CoreStats,
+    SimStats,
+)
 
 
 class TestCoreStats:
@@ -53,23 +61,61 @@ class TestSimStats:
         assert "SimStats" in str(SimStats(num_cores=1))
 
 
+def _populated_stats() -> SimStats:
+    stats = SimStats(num_cores=2)
+    stats.core[0].stores = 3
+    stats.core[0].cycles = 120
+    stats.core[1].loads = 7
+    stats.core[1].cycles = 90
+    stats.nvmm_writes = 11
+    stats.bbpb_drains = 4
+    stats.bbpb_per_core[0] = 3
+    stats.bbpb_per_core[1] = 1
+    stats.record_persist_latency(10)
+    stats.record_persist_latency(30)
+    return stats
+
+
 class TestSerialisation:
     def test_to_dict_structure(self):
-        stats = SimStats(num_cores=2)
-        stats.core[0].stores = 3
-        d = stats.to_dict()
-        assert d["summary"]["stores"] == 3
+        d = _populated_stats().to_dict()
+        assert d["schema"] == STATS_SCHEMA == "repro.simstats/v1"
+        assert d["num_cores"] == 2
+        assert set(d["totals"]) == set(SCALAR_FIELDS)
         assert len(d["cores"]) == 2
-        assert {"persist_latency", "llc", "cores"} <= set(d)
+        assert set(d["cores"][0]) == set(CORE_FIELDS)
+        assert d["totals"]["nvmm_writes"] == 11
+        assert d["cores"][0]["stores"] == 3
+        assert d["bbpb_per_core"] == {"0": 3, "1": 1}
+        assert d["derived"]["execution_cycles"] == 120
 
-    def test_to_json_roundtrips(self):
+    def test_from_dict_roundtrips_losslessly(self):
+        stats = _populated_stats()
+        restored = SimStats.from_dict(stats.to_dict())
+        assert restored.to_dict() == stats.to_dict()
+        assert restored.nvmm_writes == 11
+        assert restored.bbpb_per_core == stats.bbpb_per_core
+        assert restored.persist_latency_avg == 20.0
+
+    def test_to_json_is_the_same_schema(self):
         import json
 
-        stats = SimStats(num_cores=1)
-        stats.record_persist_latency(10)
-        stats.record_persist_latency(30)
-        d = json.loads(stats.to_json())
-        assert d["persist_latency"] == {"count": 2, "avg": 20.0, "max": 30}
+        d = json.loads(_populated_stats().to_json())
+        assert d["schema"] == STATS_SCHEMA
+        assert SimStats.from_dict(d).execution_cycles == 120
+
+    def test_from_dict_rejects_wrong_schema(self):
+        payload = _populated_stats().to_dict()
+        payload["schema"] = "repro.simstats/v0"
+        with pytest.raises(ValueError, match="unsupported stats schema"):
+            SimStats.from_dict(payload)
+
+    def test_to_registry_projects_counters(self):
+        reg = _populated_stats().to_registry()
+        assert reg.counter("nvmm_writes").value == 11
+        assert reg.counter("bbpb_drains").value == 4
+        assert reg.get("core_stores").labels(0).value == 3
+        assert reg.get("bbpb_drains_per_core").labels(1).value == 1
 
     def test_persist_latency_accumulation(self):
         stats = SimStats(num_cores=1)

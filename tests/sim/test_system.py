@@ -1,67 +1,139 @@
-"""Unit tests for system assembly and factories (repro.sim.system)."""
+"""Unit tests for system assembly and the construction API
+(repro.sim.system + repro.api)."""
+
+import warnings
 
 import pytest
 
+from repro.api import SCHEMES, Scheme, build_system
+from repro.core.bsp import BSP
 from repro.core.persistency import BBBScheme, BEP, EADR, NoPersistency, StrictPMEM
-from repro.sim.system import (
-    System,
-    bbb,
-    bbb_processor_side,
-    bep,
-    eadr,
-    no_persistency,
-    pmem_strict,
-)
+from repro.obs.bus import NULL_BUS, EventBus
+from repro.sim.system import SCHEME_FACTORIES, System
 from repro.sim.trace import TraceOp
 from tests.conftest import paddr, single_thread_trace
 
 
-class TestFactories:
+class TestBuildSystem:
     def test_default_system_uses_bbb(self):
         assert isinstance(System().scheme, BBBScheme)
 
     def test_eadr(self, small_config):
-        assert isinstance(eadr(small_config).scheme, EADR)
+        assert isinstance(build_system("eadr", config=small_config).scheme, EADR)
 
     def test_bbb_entries_and_threshold(self, small_config):
-        system = bbb(small_config, entries=8, drain_threshold=0.5)
+        system = build_system(
+            "bbb", entries=8, config=small_config, drain_threshold=0.5
+        )
         assert system.scheme.bbb_config.entries == 8
         assert system.scheme.bbb_config.drain_threshold == 0.5
 
     def test_processor_side(self, small_config):
-        system = bbb_processor_side(small_config, entries=8)
+        system = build_system("bbb-proc", entries=8, config=small_config)
         assert isinstance(system.scheme, BBBScheme)
         assert not system.scheme.bbb_config.memory_side
 
     def test_pmem(self, small_config):
-        assert isinstance(pmem_strict(small_config).scheme, StrictPMEM)
+        scheme = build_system("pmem", config=small_config).scheme
+        assert isinstance(scheme, StrictPMEM)
 
     def test_bep(self, small_config):
-        system = bep(small_config, entries=16)
+        system = build_system("bep", entries=16, config=small_config)
         assert isinstance(system.scheme, BEP)
         assert system.scheme.entries == 16
 
+    def test_bsp(self, small_config):
+        system = build_system("bsp", entries=16, config=small_config)
+        assert isinstance(system.scheme, BSP)
+
     def test_no_persistency(self, small_config):
-        assert isinstance(no_persistency(small_config).scheme, NoPersistency)
+        scheme = build_system("none", config=small_config).scheme
+        assert isinstance(scheme, NoPersistency)
+
+    def test_scheme_enum_accepted(self, small_config):
+        system = build_system(Scheme.BBB, config=small_config)
+        assert isinstance(system.scheme, BBBScheme)
+
+    def test_schemes_tuple_matches_enum(self):
+        assert set(SCHEMES) == {s.value for s in Scheme}
+        assert set(SCHEMES) == {
+            "bbb", "bbb-proc", "eadr", "pmem", "bsp", "bep", "none",
+        }
+
+    def test_unknown_scheme_rejected(self, small_config):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            build_system("bogus", config=small_config)
+
+    def test_unknown_kwarg_rejected(self, small_config):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            build_system("eadr", config=small_config, bogus=1)
+
+    def test_bus_reaches_the_system(self, small_config):
+        bus = EventBus()
+        system = build_system("bbb", config=small_config, bus=bus)
+        assert system.bus is bus
+        assert system.hierarchy.bus is bus
+
+    def test_default_bus_is_null(self, small_config):
+        system = build_system("bbb", config=small_config)
+        assert system.bus is NULL_BUS
+        assert not system.bus.enabled
+
+
+class TestDeprecatedFactories:
+    """The old per-scheme factories still work, but warn."""
+
+    @pytest.mark.parametrize("name", sorted(SCHEME_FACTORIES))
+    def test_every_factory_warns_and_builds(self, small_config, name):
+        with pytest.warns(DeprecationWarning, match="build_system"):
+            system = SCHEME_FACTORIES[name](small_config)
+        assert isinstance(system, System)
+
+    def test_bbb_shim_forwards_kwargs(self, small_config):
+        from repro.sim.system import bbb
+
+        with pytest.warns(DeprecationWarning):
+            system = bbb(small_config, entries=8, drain_threshold=0.5)
+        assert system.scheme.bbb_config.entries == 8
+        assert system.scheme.bbb_config.drain_threshold == 0.5
+
+    def test_processor_side_shim_forwards_kwargs(self, small_config):
+        from repro.sim.system import bbb_processor_side
+
+        with pytest.warns(DeprecationWarning):
+            system = bbb_processor_side(
+                small_config, entries=8, coalesce_consecutive=False
+            )
+        assert not system.scheme.bbb_config.memory_side
+        assert not system.scheme.bbb_config.proc_coalesce_consecutive
+
+    def test_shim_matches_build_system(self, small_config):
+        from repro.sim.system import bep
+
+        with pytest.warns(DeprecationWarning):
+            old = bep(small_config, entries=16)
+        new = build_system("bep", entries=16, config=small_config)
+        assert type(old.scheme) is type(new.scheme)
+        assert old.scheme.entries == new.scheme.entries
 
 
 class TestAssembly:
     def test_scheme_attached_to_hierarchy(self, small_config):
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         assert system.scheme.hierarchy is system.hierarchy
         assert len(system.scheme.buffers) == small_config.num_cores
 
     def test_stats_shared(self, small_config):
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         assert system.stats is system.hierarchy.stats
         assert system.stats.num_cores == small_config.num_cores
 
     def test_nvmm_media_accessor(self, small_config):
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         assert system.nvmm_media is system.hierarchy.nvmm.media
 
     def test_end_to_end_run(self, small_config):
-        system = bbb(small_config)
+        system = build_system("bbb", config=small_config)
         trace = single_thread_trace(
             TraceOp.store(paddr(small_config, 0), 0xAB),
             TraceOp.load(paddr(small_config, 0)),
@@ -71,7 +143,19 @@ class TestAssembly:
         assert system.nvmm_media.read_word(paddr(small_config, 0), 8) == 0xAB
 
     def test_battery_backed_sb_only_for_bbb_and_eadr(self, small_config):
-        assert bbb(small_config).hierarchy.store_buffers[0].battery_backed
-        assert eadr(small_config).hierarchy.store_buffers[0].battery_backed
-        assert not pmem_strict(small_config).hierarchy.store_buffers[0].battery_backed
-        assert not no_persistency(small_config).hierarchy.store_buffers[0].battery_backed
+        def sb0(name):
+            return build_system(
+                name, config=small_config
+            ).hierarchy.store_buffers[0]
+
+        assert sb0("bbb").battery_backed
+        assert sb0("eadr").battery_backed
+        assert not sb0("pmem").battery_backed
+        assert not sb0("none").battery_backed
+
+    def test_internal_construction_does_not_warn(self, small_config):
+        """build_system must not route through the deprecated shims."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for name in SCHEMES:
+                build_system(name, config=small_config)

@@ -115,12 +115,12 @@ class TestWithEpochs:
     def test_bep_runs_an_annotated_workload(self):
         """End to end: a Table IV workload annotated for BEP."""
         from repro.sim.config import SystemConfig
-        from repro.sim.system import bep
+        from repro.api import build_system
         from repro.sim.trace import with_epochs
         from repro.workloads.base import WorkloadSpec, registry
 
         cfg = SystemConfig(num_cores=2).scaled_for_testing()
         workload = registry(cfg.mem, WorkloadSpec(threads=2, ops=15))["hashmap"]
         trace = with_epochs(workload.build(), every_n_stores=8)
-        result = bep(cfg).run(trace, finalize=False)
+        result = build_system("bep", config=cfg).run(trace, finalize=False)
         assert result.stats.epoch_barriers > 0

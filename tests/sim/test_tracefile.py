@@ -56,7 +56,7 @@ class TestRoundTrip:
         assert loaded.total_stores() == trace.total_stores()
 
     def test_loaded_trace_runs_identically(self, tmp_path):
-        from repro.sim.system import bbb
+        from repro.api import build_system
 
         cfg = SystemConfig(num_cores=2).scaled_for_testing()
         workload = registry(cfg.mem, WorkloadSpec(threads=2, ops=10))["ctree"]
@@ -64,8 +64,8 @@ class TestRoundTrip:
         path = tmp_path / "c.trace"
         save_trace(trace, path)
         loaded = load_trace(path)
-        r1 = bbb(cfg).run(trace)
-        r2 = bbb(cfg).run(loaded)
+        r1 = build_system("bbb", config=cfg).run(trace)
+        r2 = build_system("bbb", config=cfg).run(loaded)
         assert r1.execution_cycles == r2.execution_cycles
         assert r1.stats.nvmm_writes == r2.stats.nvmm_writes
 

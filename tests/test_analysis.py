@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis import experiments as ex
 from repro.analysis.tables import fmt_ratio, fmt_si, geomean, render_table
-from repro.sim.system import bbb, eadr
+from repro.api import build_system
 from repro.workloads.base import WORKLOAD_NAMES, WorkloadSpec
 
 TINY = WorkloadSpec(threads=2, ops=10, elements=512, seed=1)
@@ -49,22 +49,22 @@ class TestTables:
 
 class TestRunWorkload:
     def test_returns_populated_run(self, cfg):
-        run = ex.run_workload("mutateNC", lambda: bbb(cfg), TINY, cfg)
+        run = ex.run_workload("mutateNC", lambda: build_system("bbb", config=cfg), TINY, cfg)
         assert run.workload == "mutateNC"
         assert run.scheme == "bbb"
         assert run.execution_cycles > 0
         assert run.nvmm_writes >= run.nvmm_writes_raw >= 0
 
     def test_deterministic(self, cfg):
-        a = ex.run_workload("hashmap", lambda: bbb(cfg), TINY, cfg)
-        b = ex.run_workload("hashmap", lambda: bbb(cfg), TINY, cfg)
+        a = ex.run_workload("hashmap", lambda: build_system("bbb", config=cfg), TINY, cfg)
+        b = ex.run_workload("hashmap", lambda: build_system("bbb", config=cfg), TINY, cfg)
         assert a.execution_cycles == b.execution_cycles
         assert a.nvmm_writes == b.nvmm_writes
 
 
 class TestSteadyStateAccounting:
     def test_bbb_obligations_are_resident_entries(self, cfg):
-        system = bbb(cfg, entries=1024)  # big buffer: nothing drains
+        system = build_system("bbb", config=cfg, entries=1024)  # big buffer: nothing drains
         from repro.sim.trace import TraceOp, ProgramTrace, ThreadTrace
 
         ops = [TraceOp.store(cfg.mem.persistent_base + i * 64, i + 1) for i in range(5)]
@@ -73,7 +73,7 @@ class TestSteadyStateAccounting:
         assert ex.steady_state_nvmm_writes(system) == 5
 
     def test_eadr_obligations_are_dirty_blocks(self, cfg):
-        system = eadr(cfg)
+        system = build_system("eadr", config=cfg)
         from repro.sim.trace import TraceOp, ProgramTrace, ThreadTrace
 
         ops = [TraceOp.store(cfg.mem.persistent_base + i * 64, i + 1) for i in range(5)]
@@ -90,8 +90,8 @@ class TestSteadyStateAccounting:
         for i in range(60):
             ops.append(TraceOp.store(base + (i % 12) * 64 + (i % 8) * 8, i + 1))
         trace = ProgramTrace([ThreadTrace(ops)])
-        sys_a = bbb(cfg, entries=4096)
-        sys_b = eadr(cfg)
+        sys_a = build_system("bbb", config=cfg, entries=4096)
+        sys_b = build_system("eadr", config=cfg)
         sys_a.run(trace, finalize=False)
         sys_b.run(trace, finalize=False)
         assert ex.steady_state_nvmm_writes(sys_a) == ex.steady_state_nvmm_writes(sys_b)
@@ -99,25 +99,43 @@ class TestSteadyStateAccounting:
 
 class TestExperimentDrivers:
     def test_fig7_structure(self, cfg):
-        rows = ex.fig7(spec=TINY, config=cfg, workloads=("mutateNC",),
-                       entries_variants=(8,))
+        result = ex.fig7(spec=TINY, config=cfg, workloads=("mutateNC",),
+                         entries_variants=(8,))
+        assert result.name == "fig7"
+        assert result.runs > 0
+        rows = result.data
         assert len(rows) == 1
         assert set(rows[0].exec_time) == {"BBB (8)", "Optimal (eADR)"}
         assert rows[0].exec_time["Optimal (eADR)"] == 1.0
 
     def test_fig7_averages(self, cfg):
-        rows = ex.fig7(spec=TINY, config=cfg, workloads=("mutateNC", "swapNC"),
-                       entries_variants=(8,))
-        exec_avg, writes_avg = ex.fig7_averages(rows)
+        result = ex.fig7(spec=TINY, config=cfg,
+                         workloads=("mutateNC", "swapNC"),
+                         entries_variants=(8,))
+        # fig7_averages accepts the ExperimentResult or the bare row list.
+        exec_avg, writes_avg = ex.fig7_averages(result)
         assert exec_avg["Optimal (eADR)"] == 1.0
         assert writes_avg["Optimal (eADR)"] == 1.0
+        assert ex.fig7_averages(result.data) == (exec_avg, writes_avg)
 
     def test_fig8_normalizes_to_first_size(self, cfg):
         points = ex.fig8(sizes=(1, 8), spec=TINY, config=cfg,
-                         workloads=("mutateNC",))
+                         workloads=("mutateNC",)).data
         assert points[0].entries == 1
         assert points[0].exec_time == 1.0
         assert points[0].drains == 1.0
+
+    def test_progress_callback_counts_every_run(self, cfg):
+        seen = []
+        result = ex.fig7(spec=TINY, config=cfg, workloads=("mutateNC",),
+                         entries_variants=(8,),
+                         progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(i + 1, result.runs) for i in range(result.runs)]
+
+    def test_driver_registry_covers_the_sweeps(self):
+        assert set(ex.EXPERIMENT_DRIVERS) == {
+            "fig7", "fig8", "sec5c", "table10",
+        }
 
     def test_table4_covers_all_workloads(self, cfg):
         rows = ex.table4(spec=TINY, config=cfg)
@@ -126,14 +144,14 @@ class TestExperimentDrivers:
     def test_processor_side_ratio_keys(self, cfg):
         ratios = ex.processor_side_write_ratio(
             spec=TINY, config=cfg, workloads=("mutateNC",)
-        )
+        ).data
         assert set(ratios) == {"mutateNC"}
 
     def test_analytical_tables_are_cheap_and_stable(self):
         assert ex.table7() == ex.table7()
         assert ex.table8() == ex.table8()
         assert len(ex.table9()) == 8
-        assert set(ex.table10((32,))) == {
+        assert set(ex.table10((32,)).data) == {
             ("SuperCap", "M"), ("SuperCap", "S"),
             ("Li-thin", "M"), ("Li-thin", "S"),
         }

@@ -56,8 +56,8 @@ def test_fig7_parallel_identical_to_serial():
     )
     serial = fig7(jobs=1, **kwargs)
     parallel = fig7(jobs=2, **kwargs)
-    assert serial == parallel  # Fig7Row dataclasses: exec_time + nvmm_writes
-    for row in serial:
+    assert serial == parallel  # ExperimentResult of Fig7Rows, field-exact
+    for row in serial.data:
         assert row.exec_time["Optimal (eADR)"] == pytest.approx(1.0)
 
 

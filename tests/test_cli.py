@@ -1,8 +1,11 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
-from repro.cli import SCHEME_FACTORIES, build_parser, main
+from repro.api import SCHEMES
+from repro.cli import build_parser, main
 
 FAST = ["--threads", "2", "--ops", "10", "--elements", "512"]
 
@@ -21,13 +24,13 @@ class TestParser:
             build_parser().parse_args(["run", "--workload", "bogus"])
 
     def test_all_schemes_registered(self):
-        assert set(SCHEME_FACTORIES) == {
+        assert set(SCHEMES) == {
             "bbb", "bbb-proc", "eadr", "pmem", "bsp", "bep", "none",
         }
 
 
 class TestRun:
-    @pytest.mark.parametrize("scheme", sorted(SCHEME_FACTORIES))
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
     def test_run_every_scheme(self, capsys, scheme):
         rc = main(["run", "--workload", "mutateNC", "--scheme", scheme] + FAST)
         assert rc == 0
@@ -46,6 +49,34 @@ class TestRun:
         )
         assert rc == 0
 
+    def test_json_emits_versioned_schema(self, capsys):
+        rc = main(
+            ["run", "--workload", "mutateNC", "--scheme", "bbb", "--json"] + FAST
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.simstats/v1"
+        assert payload["num_cores"] == len(payload["cores"])
+
+    def test_events_and_trace_out(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        trace = tmp_path / "trace.json"
+        rc = main(
+            ["run", "--workload", "mutateNC", "--scheme", "bbb",
+             "--events", str(events), "--trace-out", str(trace)] + FAST
+        )
+        assert rc == 0
+        assert events.exists() and trace.exists()
+        # The Chrome trace must be loadable JSON with a traceEvents array.
+        payload = json.loads(trace.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["traceEvents"]
+
+    def test_no_observability_flags_no_files(self, capsys, tmp_path):
+        rc = main(["run", "--workload", "mutateNC", "--scheme", "bbb"] + FAST)
+        assert rc == 0
+        assert list(tmp_path.iterdir()) == []
+
 
 class TestCompare:
     def test_compare_prints_all_schemes(self, capsys):
@@ -54,6 +85,36 @@ class TestCompare:
         out = capsys.readouterr().out
         for scheme in ("bbb", "eadr", "pmem", "bsp"):
             assert scheme in out
+
+    def test_compare_trace_out_per_scheme(self, capsys, tmp_path):
+        trace = tmp_path / "cmp.json"
+        rc = main(
+            ["compare", "--workload", "mutateNC",
+             "--trace-out", str(trace)] + FAST
+        )
+        assert rc == 0
+        for scheme in SCHEMES:
+            if scheme == "none":
+                continue
+            per_scheme = tmp_path / f"cmp.{scheme}.json"
+            assert per_scheme.exists(), scheme
+            json.loads(per_scheme.read_text())
+
+
+class TestProfile:
+    def test_smoke_reconciles(self, capsys):
+        assert main(["profile", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "event/stats reconciliation" in out
+        # Every reconciliation row renders "yes"; a mismatch renders "NO".
+        assert "yes" in out
+        assert "NO" not in out
+
+    def test_profile_run(self, capsys):
+        rc = main(["profile", "--workload", "mutateNC", "--scheme", "bbb"] + FAST)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "occupancy timelines" in out
 
 
 class TestCrash:

@@ -4,7 +4,7 @@
 import pytest
 
 from repro.sim.config import SystemConfig
-from repro.sim.system import bbb, eadr, no_persistency, pmem_strict
+from repro.api import build_system
 from repro.sim.trace import OpKind
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.linkedlist import LinkedListAppend
@@ -48,18 +48,18 @@ class TestTraceShapes:
 
 
 class TestRecoveryUnderClosedGapSchemes:
-    @pytest.mark.parametrize("factory", [bbb, eadr, pmem_strict])
-    def test_fig2_code_is_crash_safe_without_barriers(self, cfg, factory):
+    @pytest.mark.parametrize("scheme", ["bbb", "eadr", "pmem"])
+    def test_fig2_code_is_crash_safe_without_barriers(self, cfg, scheme):
         """The paper's headline: the *plain* Fig. 2 code is crash consistent
         under BBB (and eADR), with no flushes or fences."""
         workload = make_workload(cfg, ops=15)
         trace = workload.build()
         checker = workload.make_checker()
         for crash_at in range(1, trace.total_ops() + 1, 7):
-            system = factory(cfg)
+            system = build_system(scheme, config=cfg)
             result = system.run(trace, crash_at_op=crash_at)
             ok, violations = checker(system, result)
-            assert ok, (factory.__name__, crash_at, violations)
+            assert ok, (scheme, crash_at, violations)
 
     def test_fig3_code_is_crash_safe_under_pmem(self, cfg):
         """With the explicit barriers of Fig. 3, even ADR-only PMEM is
@@ -68,7 +68,7 @@ class TestRecoveryUnderClosedGapSchemes:
         trace = workload.build_with_barriers()
         checker = workload.make_checker()
         for crash_at in range(1, trace.total_ops() + 1, 5):
-            system = no_persistency(cfg)  # plain ADR, honours explicit flushes
+            system = build_system("none", config=cfg)  # plain ADR, honours explicit flushes
             result = system.run(trace, crash_at_op=crash_at)
             ok, violations = checker(system, result)
             assert ok, (crash_at, violations)
@@ -91,7 +91,7 @@ class TestFailureWithoutBBB:
 
         violated = False
         for crash_at in range(len(thread) - cfg.llc.assoc, len(thread) + 1):
-            system = no_persistency(cfg)
+            system = build_system("none", config=cfg)
             result = system.run(trace, crash_at_op=crash_at)
             ok, violations = checker(system, result)
             if not ok:
@@ -109,7 +109,7 @@ class TestFailureWithoutBBB:
             thread.append(TraceOp.load(addr))
         trace = ProgramTrace([ThreadTrace(thread)])
         for crash_at in range(1, len(thread) + 1):
-            system = bbb(cfg)
+            system = build_system("bbb", config=cfg)
             result = system.run(trace, crash_at_op=crash_at)
             ok, violations = checker(system, result)
             assert ok, (crash_at, violations)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.config import SystemConfig
-from repro.sim.system import bbb, bsp, eadr, no_persistency, pmem_strict
+from repro.api import build_system
 from repro.sim.trace import OpKind, ProgramTrace, ThreadTrace, TraceOp
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.queue import QueueAppend
@@ -42,17 +42,17 @@ class TestTraceShape:
 
 
 class TestRecovery:
-    @pytest.mark.parametrize("factory", [bbb, eadr, pmem_strict])
-    def test_crash_sweep_consistent_under_strict_schemes(self, cfg, factory):
+    @pytest.mark.parametrize("scheme", ["bbb", "eadr", "pmem"])
+    def test_crash_sweep_consistent_under_strict_schemes(self, cfg, scheme):
         workload = make(cfg, threads=2, ops=12)
         trace = workload.build()
         checker = workload.make_checker()
         for crash_at in range(1, trace.total_ops() + 1, 9):
-            system = factory(cfg)
+            system = build_system(scheme, config=cfg)
             workload.seed_media(system.nvmm_media)
             result = system.run(trace, crash_at_op=crash_at)
             ok, violations = checker(system, result)
-            assert ok, (factory.__name__, crash_at, violations)
+            assert ok, (scheme, crash_at, violations)
 
     def test_bsp_also_consistent(self, cfg):
         """BSP persists in program order (lazily): the tail never persists
@@ -61,7 +61,7 @@ class TestRecovery:
         trace = workload.build()
         checker = workload.make_checker()
         for crash_at in range(1, trace.total_ops() + 1, 5):
-            system = bsp(cfg)
+            system = build_system("bsp", config=cfg)
             workload.seed_media(system.nvmm_media)
             result = system.run(trace, crash_at_op=crash_at)
             ok, violations = checker(system, result)
@@ -80,7 +80,7 @@ class TestRecovery:
         trace = ProgramTrace([ThreadTrace(ops)])
         torn = False
         for crash_at in range(1, len(ops) + 1):
-            system = no_persistency(cfg)
+            system = build_system("none", config=cfg)
             workload.seed_media(system.nvmm_media)
             result = system.run(trace, crash_at_op=crash_at)
             ok, violations = checker(system, result)
@@ -96,7 +96,7 @@ class TestFullRun:
         workload = make(cfg)
         trace = workload.build()
         checker = workload.make_checker()
-        system = bbb(cfg)
+        system = build_system("bbb", config=cfg)
         workload.seed_media(system.nvmm_media)
         result = system.run(trace)
         ok, violations = checker(system, result)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.config import SystemConfig
-from repro.sim.system import bbb, no_persistency
+from repro.api import build_system
 from repro.sim.trace import OpKind
 from repro.workloads.base import WORKLOAD_NAMES, WorkloadSpec, registry
 
@@ -109,7 +109,7 @@ class TestMediaSeeding:
 
     def test_seed_media_installs_words(self, cfg, spec):
         workload = registry(cfg.mem, spec)["ctree"]
-        system = bbb(cfg)
+        system = build_system("bbb", config=cfg)
         count = workload.seed_media(system.nvmm_media)
         assert count == len(workload.initial_words)
         addr, value = next(iter(workload.initial_words.items()))
@@ -117,7 +117,7 @@ class TestMediaSeeding:
 
     def test_seed_media_does_not_count_as_window_writes(self, cfg, spec):
         workload = registry(cfg.mem, spec)["ctree"]
-        system = bbb(cfg)
+        system = build_system("bbb", config=cfg)
         workload.seed_media(system.nvmm_media)
         assert system.nvmm_media.total_writes == 0
         assert system.stats.nvmm_writes == 0
@@ -129,7 +129,7 @@ class TestMediaSeeding:
         workload = registry(cfg.mem, spec)["ctree"]
         trace = workload.build()
         checker = workload.make_checker()
-        system = bbb(cfg, entries=64)
+        system = build_system("bbb", config=cfg, entries=64)
         workload.seed_media(system.nvmm_media)
         result = system.run(trace, crash_at_op=1)
         ok, violations = checker(system, result)
@@ -145,7 +145,7 @@ class TestRecoveryCheckers:
         workload = registry(cfg.mem, spec)[name]
         trace = workload.build()
         checker = workload.make_checker()
-        system = bbb(cfg, entries=64)
+        system = build_system("bbb", config=cfg, entries=64)
         workload.seed_media(system.nvmm_media)
         result = system.run(trace)  # finalize drains everything
         ok, violations = checker(system, result)
@@ -158,7 +158,7 @@ class TestRecoveryCheckers:
         trace = workload.build()
         checker = workload.make_checker()
         for crash_at in (5, trace.total_ops() // 2, trace.total_ops() - 1):
-            system = bbb(cfg, entries=64)
+            system = build_system("bbb", config=cfg, entries=64)
             workload.seed_media(system.nvmm_media)
             result = system.run(trace, crash_at_op=crash_at)
             ok, violations = checker(system, result)
@@ -173,7 +173,7 @@ class TestSimulationSmoke:
     def test_runs_to_completion_under_bbb(self, cfg, name):
         spec = WorkloadSpec(threads=4, ops=15, elements=256, seed=1)
         workload = registry(cfg.mem, spec)[name]
-        system = bbb(cfg)
+        system = build_system("bbb", config=cfg)
         result = system.run(workload.build())
         assert result.stats.total_persisting_stores > 0
         assert result.execution_cycles > 0
@@ -185,12 +185,12 @@ class TestConflictingWorkloadCoherence:
         move-without-drain path; the NC variant does not."""
         spec = WorkloadSpec(threads=4, ops=120, elements=64, seed=5)
         conflicting = registry(cfg.mem, spec)["mutateC"]
-        system_c = bbb(cfg)
+        system_c = build_system("bbb", config=cfg)
         system_c.run(conflicting.build(), finalize=False)
         assert system_c.stats.bbpb_moves > 0
 
         non_conflicting = registry(cfg.mem, spec)["mutateNC"]
-        system_nc = bbb(cfg)
+        system_nc = build_system("bbb", config=cfg)
         system_nc.run(non_conflicting.build(), finalize=False)
         assert system_nc.stats.bbpb_moves == 0
 
@@ -199,14 +199,14 @@ class TestConflictingWorkloadCoherence:
 
         spec = WorkloadSpec(threads=4, ops=80, elements=64, seed=5)
         workload = registry(cfg.mem, spec)["swapC"]
-        system = bbb(cfg)
+        system = build_system("bbb", config=cfg)
         system.run(workload.build(), finalize=False)
         check_all(system)
 
     def test_eviction_pressure_triggers_forced_drains_and_drops(self, cfg):
         spec = WorkloadSpec(threads=4, ops=200, elements=8192, seed=5)
         workload = registry(cfg.mem, spec)["mutateNC"]
-        system = bbb(cfg, entries=1024)  # big buffer: blocks stay resident
+        system = build_system("bbb", config=cfg, entries=1024)  # big buffer: blocks stay resident
         system.run(workload.build(), finalize=False)
         assert system.stats.bbpb_forced_drains > 0
         assert system.stats.llc_writebacks_dropped > 0
