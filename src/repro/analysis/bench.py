@@ -24,13 +24,13 @@ runs on the same machine.
 
 from __future__ import annotations
 
-import json
 import platform
 import subprocess
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.experiments import default_sim_config, fig7
+from repro.ioutil import atomic_write_json
 from repro.api import build_system
 from repro.sim.config import ConsistencyModel, SystemConfig
 from repro.workloads.base import (
@@ -179,9 +179,8 @@ def run_bench(jobs: Optional[int] = None) -> Dict[str, Any]:
 
 
 def write_bench(report: Dict[str, Any], out_path: Optional[str] = None) -> str:
-    """Write the report as JSON; default filename ``BENCH_<rev>.json``."""
+    """Write the report as JSON (atomically: temp file + ``os.replace``, so
+    an interrupted write never clobbers a previous good report); default
+    filename ``BENCH_<rev>.json``."""
     path = out_path or f"BENCH_{report['revision']}.json"
-    with open(path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    return path
+    return atomic_write_json(path, report)

@@ -27,6 +27,9 @@ keyword                schemes                     meaning
 ``bus``                all                         :class:`repro.obs.bus.
                                                    EventBus` receiving the
                                                    run's events
+``fault_injector``     all                         :class:`repro.fault.
+                                                   FaultInjector` applying
+                                                   a fault plan to the run
 =====================  ==========================  ==========================
 
 ``entries`` sizes the persist buffer for the schemes that have one (bbb,
@@ -47,6 +50,7 @@ from repro.core.persistency import (
     NoPersistency,
     StrictPMEM,
 )
+from repro.fault.injector import NULL_INJECTOR
 from repro.obs.bus import NULL_BUS
 from repro.sim.config import BBBConfig, SystemConfig
 from repro.sim.system import System
@@ -93,6 +97,7 @@ def build_system(
 
     bus = kw.pop("bus", NULL_BUS)
     reorder_seed = kw.pop("reorder_seed", 0)
+    fault_injector = kw.pop("fault_injector", NULL_INJECTOR)
 
     if name is Scheme.BBB:
         scheme_obj = BBBScheme(BBBConfig(
@@ -122,4 +127,5 @@ def build_system(
             f"unexpected keyword arguments for scheme {name.value!r}: "
             f"{', '.join(sorted(kw))}"
         )
-    return System(config, scheme_obj, reorder_seed=reorder_seed, bus=bus)
+    return System(config, scheme_obj, reorder_seed=reorder_seed, bus=bus,
+                  fault_injector=fault_injector)

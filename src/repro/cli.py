@@ -10,6 +10,8 @@ Commands:
 * ``table1``  — print the qualitative scheme comparison.
 * ``trace``   — generate a workload trace and save it to a file.
 * ``bench``   — time the fixed perf smoke suite and write ``BENCH_<rev>.json``.
+* ``faults``  — seeded fault-injection campaign (scheme x workload x plan);
+  exits non-zero if any battery-domain fault produced silent corruption.
 
 ``run`` and ``compare`` accept ``--events PATH`` (JSONL event log) and
 ``--trace-out PATH`` (Chrome ``trace_event`` file for chrome://tracing or
@@ -26,6 +28,8 @@ Examples::
     python -m repro crash --workload hashmap --scheme none --sample 50
     python -m repro energy
     python -m repro trace --workload rtree --out rtree.trace
+    python -m repro faults --smoke
+    python -m repro faults --workloads hashmap,ctree --out faults.json
 """
 
 from __future__ import annotations
@@ -118,7 +122,13 @@ def cmd_run(args) -> int:
     stats = result.stats
     _export_events(recorder, args.events, args.trace_out)
     if args.json:
-        print(stats.to_json())
+        if args.out:
+            from repro.ioutil import atomic_write_text
+
+            atomic_write_text(args.out, stats.to_json() + "\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            print(stats.to_json())
         return 0
     rows = [(k, v) for k, v in stats.summary().items()]
     rows.append(("steady_state_nvmm_writes", steady_state_nvmm_writes(system)))
@@ -305,6 +315,85 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    # Imported here: the fault-campaign stack (batch runner, recovery
+    # checkers) should not tax the other commands' startup.
+    from repro.analysis.batch import BatchPolicy, decide_jobs
+    from repro.fault.campaign import (
+        SMOKE_WORKLOADS,
+        canonical_plans,
+        run_campaign,
+        smoke_campaign,
+        write_report,
+    )
+    from repro.fault.plan import BATTERY_DOMAIN_SITES, random_plan
+
+    try:
+        jobs = decide_jobs(args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int) -> None:
+        if sys.stderr.isatty():
+            print(f"\r  {done}/{total} units", end="", file=sys.stderr,
+                  flush=True)
+            if done == total:
+                print(file=sys.stderr)
+
+    if args.smoke:
+        report = smoke_campaign(seed=args.seed, jobs=jobs, progress=progress)
+    else:
+        schemes = (
+            [s.strip() for s in args.schemes.split(",") if s.strip()]
+            if args.schemes else list(SCHEMES)
+        )
+        workloads = (
+            [w.strip() for w in args.workloads.split(",") if w.strip()]
+            if args.workloads else list(SMOKE_WORKLOADS)
+        )
+        unknown = [s for s in schemes if s not in SCHEMES]
+        unknown += [w for w in workloads if w not in WORKLOAD_NAMES]
+        if unknown:
+            print(f"error: unknown scheme/workload: {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        plans = canonical_plans() + [
+            random_plan(args.seed * 1000 + i, sites=BATTERY_DOMAIN_SITES,
+                        label=f"random-battery-{i}")
+            for i in range(args.random_plans)
+        ]
+        spec = WorkloadSpec(threads=args.threads, ops=args.ops,
+                            elements=args.elements, seed=args.seed + 42)
+        policy = BatchPolicy(
+            timeout=args.timeout, retries=args.retries,
+            checkpoint=args.checkpoint, on_error="raise", seed=args.seed,
+        )
+        report = run_campaign(
+            schemes, workloads, plans, spec,
+            seed=args.seed, crashes_per_cell=args.crashes,
+            entries=args.entries, jobs=jobs, policy=policy,
+            progress=progress,
+        )
+
+    print(render_table(
+        ["outcome", "units"],
+        [(name, count) for name, count in sorted(report["summary"].items())],
+        title=f"fault campaign ({len(report['units'])} units, "
+              f"seed {report['seed']})",
+    ))
+    domain = report["battery_domain"]
+    print(f"battery-domain units: {domain['units']}, "
+          f"silent corruption: {domain['silent_corruption']}")
+    if args.out:
+        print(f"wrote {write_report(report, args.out)}")
+    if domain["silent_corruption"]:
+        print("error: battery-domain fault produced SILENT corruption",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_trace(args) -> int:
     config = default_sim_config()
     spec = _spec(args)
@@ -338,6 +427,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--json", action="store_true",
                        help="dump the full stats as JSON "
                             "(repro.simstats/v1 schema)")
+    p_run.add_argument("--out", default=None, metavar="PATH",
+                       help="with --json: write the JSON atomically to PATH "
+                            "instead of stdout")
     _add_observability_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -390,6 +482,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--jobs", type=int, default=None,
                          help="workers for the batch suite (default: REPRO_JOBS/CPUs)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="seeded fault-injection campaign (scheme x workload x plan)",
+    )
+    p_faults.add_argument("--smoke", action="store_true",
+                          help="small fixed campaign for CI; exits non-zero "
+                               "on battery-domain silent corruption")
+    p_faults.add_argument("--schemes", default=None, metavar="A,B,...",
+                          help="comma-separated schemes (default: all)")
+    p_faults.add_argument("--workloads", default=None, metavar="A,B,...",
+                          help="comma-separated workloads "
+                               "(default: hashmap,ctree,swapNC)")
+    p_faults.add_argument("--random-plans", type=int, default=4,
+                          help="extra random battery-domain plans beyond "
+                               "the canonical set")
+    p_faults.add_argument("--crashes", type=int, default=1,
+                          help="crash points per (workload, plan) cell")
+    p_faults.add_argument("--seed", type=int, default=0,
+                          help="campaign seed (plans, crash points, backoff)")
+    p_faults.add_argument("--entries", type=int, default=8, help="bbPB entries")
+    p_faults.add_argument("--threads", type=int, default=2)
+    p_faults.add_argument("--ops", type=int, default=40,
+                          help="operations per thread")
+    p_faults.add_argument("--elements", type=int, default=512,
+                          help="structure size")
+    p_faults.add_argument("--jobs", type=int, default=None,
+                          help="workers (default: REPRO_JOBS/CPUs)")
+    p_faults.add_argument("--timeout", type=float, default=None,
+                          help="per-unit timeout in seconds")
+    p_faults.add_argument("--retries", type=int, default=1,
+                          help="retries per unit (timeouts & crashes)")
+    p_faults.add_argument("--checkpoint", default=None, metavar="PATH",
+                          help="JSONL checkpoint; rerun with the same path "
+                               "to resume an interrupted campaign")
+    p_faults.add_argument("--out", default=None, metavar="PATH",
+                          help="write the JSON report atomically to PATH")
+    p_faults.set_defaults(func=cmd_faults)
 
     return parser
 

@@ -194,6 +194,7 @@ class EADR(PersistencyScheme):
     def crash_drain(self, now: int) -> DrainReport:
         assert self.hierarchy is not None
         h = self.hierarchy
+        injector = h.fault_injector
         report = DrainReport(scheme=self.name)
         block_size = h.config.block_size
         # L1 dirty copies take precedence over (possibly stale) LLC copies.
@@ -205,12 +206,20 @@ class EADR(PersistencyScheme):
         for blk in h.llc.dirty_blocks():
             if h.config.mem.is_nvmm(blk.addr) and blk.addr not in drained:
                 drained[blk.addr] = blk.data.copy()
+        if injector.enabled:
+            injector.begin_crash_drain(
+                len(drained) + h.crash_sb_persistent_entries(), now
+            )
         for addr, data in drained.items():
+            if injector.enabled and not injector.battery_allows(now):
+                continue  # battery died mid-drain: the block is lost
             h.nvmm.media.write_block(addr, data)
             h.stats.nvmm_writes += 1
             report.cache_blocks += 1
             report.bytes_drained += block_size
         report.store_buffer_entries += h.crash_drain_store_buffers()
+        if injector.enabled:
+            injector.finish_crash_drain(now)
         h.lose_volatile_state()
         return report
 
@@ -375,11 +384,15 @@ class BBBScheme(PersistencyScheme):
         owner = self.bbpb_owner_of(block.addr)
         if owner is not None:
             # Dirty-inclusion: drain before the LLC may drop the block.
+            # The request travels through the drain-message channel, which
+            # fault injection may delay or drop; a dropped message leaves
+            # the entry resident (still battery-backed, still durable).
             buf = self.buffers[owner]
             before = buf.forced_drains
-            buf.force_drain(block.addr, now)
+            delivered, _ = h.drain_channel.deliver(buf, block.addr, now)
             h.stats.bbpb_forced_drains += buf.forced_drains - before
-            h.directory.set_bbpb_owner(block.addr, None, now)
+            if delivered:
+                h.directory.set_bbpb_owner(block.addr, None, now)
         if (
             block.dirty
             and block.persistent
@@ -400,16 +413,34 @@ class BBBScheme(PersistencyScheme):
     def crash_drain(self, now: int) -> DrainReport:
         assert self.hierarchy is not None
         h = self.hierarchy
+        injector = h.fault_injector
         report = DrainReport(scheme=self.name)
-        for buf in self.buffers:
-            for block_addr, data in buf.crash_drain():
-                h.nvmm.media.write_block(block_addr, data)
-                h.stats.nvmm_writes += 1
-                report.bbpb_blocks += 1
-                report.bytes_drained += h.config.block_size
+        entries = [
+            (buf.core_id, block_addr, data)
+            for buf in self.buffers
+            for block_addr, data in buf.crash_drain()
+        ]
+        if injector.enabled:
+            injector.begin_crash_drain(
+                len(entries) + h.crash_sb_persistent_entries(), now
+            )
+        for core, block_addr, data in entries:
+            if injector.enabled:
+                if not injector.battery_allows(now):
+                    continue  # battery died mid-drain: the entry is lost
+                data, _ = injector.on_bbpb_crash_entry(core, block_addr,
+                                                       data, now)
+                if data is None:  # parity caught a corrupt entry: discard
+                    continue
+            h.nvmm.media.write_block(block_addr, data)
+            h.stats.nvmm_writes += 1
+            report.bbpb_blocks += 1
+            report.bytes_drained += h.config.block_size
         # Section III-C: store buffers drain after their bbPB, preserving
         # per-core program order of persists.
         report.store_buffer_entries += h.crash_drain_store_buffers()
+        if injector.enabled:
+            injector.finish_crash_drain(now)
         h.lose_volatile_state()
         return report
 

@@ -23,6 +23,7 @@ durable NVMM image must satisfy the active scheme's contract:
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -209,3 +210,84 @@ def check_epoch_consistency(
         "durable image does not match any epoch boundary (± one epoch's "
         "partial drain)"
     )
+
+
+# ----------------------------------------------------------------------
+# Fault-campaign outcome taxonomy
+# ----------------------------------------------------------------------
+
+class Outcome(str, enum.Enum):
+    """Classification of one crash recovery under (possible) fault
+    injection — the vocabulary of the ``repro faults`` campaign.
+
+    * ``CONSISTENT`` — the durable image satisfies the scheme's contract;
+      the fault (if any fired) was absorbed.
+    * ``DETECTED_INCONSISTENT`` — the contract is violated, but at least
+      one modelled hardware channel (ECC, parity, brown-out, machine
+      check) flagged a fault: recovery *knows* the state is damaged.
+    * ``SILENT_CORRUPTION`` — the contract is violated and nothing
+      noticed.  The worst case; only reachable when a plan disables a
+      detection channel, and never for battery-domain faults under the
+      default channels.
+    * ``BASELINE_INCONSISTENT`` — the same (scheme, workload, crash
+      point) violates the contract *without* any fault injected: the
+      scheme simply does not provide this consistency level (``none``,
+      ``bep`` mid-epoch), so the faulted run's failure says nothing about
+      fault handling.
+    """
+
+    CONSISTENT = "consistent"
+    DETECTED_INCONSISTENT = "detected-inconsistent"
+    SILENT_CORRUPTION = "silent-corruption"
+    BASELINE_INCONSISTENT = "baseline-inconsistent"
+
+
+#: Scheme name -> the consistency contract its crash recovery promises.
+#: Schemes with a closed PoV/PoP gap (or synchronous persists) owe *exact*
+#: durability of every committed persisting store; buffered/uncontrolled
+#: schemes owe only per-core prefix consistency (and ``none`` not even
+#: that — it is the motivating broken baseline).
+SCHEME_CONTRACTS: Dict[str, str] = {
+    "bbb": "exact",
+    "bbb-proc": "exact",
+    "eadr": "eadr-exact",
+    "pmem": "exact",
+    "pmem-strict": "exact",
+    "bsp": "prefix",
+    "bep": "prefix",
+    "none": "prefix",
+}
+
+
+def check_scheme_contract(
+    scheme_name: str,
+    media: NVMMedia,
+    committed_persists: Sequence[PersistRecord],
+    block_size: int = 64,
+) -> ConsistencyResult:
+    """Apply the contract checker registered for ``scheme_name`` to a
+    crashed run's durable image."""
+    contract = SCHEME_CONTRACTS.get(scheme_name)
+    if contract is None:
+        raise ValueError(
+            f"no consistency contract registered for scheme {scheme_name!r}"
+        )
+    if contract in ("exact", "eadr-exact"):
+        return check_exact_durability(media, committed_persists, block_size)
+    return check_prefix_consistency(media, committed_persists, block_size)
+
+
+def classify_outcome(
+    contract: ConsistencyResult,
+    detected: bool,
+    baseline_consistent: bool = True,
+) -> Outcome:
+    """Fold a contract check, the detection evidence, and the fault-free
+    baseline into one :class:`Outcome` (see the enum for semantics)."""
+    if contract.consistent:
+        return Outcome.CONSISTENT
+    if not baseline_consistent:
+        return Outcome.BASELINE_INCONSISTENT
+    if detected:
+        return Outcome.DETECTED_INCONSISTENT
+    return Outcome.SILENT_CORRUPTION

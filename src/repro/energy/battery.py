@@ -25,7 +25,7 @@ reported as a ratio to a mobile core's 2.61 mm^2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.energy.model import (
     BLOCK_BYTES,
@@ -45,6 +45,38 @@ ENERGY_DENSITY_WH_PER_CM3: Dict[str, float] = {
 PROVISIONING_FACTOR = 10.0
 
 JOULES_PER_WH = 3600.0
+
+
+@dataclass
+class BatteryState:
+    """Runtime charge state of the flush-on-fail battery during one crash
+    drain, in *drain units* (one bbPB entry, store-buffer record, or cache
+    block each).
+
+    The sizing math above guarantees ``capacity_units >= total dirty
+    units`` on correctly-provisioned hardware (``capacity_units=None``
+    models exactly that: the battery never runs dry).  The fault-injection
+    subsystem (:mod:`repro.fault`) instantiates undersized or degraded
+    batteries to exercise the failure the paper warns about: "missing to
+    drain even one dirty cache block may result in inconsistent persistent
+    data".
+    """
+
+    capacity_units: Optional[int] = None
+    drained: int = 0
+    lost: int = 0
+
+    def draw(self) -> bool:
+        """Spend the charge for one drain unit; False once exhausted."""
+        if self.capacity_units is not None and self.drained >= self.capacity_units:
+            self.lost += 1
+            return False
+        self.drained += 1
+        return True
+
+    @property
+    def depleted(self) -> bool:
+        return self.lost > 0
 
 
 @dataclass(frozen=True)

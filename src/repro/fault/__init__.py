@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the persistence domain.
+
+``repro.fault`` perturbs the simulator at the points where the paper's
+durability argument actually rests: the flush-on-fail battery, the NVMM
+write path, the LLC->bbPB forced-drain coherence messages, and the bbPB
+entries themselves.  :class:`FaultPlan` describes a set of faults as plain
+data; :class:`FaultInjector` applies one plan to one run; and
+:func:`repro.fault.campaign.run_campaign` sweeps seeded plans over
+scheme x workload grids, classifying every recovery with the golden-model
+checkers (``repro faults`` on the command line).
+"""
+
+from repro.fault.injector import NULL_INJECTOR, FaultInjector, FaultRecord
+from repro.fault.plan import (
+    BATTERY_DOMAIN_SITES,
+    SITE_BATTERY,
+    SITE_BBPB_ENTRY,
+    SITE_FORCED_DRAIN,
+    SITE_NVMM_WRITE,
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    random_plan,
+)
+
+__all__ = [
+    "BATTERY_DOMAIN_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
+    "NULL_INJECTOR",
+    "SITES",
+    "SITE_BATTERY",
+    "SITE_BBPB_ENTRY",
+    "SITE_FORCED_DRAIN",
+    "SITE_NVMM_WRITE",
+    "random_plan",
+]

@@ -1,0 +1,48 @@
+"""Durable file output helpers.
+
+Reports (bench JSON, ``run --json --out``, fault-campaign reports) are the
+artifacts other tooling consumes; a crash or SIGKILL mid-write must never
+leave a truncated file where a previous good one stood.  The standard
+recipe: write to a temporary file in the *same directory* (so the rename
+cannot cross filesystems), fsync it, then :func:`os.replace` it over the
+destination — readers see either the old complete file or the new complete
+file, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+
+def atomic_write_text(path: str, text: str) -> str:
+    """Atomically replace ``path`` with ``text``; returns ``path``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(
+    path: str, obj: Any, indent: int = 2, sort_keys: bool = True
+) -> str:
+    """Atomically replace ``path`` with ``obj`` serialized as JSON (with a
+    trailing newline); returns ``path``."""
+    return atomic_write_text(
+        path, json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
+    )

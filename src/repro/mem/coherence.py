@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, Optional, Set, Tuple
 
+from repro.fault.injector import NULL_INJECTOR
 from repro.obs.bus import NULL_BUS, EventBus
 from repro.obs.events import CoherenceMove
 
@@ -58,6 +59,41 @@ class DirectoryEntry:
             f"Dir(0x{self.block_addr:x}, sharers={sorted(self.sharers)}, "
             f"owner={self.owner}, bbpb={self.bbpb_owner})"
         )
+
+
+class DrainMessageChannel:
+    """Delivery model for LLC -> bbPB forced-drain requests (Table II's
+    ``ForcedDrain``; Section III-B dirty inclusion).
+
+    In the fault-free system delivery is instantaneous and reliable, and
+    :meth:`deliver` collapses to ``buf.force_drain``.  Under fault
+    injection the message can be *delayed* (the drain simply starts
+    ``cycles`` later — the entry is battery-backed throughout, so the
+    window is harmless) or *dropped* (the bbPB keeps the entry; the block
+    leaves the LLC un-drained).  A dropped message costs nothing
+    durability-wise — the entry is still inside the persistence domain and
+    drains at the threshold, at finalize, or on the crash battery — which
+    is exactly the robustness property the fault campaign demonstrates.
+    """
+
+    def __init__(self, injector=NULL_INJECTOR) -> None:
+        self.injector = injector
+        self.dropped = 0
+        self.delayed = 0
+
+    def deliver(self, buf, block_addr: int, now: int) -> Tuple[bool, int]:
+        """Deliver a forced-drain request for ``block_addr`` to bbPB
+        ``buf``.  Returns ``(delivered, completion_cycle)``; on a dropped
+        message the entry stays resident and nothing drains."""
+        if self.injector.enabled:
+            spec = self.injector.on_forced_drain(buf.core_id, block_addr, now)
+            if spec is not None:
+                if spec.fault == "drop":
+                    self.dropped += 1
+                    return False, now
+                self.delayed += 1
+                now += int(spec.param("cycles", 100))
+        return True, buf.force_drain(block_addr, now)
 
 
 class Directory:

@@ -39,8 +39,9 @@ from repro.mem.block import (
     S,
     block_offset,
 )
+from repro.fault.injector import NULL_INJECTOR
 from repro.mem.cache import CacheArray
-from repro.mem.coherence import Directory
+from repro.mem.coherence import Directory, DrainMessageChannel
 from repro.mem.memctrl import DRAMController, NVMMController
 from repro.mem.storebuffer import StoreBuffer
 from repro.obs.bus import NULL_BUS, EventBus
@@ -62,11 +63,13 @@ class MemoryHierarchy:
         scheme,
         stats: Optional[SimStats] = None,
         bus: EventBus = NULL_BUS,
+        fault_injector=NULL_INJECTOR,
     ) -> None:
         self.config = config
         self.scheme = scheme
         self.stats = stats or SimStats(num_cores=config.num_cores)
         self.bus = bus
+        self.fault_injector = fault_injector
         # block_size is a validated power of two: block address / offset
         # arithmetic in the hot paths reduces to a mask.
         self._block_mask = config.block_size - 1
@@ -76,8 +79,10 @@ class MemoryHierarchy:
         ]
         self.llc = CacheArray(config.llc, name="LLC")
         self.directory = Directory(bus)
+        self.drain_channel = DrainMessageChannel(fault_injector)
         self.dram = DRAMController(config.mem, self.stats)
-        self.nvmm = NVMMController(config.mem, self.stats, bus)
+        self.nvmm = NVMMController(config.mem, self.stats, bus,
+                                   injector=fault_injector)
         #: Functional contents of DRAM (volatile: lost on crash).
         self.volatile_image: Dict[int, BlockData] = {}
         battery_sb = getattr(scheme, "name", "") in ("bbb", "eadr") and (
@@ -403,13 +408,28 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     # Crash support
     # ------------------------------------------------------------------
+    def crash_sb_persistent_entries(self) -> int:
+        """Persistent store-buffer entries the crash drain would move —
+        the SB contribution to the battery's drain-unit budget."""
+        return sum(
+            1
+            for sb in self.store_buffers
+            for entry in sb.drain_order_on_crash()
+            if entry.persistent
+        )
+
     def crash_drain_store_buffers(self) -> int:
         """Battery-backed store buffers drain to the WPQ in program order
-        (Section III-C).  Returns the number of entries drained."""
+        (Section III-C).  Returns the number of entries drained.  Under
+        fault injection each entry draws on the same battery budget as the
+        bbPB/cache drain that preceded it; a dead battery loses the tail."""
         count = 0
+        injector = self.fault_injector
         for sb in self.store_buffers:
             for entry in sb.drain_order_on_crash():
                 if not entry.persistent:
+                    continue
+                if injector.enabled and not injector.battery_allows(0):
                     continue
                 baddr = self._baddr(entry.addr)
                 data = BlockData()

@@ -24,12 +24,19 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from repro.fault.injector import NULL_INJECTOR
 from repro.mem.block import BlockData
 from repro.mem.nvmm import NVMMedia
 from repro.obs.bus import NULL_BUS, EventBus
 from repro.obs.events import WpqDrain, WpqEnqueue
 from repro.sim.config import MemConfig
 from repro.sim.stats import SimStats
+
+#: Bounded retry budget for transiently-failing WPQ write acceptances
+#: (fault injection): the controller re-attempts a failed block write this
+#: many times before raising a machine check and dropping the write — a
+#: *detected* loss, never a silent one.
+WPQ_WRITE_MAX_RETRIES = 3
 
 
 class DRAMController:
@@ -66,10 +73,11 @@ class NVMMController:
     """
 
     def __init__(self, config: MemConfig, stats: SimStats,
-                 bus: EventBus = NULL_BUS) -> None:
+                 bus: EventBus = NULL_BUS, injector=NULL_INJECTOR) -> None:
         self.config = config
         self.stats = stats
         self.bus = bus
+        self.injector = injector
         self.media = NVMMedia(config.nvmm_base, config.nvmm_bytes)
         #: Per-channel next-free time; blocks interleave by block address.
         self._port_free = [0] * config.nvmm_channels
@@ -103,13 +111,52 @@ class NVMMController:
         channel = self.channel_of(block_addr)
         start = max(now, self._port_free[channel])
         done = start + self.config.wpq_accept_cycles
+        if self.injector.enabled:
+            done = self._accept_with_faults(block_addr, data, start, done)
+        else:
+            self.media.write_block(block_addr, data)
         self._port_free[channel] = done
-        self.media.write_block(block_addr, data)
         self.stats.nvmm_writes += 1
         if self.bus.enabled:
             self.bus.emit(WpqEnqueue(now, block_addr, channel,
                                      accept_at=done, backlog=start - now))
             self.bus.emit(WpqDrain(done, block_addr, channel))
+        return done
+
+    def _accept_with_faults(self, block_addr: int, data: BlockData,
+                            start: int, done: int) -> int:
+        """Fault-injected acceptance path: consult the injector, then model
+        torn writes (partial row + ECC mark) and transient write failures
+        (each retry re-occupies the write port; exhausting the retry budget
+        raises a machine check and drops the write — a detected loss).
+        Returns the possibly-delayed acceptance-complete cycle."""
+        spec = self.injector.on_nvmm_write(block_addr, start)
+        if spec is None:
+            self.media.write_block(block_addr, data)
+            return done
+
+        if spec.fault == "torn":
+            keep = int(spec.param("keep_bytes", 32))
+            self.media.write_block_torn(block_addr, data, keep)
+            if spec.param("ecc", True):
+                self.injector.record_detection(
+                    spec.site, spec.fault, block_addr, done,
+                    detail=f"media ECC: row torn at byte {keep}",
+                )
+            return done
+
+        # Transient acceptance failure with bounded retry.
+        failures = int(spec.param("failures", 1))
+        retries = min(failures, WPQ_WRITE_MAX_RETRIES)
+        done += retries * self.config.wpq_accept_cycles
+        if failures > WPQ_WRITE_MAX_RETRIES:
+            self.injector.record_detection(
+                spec.site, spec.fault, block_addr, done,
+                detail=f"machine check: {WPQ_WRITE_MAX_RETRIES} retries "
+                       f"exhausted",
+            )
+            return done
+        self.media.write_block(block_addr, data)
         return done
 
     # ------------------------------------------------------------------

@@ -9,7 +9,7 @@ its contents never matter after a crash.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Set
 
 from repro.mem.block import BlockData
 
@@ -30,6 +30,11 @@ class NVMMedia:
         self.write_counts: Counter = Counter()
         self.total_writes = 0
         self.total_reads = 0
+        #: Blocks whose last write was torn (fault injection): their stored
+        #: row no longer matches its ECC, so a recovery-time scan flags
+        #: them.  A subsequent complete write re-encodes the row and clears
+        #: the mark.
+        self.torn_blocks: Set[int] = set()
 
     def _check(self, block_addr: int) -> None:
         if not (self.base <= block_addr < self.base + self.size):
@@ -50,6 +55,25 @@ class NVMMedia:
         dest.merge_from(data)
         self.write_counts[block_addr] += 1
         self.total_writes += 1
+        if self.torn_blocks:
+            # A complete write re-encodes the row: the ECC is whole again.
+            self.torn_blocks.discard(block_addr)
+
+    def write_block_torn(self, block_addr: int, data: BlockData,
+                         keep_bytes: int) -> None:
+        """Persist a *torn* block write: only the bytes of ``data`` at
+        offsets below ``keep_bytes`` land; the row is marked torn so the
+        ECC model can report it.  Counts as a media write (the row was
+        programmed, just not completely)."""
+        self._check(block_addr)
+        partial = BlockData(
+            {off: val for off, val in data.bytes.items() if off < keep_bytes}
+        )
+        dest = self._blocks.setdefault(block_addr, BlockData())
+        dest.merge_from(partial)
+        self.write_counts[block_addr] += 1
+        self.total_writes += 1
+        self.torn_blocks.add(block_addr)
 
     def replace_block(self, block_addr: int, data: BlockData) -> None:
         """Overwrite the whole block (no overlay) — used by relocation
@@ -59,6 +83,8 @@ class NVMMedia:
         self._blocks[block_addr] = data.copy()
         self.write_counts[block_addr] += 1
         self.total_writes += 1
+        if self.torn_blocks:
+            self.torn_blocks.discard(block_addr)
 
     def read_block(self, block_addr: int) -> BlockData:
         self._check(block_addr)
@@ -97,4 +123,5 @@ class NVMMedia:
         clone.write_counts = Counter(self.write_counts)
         clone.total_writes = self.total_writes
         clone.total_reads = self.total_reads
+        clone.torn_blocks = set(self.torn_blocks)
         return clone

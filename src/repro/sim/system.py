@@ -20,6 +20,7 @@ import warnings
 from typing import Optional
 
 from repro.core.persistency import BBBScheme, PersistencyScheme
+from repro.fault.injector import NULL_INJECTOR
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.obs.bus import NULL_BUS, EventBus
 from repro.sim.config import SystemConfig
@@ -37,13 +38,19 @@ class System:
         scheme: Optional[PersistencyScheme] = None,
         reorder_seed: int = 0,
         bus: EventBus = NULL_BUS,
+        fault_injector=NULL_INJECTOR,
     ) -> None:
         self.config = config or SystemConfig()
         self.scheme = scheme or BBBScheme()
         self.bus = bus
+        self.fault_injector = fault_injector
+        if fault_injector.enabled and fault_injector.bus is NULL_BUS:
+            # Faults emit typed obs events; route them onto the system's
+            # bus unless the injector was wired to its own.
+            fault_injector.bus = bus
         self.stats = SimStats(num_cores=self.config.num_cores)
         self.hierarchy = MemoryHierarchy(self.config, self.scheme, self.stats,
-                                         bus=bus)
+                                         bus=bus, fault_injector=fault_injector)
         self.engine = Engine(self.hierarchy, reorder_seed=reorder_seed)
 
     def run(

@@ -1,0 +1,265 @@
+"""Fault tolerance of the batch runner: worker crashes, hung tasks,
+retries, failure records, and checkpoint/resume.
+
+Worker functions live at module level so the process pool can pickle them
+by reference.  Crash/hang behaviour is keyed on marker files: the first
+call finds no marker, creates it, and misbehaves; the retry finds the
+marker and succeeds — so every scenario converges and the suite stays
+fast."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.analysis.batch import (
+    BatchFailure,
+    BatchItemError,
+    BatchPolicy,
+    RunSpec,
+    run_batch,
+    run_tasks,
+)
+
+#: Keep retry backoff negligible in tests.
+FAST = dict(backoff_base=0.001, backoff_max=0.01)
+
+
+def _triple(x):
+    return x * 3
+
+
+def _crash_once(marker, x):
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * 3
+
+
+def _hang_once(marker, x):
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        time.sleep(300)
+    return x * 3
+
+
+def _flaky_once(marker, x):
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        raise ValueError(f"transient {x}")
+    return x * 3
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def _counted(counter, x):
+    with open(counter, "a") as fh:
+        fh.write(f"{x}\n")
+    return x + 100
+
+
+def _count_lines(path):
+    if not os.path.exists(path):
+        return 0
+    with open(path) as fh:
+        return sum(1 for _ in fh)
+
+
+# ----------------------------------------------------------------------
+# Worker death
+# ----------------------------------------------------------------------
+
+def test_killed_worker_is_retried_and_batch_recovers(tmp_path):
+    marker = str(tmp_path / "crashed")
+    tasks = [(_crash_once, (marker, 0), {})] + [
+        (_triple, (i,), {}) for i in range(1, 5)
+    ]
+    results = run_tasks(tasks, jobs=2,
+                        policy=BatchPolicy(retries=1, **FAST))
+    assert results == [0, 3, 6, 9, 12]
+
+
+def test_killed_worker_without_retries_reports_failure(tmp_path):
+    marker = str(tmp_path / "crashed")
+    tasks = [(_crash_once, (marker, 0), {})] + [
+        (_triple, (i,), {}) for i in range(1, 4)
+    ]
+    results = run_tasks(
+        tasks, jobs=2,
+        policy=BatchPolicy(retries=0, on_error="return", **FAST),
+    )
+    assert isinstance(results[0], BatchFailure)
+    assert results[0].kind == "worker-lost"
+    assert results[0].item == tasks[0]
+    assert results[1:] == [3, 6, 9]
+
+
+# ----------------------------------------------------------------------
+# Hung tasks
+# ----------------------------------------------------------------------
+
+def test_timeout_fires_and_retry_recovers(tmp_path):
+    marker = str(tmp_path / "hung")
+    tasks = [(_hang_once, (marker, 0), {})] + [
+        (_triple, (i,), {}) for i in range(1, 4)
+    ]
+    start = time.monotonic()
+    results = run_tasks(tasks, jobs=2,
+                        policy=BatchPolicy(timeout=1.5, retries=1, **FAST))
+    assert results == [0, 3, 6, 9]
+    assert time.monotonic() - start < 60  # the 300s sleep was cut short
+
+
+def test_timeout_without_retries_reports_failure(tmp_path):
+    marker = str(tmp_path / "hung")
+    tasks = [(_hang_once, (marker, 0), {})] + [
+        (_triple, (i,), {}) for i in range(1, 3)
+    ]
+    results = run_tasks(
+        tasks, jobs=2,
+        policy=BatchPolicy(timeout=1.0, retries=0, on_error="return", **FAST),
+    )
+    assert isinstance(results[0], BatchFailure)
+    assert results[0].kind == "timeout"
+    assert "timeout" in results[0].error
+    assert results[1:] == [3, 6]
+
+
+def test_hung_plus_killed_matches_clean_serial_run(tmp_path):
+    """The acceptance bar: a batch containing one task that hangs once and
+    one whose worker is killed once completes with results identical to a
+    clean serial run of the same items."""
+    hang_marker = str(tmp_path / "hung")
+    crash_marker = str(tmp_path / "crashed")
+    tasks = (
+        [(_triple, (0,), {})]
+        + [(_hang_once, (hang_marker, 1), {})]
+        + [(_crash_once, (crash_marker, 2), {})]
+        + [(_triple, (i,), {}) for i in range(3, 6)]
+    )
+    expected = [x * 3 for x in range(6)]  # what a clean serial run yields
+    results = run_tasks(tasks, jobs=2,
+                        policy=BatchPolicy(timeout=2.0, retries=2, **FAST))
+    assert results == expected
+
+
+# ----------------------------------------------------------------------
+# Application errors
+# ----------------------------------------------------------------------
+
+def test_worker_exception_carries_originating_task():
+    tasks = [(_triple, (1,), {}), (_boom, (7,), {})]
+    with pytest.raises(BatchItemError) as excinfo:
+        run_tasks(tasks, jobs=1)
+    assert excinfo.value.index == 1
+    assert excinfo.value.item == tasks[1]
+    assert isinstance(excinfo.value.cause, ValueError)
+    assert "boom 7" in str(excinfo.value.cause)
+
+
+def test_run_batch_error_carries_originating_spec():
+    bad = RunSpec(workload="no-such-workload", scheme="bbb")
+    with pytest.raises(BatchItemError) as excinfo:
+        run_batch([bad], jobs=1)
+    assert excinfo.value.item == bad
+
+
+def test_on_error_return_replaces_result_with_failure_record():
+    tasks = [(_triple, (1,), {}), (_boom, (7,), {}), (_triple, (2,), {})]
+    results = run_tasks(
+        tasks, jobs=1,
+        policy=BatchPolicy(retries=1, on_error="return", **FAST),
+    )
+    assert results[0] == 3 and results[2] == 6
+    failure = results[1]
+    assert isinstance(failure, BatchFailure)
+    assert failure.kind == "error"
+    assert failure.attempts == 2  # first try + one retry
+    assert "boom 7" in failure.error
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_transient_error_recovers_within_retry_budget(tmp_path, jobs):
+    marker = str(tmp_path / f"flaky-{jobs}")
+    tasks = [(_flaky_once, (marker, 5), {})] + [
+        (_triple, (i,), {}) for i in range(2)
+    ]
+    results = run_tasks(tasks, jobs=jobs,
+                        policy=BatchPolicy(retries=1, **FAST))
+    assert results == [15, 0, 3]
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume
+# ----------------------------------------------------------------------
+
+def test_checkpoint_resume_skips_completed_work(tmp_path):
+    counter = str(tmp_path / "calls")
+    checkpoint = str(tmp_path / "batch.ckpt")
+    tasks = [(_counted, (counter, i), {}) for i in range(5)]
+    policy = BatchPolicy(checkpoint=checkpoint, **FAST)
+    first = run_tasks(tasks, jobs=1, policy=policy)
+    assert first == [100, 101, 102, 103, 104]
+    assert _count_lines(counter) == 5
+    # Resume: every item comes from the checkpoint, nothing re-executes.
+    second = run_tasks(tasks, jobs=1, policy=policy)
+    assert second == first
+    assert _count_lines(counter) == 5
+
+
+def test_checkpoint_torn_tail_recomputes_only_the_torn_item(tmp_path):
+    counter = str(tmp_path / "calls")
+    checkpoint = str(tmp_path / "batch.ckpt")
+    tasks = [(_counted, (counter, i), {}) for i in range(4)]
+    policy = BatchPolicy(checkpoint=checkpoint, **FAST)
+    first = run_tasks(tasks, jobs=1, policy=policy)
+    assert _count_lines(counter) == 4
+    # Simulate a crash mid-append: chop the last record line in half.
+    with open(checkpoint) as fh:
+        content = fh.read()
+    with open(checkpoint, "w") as fh:
+        fh.write(content[: len(content) - len(content.splitlines()[-1]) // 2 - 1])
+    second = run_tasks(tasks, jobs=1, policy=policy)
+    assert second == first
+    assert _count_lines(counter) == 5  # exactly the torn item re-ran
+
+
+def test_checkpoint_from_different_batch_is_ignored(tmp_path):
+    counter = str(tmp_path / "calls")
+    checkpoint = str(tmp_path / "batch.ckpt")
+    policy = BatchPolicy(checkpoint=checkpoint, **FAST)
+    run_tasks([(_counted, (counter, 1), {})], jobs=1, policy=policy)
+    assert _count_lines(counter) == 1
+    # A different item list must not resume from the stale file.
+    other = run_tasks([(_counted, (counter, 9), {})], jobs=1, policy=policy)
+    assert other == [109]
+    assert _count_lines(counter) == 2
+
+
+def test_checkpoint_roundtrip_is_deterministic_across_jobs(tmp_path):
+    counter = str(tmp_path / "calls")
+    tasks = [(_counted, (counter, i), {}) for i in range(6)]
+    plain = run_tasks(tasks, jobs=1)
+    resumed = run_tasks(
+        tasks, jobs=2,
+        policy=BatchPolicy(checkpoint=str(tmp_path / "b.ckpt"), **FAST),
+    )
+    assert resumed == plain
+
+
+# ----------------------------------------------------------------------
+# Policy validation
+# ----------------------------------------------------------------------
+
+def test_policy_rejects_bad_values():
+    with pytest.raises(ValueError):
+        BatchPolicy(on_error="ignore")
+    with pytest.raises(ValueError):
+        BatchPolicy(retries=-1)
+    with pytest.raises(ValueError):
+        BatchPolicy(timeout=0)
+    with pytest.raises(ValueError):
+        BatchPolicy(max_pool_restarts=-1)

@@ -58,6 +58,19 @@ class TestRun:
         assert payload["schema"] == "repro.simstats/v1"
         assert payload["num_cores"] == len(payload["cores"])
 
+    def test_json_out_writes_file_atomically(self, capsys, tmp_path):
+        out_file = tmp_path / "stats.json"
+        rc = main(
+            ["run", "--workload", "mutateNC", "--scheme", "bbb", "--json",
+             "--out", str(out_file)] + FAST
+        )
+        assert rc == 0
+        assert capsys.readouterr().out == ""  # JSON went to the file
+        with open(out_file) as fh:
+            payload = json.load(fh)
+        assert payload["schema"] == "repro.simstats/v1"
+        assert list(tmp_path.iterdir()) == [out_file]  # no temp residue
+
     def test_events_and_trace_out(self, capsys, tmp_path):
         events = tmp_path / "events.jsonl"
         trace = tmp_path / "trace.json"
@@ -144,6 +157,42 @@ class TestStaticCommands:
         assert main(["table1"]) == 0
         out = capsys.readouterr().out
         assert "PoP location" in out and "bbPB/L1D" in out
+
+
+class TestFaultsCommand:
+    ARGS = [
+        "faults", "--schemes", "bbb,none", "--workloads", "hashmap",
+        "--random-plans", "1", "--threads", "2", "--ops", "16",
+        "--elements", "128", "--jobs", "1",
+    ]
+
+    def test_small_campaign_reports_and_exits_zero(self, capsys, tmp_path):
+        out_file = tmp_path / "faults.json"
+        rc = main(self.ARGS + ["--out", str(out_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "silent-corruption" in out
+        assert "battery-domain" in out
+        with open(out_file) as fh:
+            report = json.load(fh)
+        assert report["schema"] == "repro.faultcampaign/v1"
+        assert report["battery_domain"]["silent_corruption"] == 0
+        assert report["units"]
+
+    def test_unknown_scheme_rejected(self, capsys):
+        rc = main(["faults", "--schemes", "bogus", "--jobs", "1"])
+        assert rc == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_checkpoint_resume(self, capsys, tmp_path):
+        checkpoint = tmp_path / "campaign.ckpt"
+        args = self.ARGS + ["--checkpoint", str(checkpoint)]
+        assert main(args) == 0
+        assert checkpoint.exists()
+        first_out = capsys.readouterr().out
+        # Rerun resumes from the checkpoint and reports identically.
+        assert main(args) == 0
+        assert capsys.readouterr().out == first_out
 
 
 class TestTraceCommand:

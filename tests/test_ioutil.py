@@ -1,0 +1,45 @@
+"""Atomic report output (repro.ioutil)."""
+
+import json
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write_json, atomic_write_text
+
+
+def test_atomic_write_creates_file_and_no_temp_residue(tmp_path):
+    path = str(tmp_path / "out.json")
+    atomic_write_json(path, {"b": 2, "a": 1})
+    with open(path) as fh:
+        text = fh.read()
+    assert json.loads(text) == {"a": 1, "b": 2}
+    assert text.endswith("\n")
+    assert os.listdir(str(tmp_path)) == ["out.json"]
+
+
+def test_atomic_write_replaces_existing_content(tmp_path):
+    path = str(tmp_path / "out.json")
+    atomic_write_json(path, {"version": 1})
+    atomic_write_json(path, {"version": 2})
+    with open(path) as fh:
+        assert json.load(fh) == {"version": 2}
+    assert os.listdir(str(tmp_path)) == ["out.json"]
+
+
+def test_failed_serialization_leaves_previous_file_intact(tmp_path):
+    path = str(tmp_path / "out.json")
+    atomic_write_json(path, {"good": True})
+    with pytest.raises(TypeError):
+        atomic_write_json(path, {"bad": object()})
+    with open(path) as fh:
+        assert json.load(fh) == {"good": True}
+    assert os.listdir(str(tmp_path)) == ["out.json"]
+
+
+def test_atomic_write_text_roundtrip(tmp_path):
+    path = str(tmp_path / "note.txt")
+    returned = atomic_write_text(path, "hello\n")
+    assert returned == path
+    with open(path) as fh:
+        assert fh.read() == "hello\n"
