@@ -30,6 +30,10 @@ keyword                schemes                     meaning
 ``fault_injector``     all                         :class:`repro.fault.
                                                    FaultInjector` applying
                                                    a fault plan to the run
+``crash_schedule``     all                         :class:`repro.check.
+                                                   CrashSchedule` firing a
+                                                   micro-step crash (model
+                                                   checker)
 =====================  ==========================  ==========================
 
 ``entries`` sizes the persist buffer for the schemes that have one (bbb,
@@ -42,6 +46,7 @@ from __future__ import annotations
 import enum
 from typing import Optional, Union
 
+from repro.check.schedule import NULL_SCHEDULE
 from repro.core.bsp import BSP
 from repro.core.persistency import (
     BBBScheme,
@@ -98,6 +103,7 @@ def build_system(
     bus = kw.pop("bus", NULL_BUS)
     reorder_seed = kw.pop("reorder_seed", 0)
     fault_injector = kw.pop("fault_injector", NULL_INJECTOR)
+    crash_schedule = kw.pop("crash_schedule", NULL_SCHEDULE)
 
     if name is Scheme.BBB:
         scheme_obj = BBBScheme(BBBConfig(
@@ -128,4 +134,4 @@ def build_system(
             f"{', '.join(sorted(kw))}"
         )
     return System(config, scheme_obj, reorder_seed=reorder_seed, bus=bus,
-                  fault_injector=fault_injector)
+                  fault_injector=fault_injector, crash_schedule=crash_schedule)

@@ -1,0 +1,320 @@
+"""Counterexample minimization and replayable crash-check artifacts.
+
+When the model checker finds a crash point that violates a scheme's
+contract, the raw failing trace is usually hundreds of operations — far
+too large to debug.  :func:`minimize_counterexample` runs ddmin [Zeller &
+Hildebrandt 2002] over the trace's operations (flattened to ``(thread,
+op)`` pairs so per-thread program order is preserved and the thread count
+stays constant) with the oracle "does *any* micro-step crash point of the
+reduced trace violate the contract or the golden differential?".
+
+The workload's structural invariant checker is deliberately **excluded**
+from the minimization oracle: removing operations breaks the workload's
+semantics, so structural checks would fail on perfectly durable images
+and steer ddmin toward repros that do not exhibit the actual bug.  The
+contract and golden oracles are defined for *any* trace — they compare
+the durable image against what the sub-run itself claimed to persist.
+
+The result is written as a ``repro.crashcheck/v1`` artifact (kind
+``counterexample``) that :func:`replay_artifact` — and ``repro check
+--replay`` — can re-execute deterministically: rebuild the system, seed
+the recorded words, run the recorded ops, crash at the recorded point,
+re-check, and report whether the violation reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import astuple, dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.check.checker import (
+    CHECK_SCHEMA,
+    CheckUnit,
+    PointVerdict,
+    diff_golden,
+    golden_expected,
+)
+from repro.check.schedule import CrashSchedule
+from repro.core.recovery import (
+    SCHEME_CONTRACTS,
+    check_scheme_contract,
+    claimed_persists,
+)
+from repro.ioutil import atomic_write_json
+from repro.sim.trace import OpKind, ProgramTrace, ThreadTrace, TraceOp
+
+#: Oracle invocations allowed per minimization (each is an exhaustive
+#: micro-step scan of the reduced trace, so the budget bounds total work).
+DEFAULT_TEST_BUDGET = 256
+
+#: One (thread id, operation) element of a flattened trace.
+FlatOp = Tuple[int, TraceOp]
+
+
+@dataclass
+class Counterexample:
+    """A minimized failing trace plus where it crashes."""
+
+    unit: CheckUnit
+    ops: List[FlatOp]
+    num_threads: int
+    point: int              # 1-based micro-step visit within the minimized trace
+    site: str
+    violations: Tuple[str, ...]
+    tests_run: int
+    seed_words: Dict[int, int]
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+
+def flatten_trace(trace: ProgramTrace) -> List[FlatOp]:
+    """Flatten to ``(thread, op)`` pairs; round-robin across threads so a
+    ddmin chunk removes a contiguous window of *interleaved* execution."""
+    out: List[FlatOp] = []
+    cursors = [0] * trace.num_threads
+    remaining = sum(len(t.ops) for t in trace.threads)
+    while remaining:
+        for tid, thread in enumerate(trace.threads):
+            if cursors[tid] < len(thread.ops):
+                out.append((tid, thread.ops[cursors[tid]]))
+                cursors[tid] += 1
+                remaining -= 1
+    return out
+
+
+def rebuild_trace(ops: Sequence[FlatOp], num_threads: int) -> ProgramTrace:
+    """Inverse of :func:`flatten_trace` for a (possibly reduced) subset:
+    per-thread order is preserved, thread count is kept constant (empty
+    threads are legal)."""
+    per: List[List[TraceOp]] = [[] for _ in range(num_threads)]
+    for tid, op in ops:
+        per[tid].append(op)
+    return ProgramTrace([ThreadTrace(t) for t in per])
+
+
+def _build_seeded_system(unit: CheckUnit, config, seed_words, schedule):
+    from repro.workloads.base import seed_media_words
+
+    if unit.mutant is not None:
+        from repro.check.mutants import build_mutant_system
+
+        system = build_mutant_system(
+            unit.mutant, entries=unit.entries, config=config,
+            crash_schedule=schedule,
+        )
+    else:
+        from repro.api import build_system
+
+        system = build_system(
+            unit.scheme, entries=unit.entries, config=config,
+            crash_schedule=schedule,
+        )
+    seed_media_words(system.nvmm_media, seed_words)
+    return system
+
+
+def _point_violations(unit, config, seed_words, trace, k):
+    """Crash ``trace`` at micro-step ``k``; return (site, violations)."""
+    schedule = CrashSchedule(stop_at=k, sites=unit.sites)
+    system = _build_seeded_system(unit, config, seed_words, schedule)
+    result = system.run(trace)
+    if not result.crashed or result.crash_point is None:
+        raise RuntimeError(f"minimization replay: point {k} did not fire")
+    media = system.nvmm_media
+    claimed = claimed_persists(unit.scheme, result)
+    violations = list(check_scheme_contract(unit.scheme, media, claimed).violations)
+    if SCHEME_CONTRACTS[unit.scheme] in ("exact", "eadr-exact"):
+        violations.extend(diff_golden(
+            media, golden_expected(seed_words, claimed),
+            config.mem.is_persistent,
+        ))
+    return result.crash_point.site, violations
+
+
+def first_failing_point(
+    unit: CheckUnit, config, seed_words, trace: ProgramTrace
+) -> Optional[Tuple[int, str, Tuple[str, ...]]]:
+    """Exhaustive micro-step scan of ``trace``, stopping at the first
+    violating crash point.  ``None`` when every point is consistent."""
+    counting = CrashSchedule(stop_at=None, sites=unit.sites)
+    system = _build_seeded_system(unit, config, seed_words, counting)
+    system.run(trace)
+    for k in range(1, counting.visits + 1):
+        site, violations = _point_violations(unit, config, seed_words, trace, k)
+        if violations:
+            return k, site, tuple(violations)
+    return None
+
+
+def _ddmin(
+    ops: List[FlatOp],
+    test: Callable[[List[FlatOp]], Optional[Tuple]],
+    budget: int,
+) -> Tuple[List[FlatOp], Tuple, int]:
+    """Classic ddmin to 1-minimality, bounded by ``budget`` oracle calls.
+    ``test`` returns failure info for a failing subset, ``None`` otherwise;
+    the full ``ops`` list must fail."""
+    tests = 0
+    info = test(ops)
+    tests += 1
+    if info is None:
+        raise ValueError("minimization requires a failing trace")
+    current = list(ops)
+    n = 2
+    while len(current) >= 2 and tests < budget:
+        chunk = max(1, len(current) // n)
+        subsets = [current[i:i + chunk] for i in range(0, len(current), chunk)]
+        reduced = False
+        for subset in subsets:
+            if tests >= budget:
+                break
+            tests += 1
+            r = test(subset)
+            if r is not None:
+                current, info, n, reduced = subset, r, 2, True
+                break
+        if not reduced and len(subsets) > 2:
+            for i in range(len(subsets)):
+                if tests >= budget:
+                    break
+                complement = [
+                    op for j, s in enumerate(subsets) if j != i for op in s
+                ]
+                tests += 1
+                r = test(complement)
+                if r is not None:
+                    current, info, reduced = complement, r, True
+                    n = max(n - 1, 2)
+                    break
+        if not reduced:
+            if n >= len(current):
+                break
+            n = min(len(current), n * 2)
+    return current, info, tests
+
+
+def minimize_counterexample(
+    unit: CheckUnit,
+    verdict: PointVerdict,
+    budget: int = DEFAULT_TEST_BUDGET,
+) -> Counterexample:
+    """Shrink the unit's trace to a 1-minimal failing repro.
+
+    ``verdict`` is the failing point the checker found on the full trace;
+    it seeds the search (and is the fallback if the full trace somehow no
+    longer fails, which would indicate non-determinism and raises).
+    """
+    from repro.analysis.experiments import default_sim_config
+    from repro.workloads.base import WorkloadSpec, make_workload
+
+    config = unit.config or default_sim_config()
+    spec = unit.spec or WorkloadSpec()
+    workload = make_workload(unit.workload, config.mem, spec)
+    trace = workload.build()
+    seed_words = dict(workload.initial_words)
+    flat = flatten_trace(trace)
+    num_threads = trace.num_threads
+
+    def test(ops: List[FlatOp]):
+        if not ops:
+            return None
+        return first_failing_point(
+            unit, config, seed_words, rebuild_trace(ops, num_threads)
+        )
+
+    minimal, (point, site, violations), tests = _ddmin(flat, test, budget)
+    return Counterexample(
+        unit=unit, ops=minimal, num_threads=num_threads,
+        point=point, site=site, violations=violations,
+        tests_run=tests, seed_words=seed_words,
+    )
+
+
+# ----------------------------------------------------------------------
+# Replayable artifact
+# ----------------------------------------------------------------------
+
+def counterexample_artifact(cex: Counterexample) -> Dict[str, Any]:
+    """The JSON-serialisable ``repro.crashcheck/v1`` counterexample."""
+    unit = cex.unit
+    return {
+        "schema": CHECK_SCHEMA,
+        "kind": "counterexample",
+        "scheme": unit.scheme,
+        "mutant": unit.mutant,
+        "workload": unit.workload,
+        "spec": list(astuple(unit.spec)) if unit.spec is not None else None,
+        "entries": unit.entries,
+        "sites": list(unit.sites) if unit.sites is not None else None,
+        "num_threads": cex.num_threads,
+        "num_ops": cex.num_ops,
+        "seed_words": {str(addr): value for addr, value in cex.seed_words.items()},
+        "ops": [
+            {
+                "thread": tid,
+                "kind": op.kind.value,
+                "addr": op.addr,
+                "size": op.size,
+                "value": op.value,
+                "cycles": op.cycles,
+                "tag": op.tag,
+            }
+            for tid, op in cex.ops
+        ],
+        "crash_point": cex.point,
+        "site": cex.site,
+        "violations": list(cex.violations),
+        "tests_run": cex.tests_run,
+    }
+
+
+def write_counterexample(cex: Counterexample, path: str) -> str:
+    """Atomically write the replayable artifact; returns ``path``."""
+    return atomic_write_json(path, counterexample_artifact(cex))
+
+
+def replay_artifact(path: str, config=None) -> Dict[str, Any]:
+    """Re-execute a counterexample artifact: rebuild the system, run the
+    recorded ops, crash at the recorded micro-step, and re-check.
+    Returns ``{"reproduced", "site", "violations", "artifact"}``."""
+    import json
+
+    from repro.analysis.experiments import default_sim_config
+
+    with open(path) as fh:
+        artifact = json.load(fh)
+    if artifact.get("schema") != CHECK_SCHEMA or artifact.get("kind") != "counterexample":
+        raise ValueError(
+            f"{path}: not a {CHECK_SCHEMA} counterexample artifact"
+        )
+    unit = CheckUnit(
+        scheme=artifact["scheme"],
+        workload=artifact["workload"],
+        entries=artifact["entries"],
+        mutant=artifact["mutant"],
+        sites=tuple(artifact["sites"]) if artifact["sites"] else None,
+    )
+    cfg = config or default_sim_config()
+    seed_words = {int(a): v for a, v in artifact["seed_words"].items()}
+    ops = [
+        (
+            rec["thread"],
+            TraceOp(
+                OpKind(rec["kind"]), addr=rec["addr"], size=rec["size"],
+                value=rec["value"], cycles=rec["cycles"], tag=rec["tag"],
+            ),
+        )
+        for rec in artifact["ops"]
+    ]
+    trace = rebuild_trace(ops, artifact["num_threads"])
+    site, violations = _point_violations(
+        unit, cfg, seed_words, trace, artifact["crash_point"]
+    )
+    return {
+        "reproduced": bool(violations),
+        "site": site,
+        "violations": violations,
+        "artifact": artifact,
+    }

@@ -1,0 +1,117 @@
+"""Deliberately broken scheme variants for validating the model checker.
+
+A checker that has never caught a bug is untrustworthy.  Each mutant here
+breaks one link in a scheme's durability chain in a way that is invisible
+to normal (crash-free) execution — every run completes, all stats look
+plausible — but violates the scheme's contract at some micro-step crash
+point.  The smoke check (:func:`repro.check.checker.smoke_check`) and CI
+require the checker to find and minimize these.
+
+Mutants keep their base scheme's ``name`` so the contract machinery
+applies the contract the mutant *pretends* to honour; they are only
+reachable through :func:`build_mutant_system`, never through
+:func:`repro.api.build_system`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.check.schedule import NULL_SCHEDULE
+from repro.core.persistency import BBBScheme, EADR
+from repro.mem.block import BlockData
+from repro.sim.config import BBBConfig
+
+
+class DelayedAllocBBB(BBBScheme):
+    """BBB with the bbPB allocation delayed past the point of visibility.
+
+    The real design's central invariant is PoV == PoP: the cycle a
+    persisting store becomes visible in the L1D, its block is already in
+    the battery domain (bbPB entry allocated).  This mutant defers each
+    core's allocation until that core's *next* persisting store — so
+    between the two stores the first is visible to every observer but
+    lives nowhere durable.  A crash in that window (any micro-step after
+    the store's op boundary) loses a committed persist: an exact-contract
+    violation.  Crash-free runs are unaffected because :meth:`finalize`
+    flushes the pending stores.
+    """
+
+    def __init__(self, bbb_config: Optional[BBBConfig] = None) -> None:
+        super().__init__(bbb_config)
+        self._pending: Dict[int, Tuple[int, BlockData]] = {}
+
+    def on_persisting_store(
+        self, core: int, block_addr: int, block_data: BlockData, now: int
+    ) -> int:
+        stall = 0
+        prev = self._pending.pop(core, None)
+        if prev is not None:
+            stall = super().on_persisting_store(core, prev[0], prev[1], now)
+        # Copy: the cache line keeps mutating; the deferred allocation must
+        # carry the value the store actually made visible.
+        self._pending[core] = (block_addr, block_data.copy())
+        return stall
+
+    def finalize(self, now: int) -> int:
+        for core in sorted(self._pending):
+            baddr, data = self._pending[core]
+            super().on_persisting_store(core, baddr, data, now)
+        self._pending.clear()
+        return super().finalize(now)
+
+    # crash_drain is inherited unchanged: pending stores are in no bbPB,
+    # so they are simply lost — the bug the checker must expose.
+
+
+class ForgetfulEADR(EADR):
+    """eADR whose crash drain forgets the private caches.
+
+    The battery nominally covers the whole hierarchy, but this mutant's
+    drain walks only the shared LLC (plus in-flight writebacks and store
+    buffers).  A committed persisting store whose dirty line still sits in
+    an L1D — the common case for small working sets that never evict —
+    is lost on crash, violating eADR's exact contract.
+    """
+
+    def crash_drain(self, now: int):
+        h = self.hierarchy
+        assert h is not None
+        # Empty the L1Ds *before* the inherited drain walks them: the
+        # blocks vanish as if the battery rail to the private caches had
+        # been left unwired.
+        for l1 in h.l1s:
+            for blk in list(l1.dirty_blocks()):
+                blk.dirty = False
+                blk.data = BlockData()
+        return super().crash_drain(now)
+
+
+#: Mutant name -> (base scheme name, constructor).  The base scheme is
+#: what a :class:`~repro.check.checker.CheckUnit` must carry in ``scheme``.
+MUTANTS = {
+    "bbb-delayed-alloc": ("bbb", DelayedAllocBBB),
+    "eadr-skip-l1": ("eadr", ForgetfulEADR),
+}
+
+
+def build_mutant_system(
+    name: str,
+    entries: int = 8,
+    config=None,
+    crash_schedule=NULL_SCHEDULE,
+):
+    """Build a :class:`~repro.sim.system.System` running mutant ``name``."""
+    from repro.sim.system import System
+
+    try:
+        base, cls = MUTANTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutant {name!r}; valid mutants: {', '.join(sorted(MUTANTS))}"
+        ) from None
+    if base == "bbb":
+        scheme = cls(BBBConfig(entries=entries, memory_side=True))
+    else:
+        scheme = cls()
+    return System(config, scheme, crash_schedule=crash_schedule)

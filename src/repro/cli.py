@@ -12,6 +12,9 @@ Commands:
 * ``bench``   — time the fixed perf smoke suite and write ``BENCH_<rev>.json``.
 * ``faults``  — seeded fault-injection campaign (scheme x workload x plan);
   exits non-zero if any battery-domain fault produced silent corruption.
+* ``check``   — crash-consistency model checker: exhaustive micro-step
+  crash-state exploration with differential oracles and ddmin
+  counterexample minimization; exits non-zero on any violation.
 
 ``run`` and ``compare`` accept ``--events PATH`` (JSONL event log) and
 ``--trace-out PATH`` (Chrome ``trace_event`` file for chrome://tracing or
@@ -30,6 +33,9 @@ Examples::
     python -m repro trace --workload rtree --out rtree.trace
     python -m repro faults --smoke
     python -m repro faults --workloads hashmap,ctree --out faults.json
+    python -m repro check --smoke
+    python -m repro check --scheme bbb --mutant bbb-delayed-alloc --cex-out cex.json
+    python -m repro check --replay cex.json
 """
 
 from __future__ import annotations
@@ -394,6 +400,128 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    # Imported here: the model-checker stack (batch runner, oracles,
+    # minimizer) should not tax the other commands' startup.
+    from repro.analysis.batch import BatchPolicy, decide_jobs
+    from repro.check.checker import (
+        CheckUnit,
+        publish_report,
+        run_check_unit,
+        smoke_check,
+    )
+    from repro.check.mutants import MUTANTS
+    from repro.ioutil import atomic_write_json
+
+    try:
+        jobs = decide_jobs(args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int) -> None:
+        if sys.stderr.isatty():
+            print(f"\r  {done}/{total} shards", end="", file=sys.stderr,
+                  flush=True)
+            if done == total:
+                print(file=sys.stderr)
+
+    if args.replay:
+        from repro.check.minimize import replay_artifact
+
+        out = replay_artifact(args.replay)
+        status = "REPRODUCED" if out["reproduced"] else "did NOT reproduce"
+        print(f"{args.replay}: {status} at {out['site']}")
+        for v in out["violations"][:5]:
+            print(f"  {v}")
+        return 0 if out["reproduced"] else 1
+
+    if args.smoke:
+        out = smoke_check(jobs=jobs, progress=progress)
+        print(render_table(
+            ["unit", "points", "explored", "pruned", "unique", "violations"],
+            [
+                (
+                    r["unit"]["mutant"] or r["unit"]["scheme"],
+                    r["checked_points"], r["explored"], r["pruned"],
+                    r["unique_states"], r["num_violations"],
+                )
+                for r in out["reports"]
+            ],
+            title="crash-consistency smoke check",
+        ))
+        for failure in out["failures"]:
+            print(f"error: {failure}", file=sys.stderr)
+        return 0 if out["ok"] else 1
+
+    if args.scheme not in SCHEMES:
+        print(f"error: unknown scheme {args.scheme!r}", file=sys.stderr)
+        return 2
+    if args.mutant is not None and args.mutant not in MUTANTS:
+        print(f"error: unknown mutant {args.mutant!r}; valid: "
+              f"{', '.join(sorted(MUTANTS))}", file=sys.stderr)
+        return 2
+    if args.workload not in WORKLOAD_NAMES:
+        print(f"error: unknown workload {args.workload!r}", file=sys.stderr)
+        return 2
+
+    unit = CheckUnit(
+        scheme=args.scheme,
+        workload=args.workload,
+        spec=WorkloadSpec(threads=args.threads, ops=args.ops,
+                          elements=args.elements, seed=args.seed),
+        entries=args.entries,
+        mutant=args.mutant,
+        prune=not args.no_prune,
+        max_points=args.max_points,
+        sample_seed=args.seed,
+    )
+    policy = BatchPolicy(
+        timeout=args.timeout, retries=args.retries,
+        checkpoint=args.checkpoint, on_error="raise", seed=args.seed,
+    )
+    report, verdicts = run_check_unit(
+        unit, jobs=jobs, policy=policy, progress=progress
+    )
+    publish_report(report)
+    print(render_table(
+        ["metric", "value"],
+        [
+            ("contract", report["contract"]),
+            ("crash points", report["total_points"]),
+            ("checked", report["checked_points"]),
+            ("explored", report["explored"]),
+            ("pruned", report["pruned"]),
+            ("unique durable states", report["unique_states"]),
+            ("violations", report["num_violations"]),
+        ],
+        title=f"crash check: {unit.describe()}",
+    ))
+    for v in report["violations"][:args.show]:
+        print(f"  point {v['point']} ({v['site']}, op {v['crash_op']}): "
+              f"{v['violations'][0]}")
+
+    if report["num_violations"] and not args.no_minimize:
+        from repro.check.minimize import (
+            minimize_counterexample,
+            write_counterexample,
+        )
+
+        first_bad = next(v for v in verdicts if not v.consistent)
+        cex = minimize_counterexample(unit, first_bad)
+        print(f"minimized to {cex.num_ops} ops "
+              f"({cex.tests_run} oracle calls); crash at {cex.site}:")
+        for tid, op in cex.ops:
+            print(f"  t{tid}: {op.kind.value} addr=0x{op.addr:x} "
+                  f"value=0x{op.value:x}")
+        if args.cex_out:
+            print(f"wrote {write_counterexample(cex, args.cex_out)}")
+
+    if args.out:
+        print(f"wrote {atomic_write_json(args.out, report)}")
+    return 1 if report["num_violations"] else 0
+
+
 def cmd_trace(args) -> int:
     config = default_sim_config()
     spec = _spec(args)
@@ -520,6 +648,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--out", default=None, metavar="PATH",
                           help="write the JSON report atomically to PATH")
     p_faults.set_defaults(func=cmd_faults)
+
+    p_check = sub.add_parser(
+        "check",
+        help="crash-consistency model checker: enumerate micro-step crash "
+             "points, check each recovered image against the scheme's "
+             "contract, the eADR golden differential and workload "
+             "invariants, and minimize any counterexample",
+    )
+    p_check.add_argument("--smoke", action="store_true",
+                         help="CI gate: exhaustively check one small "
+                              "workload per scheme, assert pruned == "
+                              "unpruned verdicts, and assert the broken "
+                              "mutant is caught and minimized")
+    p_check.add_argument("--replay", default=None, metavar="PATH",
+                         help="replay a counterexample artifact and exit")
+    p_check.add_argument("--scheme", default="bbb", help="scheme to check")
+    p_check.add_argument("--mutant", default=None,
+                         help="run a deliberately broken scheme variant "
+                              "(see repro.check.mutants.MUTANTS)")
+    p_check.add_argument("--workload", default="hashmap")
+    p_check.add_argument("--threads", type=int, default=2)
+    p_check.add_argument("--ops", type=int, default=6,
+                         help="workload operations per thread")
+    p_check.add_argument("--elements", type=int, default=128,
+                         help="workload element count")
+    p_check.add_argument("--seed", type=int, default=11,
+                         help="workload / sampling / batch seed")
+    p_check.add_argument("--entries", type=int, default=8, help="bbPB entries")
+    p_check.add_argument("--no-prune", action="store_true",
+                         help="disable durable-fingerprint pruning")
+    p_check.add_argument("--max-points", type=int, default=None,
+                         help="sample at most N crash points instead of "
+                              "exhausting all of them")
+    p_check.add_argument("--show", type=int, default=5,
+                         help="violations to print")
+    p_check.add_argument("--no-minimize", action="store_true",
+                         help="skip ddmin counterexample minimization")
+    p_check.add_argument("--cex-out", default=None, metavar="PATH",
+                         help="write the minimized counterexample artifact")
+    p_check.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: REPRO_JOBS or cores)")
+    p_check.add_argument("--timeout", type=float, default=None,
+                         help="seconds per shard before retry")
+    p_check.add_argument("--retries", type=int, default=1,
+                         help="retries per shard (timeouts & crashes)")
+    p_check.add_argument("--checkpoint", default=None, metavar="PATH",
+                         help="JSONL checkpoint; rerun with the same path "
+                              "to resume an interrupted check")
+    p_check.add_argument("--out", default=None, metavar="PATH",
+                         help="write the JSON report atomically to PATH")
+    p_check.set_defaults(func=cmd_check)
 
     return parser
 

@@ -27,6 +27,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from repro.check.schedule import CrashNow
 from repro.mem.block import BlockData
 from repro.obs.bus import NULL_BUS, EventBus
 from repro.obs.events import (
@@ -192,7 +193,16 @@ class MemorySideBBPB:
     # ------------------------------------------------------------------
     def _start_drain(self, entry: BBPBEntry, now: int) -> None:
         entry.in_flight = True
-        entry.complete_at = self._drain(entry.block_addr, entry.data, now)
+        try:
+            entry.complete_at = self._drain(entry.block_addr, entry.data, now)
+        except CrashNow:
+            # Scheduled crash with the drain packet in flight: the WPQ has
+            # not accepted the block, so the battery still owns it —
+            # reinstate the entry so crash_drain() persists it.
+            entry.in_flight = False
+            self._resident[entry.block_addr] = entry
+            self._resident.move_to_end(entry.block_addr, last=False)
+            raise
         self._inflight.append(entry)
         self.drains += 1
         if self._bus.enabled:
@@ -385,7 +395,13 @@ class ProcessorSideBBPB:
 
     def _start_drain(self, entry: BBPBEntry, now: int) -> None:
         entry.in_flight = True
-        entry.complete_at = self._drain(entry.block_addr, entry.data, now)
+        try:
+            entry.complete_at = self._drain(entry.block_addr, entry.data, now)
+        except CrashNow:
+            # The entry is still in the FIFO (callers pop only after the
+            # drain starts); un-mark it so crash_drain() covers it.
+            entry.in_flight = False
+            raise
         self.drains += 1
         if self._bus.enabled:
             self._bus.emit(DrainStart(now, self.core_id, entry.block_addr,

@@ -15,11 +15,37 @@ the paper found to work well.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from repro.check.schedule import SITE_DRAIN
+from repro.mem.block import BlockData
 from repro.obs.events import DrainStart, Event
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.sim.config import BBBConfig, DrainPolicy
+
+#: Signature of a drain sink (mirrors :data:`repro.core.bbpb.DrainFn`).
+_DrainFn = Callable[[int, BlockData, int], int]
+
+
+def crash_scheduled_drain(drain: _DrainFn, schedule) -> _DrainFn:
+    """Wrap a bbPB drain sink with the model checker's mid-drain crash
+    point (:data:`~repro.check.schedule.SITE_DRAIN`).
+
+    The hook fires *before* the WPQ write: the entry has left the buffer
+    and its packet is in flight, which is exactly the window the bbPB's
+    crash-atomicity (entry reinstatement in
+    :meth:`repro.core.bbpb.MemorySideBBPB._start_drain`) must cover.
+    Returns ``drain`` unchanged when the schedule is disabled — the
+    NULL-object zero-cost rule.
+    """
+    if not schedule.enabled:
+        return drain
+
+    def hooked(block_addr: int, data: BlockData, now: int) -> int:
+        schedule.reached(SITE_DRAIN, now, block_addr)
+        return drain(block_addr, data, now)
+
+    return hooked
 
 #: Human-readable rationale per policy, used in reports.
 POLICY_DESCRIPTIONS: Dict[DrainPolicy, str] = {

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.bbpb import MemorySideBBPB, ProcessorSideBBPB
+from repro.core.drain import crash_scheduled_drain
 from repro.mem.block import BlockData, CacheBlock
 from repro.obs.events import (
     STALL_BBPB_FULL,
@@ -206,6 +207,12 @@ class EADR(PersistencyScheme):
         for blk in h.llc.dirty_blocks():
             if h.config.mem.is_nvmm(blk.addr) and blk.addr not in drained:
                 drained[blk.addr] = blk.data.copy()
+        # Eviction writebacks caught in flight by a scheduled crash: the
+        # whole cache-to-controller path is inside eADR's battery domain,
+        # so the packet completes.  Cache copies (if any) are newer.
+        for addr, data in h.inflight_writebacks:
+            if h.config.mem.is_nvmm(addr) and addr not in drained:
+                drained[addr] = data.copy()
         if injector.enabled:
             injector.begin_crash_drain(
                 len(drained) + h.crash_sb_persistent_entries(), now
@@ -299,8 +306,13 @@ class BBBScheme(PersistencyScheme):
         cfg = self._bbb_config or hierarchy.config.bbb
         self._bbb_config = cfg
         buffer_cls = MemorySideBBPB if cfg.memory_side else ProcessorSideBBPB
+        schedule = hierarchy.crash_schedule
         self.buffers = [
-            buffer_cls(cfg, core, self._make_drain_fn(core), bus=hierarchy.bus)
+            buffer_cls(
+                cfg, core,
+                crash_scheduled_drain(self._make_drain_fn(core), schedule),
+                bus=hierarchy.bus,
+            )
             for core in range(hierarchy.config.num_cores)
         ]
 
@@ -347,6 +359,10 @@ class BBBScheme(PersistencyScheme):
             h.directory.set_bbpb_owner(block_addr, core, now)
         else:
             h.stats.bbpb_coalesces += 1
+        if buf.contains(block_addr):
+            # The requester now owns the block's durability (Fig. 6a/b
+            # hand-off complete); any in-flight coherence move is consumed.
+            h.inflight_bbpb_moves.pop(block_addr, None)
         if stall:
             h.stats.core[core].stall_cycles_bbpb_full += stall
             if h.bus.enabled:
@@ -371,6 +387,10 @@ class BBBScheme(PersistencyScheme):
             self.hierarchy.stats.bbpb_removes += 1
             self.hierarchy.stats.bbpb_moves += 1
             self.hierarchy.directory.set_bbpb_owner(block_addr, None, now)
+            # Battery covers the in-flight packet: until the requester's
+            # own store allocates the block, the removed data remains
+            # durable (drained by crash_drain if the machine dies now).
+            self.hierarchy.inflight_bbpb_moves[block_addr] = removed.copy()
 
     def on_remote_intervention(
         self, holder: int, block_addr: int, requester: int, now: int
@@ -420,6 +440,15 @@ class BBBScheme(PersistencyScheme):
             for buf in self.buffers
             for block_addr, data in buf.crash_drain()
         ]
+        # In-flight coherence moves (Fig. 6a/b) whose new owner never
+        # allocated: the battery covers the packet, so they drain too —
+        # unless some bbPB still holds a (necessarily fresher) copy.
+        resident = {block_addr for _, block_addr, _ in entries}
+        entries.extend(
+            (-1, block_addr, data)
+            for block_addr, data in h.inflight_bbpb_moves.items()
+            if block_addr not in resident
+        )
         if injector.enabled:
             injector.begin_crash_drain(
                 len(entries) + h.crash_sb_persistent_entries(), now
@@ -510,9 +539,13 @@ class BEP(PersistencyScheme):
         buf = self._buffers[core]
         if not buf:
             return now
-        _, block_addr, data, born = buf.pop(0)
+        # The entry leaves the buffer only at WPQ acceptance: a scheduled
+        # crash inside nvmm.write leaves it buffered (and then lost with
+        # the volatile buffer — exactly BEP's contract, no gap created).
+        _, block_addr, data, born = buf[0]
         start = max(now, self._drain_busy_until[core])
         done = h.nvmm.write(block_addr, data, start + h.config.mem.mc_transfer_cycles)
+        buf.pop(0)
         self._drain_busy_until[core] = done
         h.stats.bbpb_drains += 1
         if h.bus.enabled:

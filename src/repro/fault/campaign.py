@@ -35,7 +35,9 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.batch import BatchPolicy, Progress, run_tasks
 from repro.core.recovery import (
+    CONTRACT_DOCS,
     Outcome,
+    SCHEME_CONTRACTS,
     check_scheme_contract,
     classify_outcome,
 )
@@ -65,6 +67,20 @@ __all__ = [
 
 #: Version tag of the campaign report format.
 CAMPAIGN_SCHEMA = "repro.faultcampaign/v1"
+
+#: Embedded in every report so the file is self-describing.
+SCHEMA_DOC = (
+    "repro.faultcampaign/v1: one fault-injection campaign.  'units' holds "
+    "one record per (scheme, workload, plan) cell — each ran twice to the "
+    "same op-boundary crash point (clean baseline, then faulted), was "
+    "checked against the scheme's consistency contract (the 'contract' "
+    "field names it; 'contracts' maps every campaigned scheme to its "
+    "contract name and description), and was classified into 'outcome' "
+    "(consistent / detected-inconsistent / silent-corruption / "
+    "baseline-inconsistent).  'summary' counts outcomes; "
+    "'battery_domain' counts units whose plan touches only the battery "
+    "domain and how many of those were silent."
+)
 
 #: Workloads a smoke campaign exercises (fast, behaviourally distinct:
 #: pointer-chasing persistent structure, open hashing, non-cached swaps).
@@ -160,6 +176,7 @@ def execute_fault_unit(unit: FaultUnit) -> Dict[str, Any]:
     return {
         "scheme": unit.scheme,
         "workload": unit.workload,
+        "contract": SCHEME_CONTRACTS[unit.scheme],
         "crash_at": crash_at,
         "plan": unit.plan.to_dict(),
         "battery_domain": unit.plan.touches_battery_domain_only(),
@@ -233,8 +250,16 @@ def run_campaign(
                 battery_silent += 1
     return {
         "schema": CAMPAIGN_SCHEMA,
+        "schema_doc": SCHEMA_DOC,
         "seed": seed,
         "schemes": list(schemes),
+        "contracts": {
+            s: {
+                "name": SCHEME_CONTRACTS[s],
+                "doc": CONTRACT_DOCS[SCHEME_CONTRACTS[s]],
+            }
+            for s in schemes
+        },
         "workloads": list(workloads),
         "plans": [p.to_dict() for p in plans],
         "workload_spec": {

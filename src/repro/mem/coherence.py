@@ -25,6 +25,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Set, Tuple
 
+from repro.check.schedule import NULL_SCHEDULE, SITE_FORCED_DRAIN
 from repro.fault.injector import NULL_INJECTOR
 from repro.obs.bus import NULL_BUS, EventBus
 from repro.obs.events import CoherenceMove
@@ -76,8 +77,9 @@ class DrainMessageChannel:
     is exactly the robustness property the fault campaign demonstrates.
     """
 
-    def __init__(self, injector=NULL_INJECTOR) -> None:
+    def __init__(self, injector=NULL_INJECTOR, schedule=NULL_SCHEDULE) -> None:
         self.injector = injector
+        self.schedule = schedule
         self.dropped = 0
         self.delayed = 0
 
@@ -85,6 +87,11 @@ class DrainMessageChannel:
         """Deliver a forced-drain request for ``block_addr`` to bbPB
         ``buf``.  Returns ``(delivered, completion_cycle)``; on a dropped
         message the entry stays resident and nothing drains."""
+        if self.schedule.enabled:
+            # Between the forced-drain request and its ack: the entry is
+            # still resident in the bbPB (battery-backed), so a crash here
+            # must lose nothing.
+            self.schedule.reached(SITE_FORCED_DRAIN, now, block_addr)
         if self.injector.enabled:
             spec = self.injector.on_forced_drain(buf.core_id, block_addr, now)
             if spec is not None:

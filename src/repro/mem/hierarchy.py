@@ -27,7 +27,7 @@ dirty-inclusive of all bbPBs (forced drain before eviction, Section III-B).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.mem.block import (
     BlockData,
@@ -39,6 +39,7 @@ from repro.mem.block import (
     S,
     block_offset,
 )
+from repro.check.schedule import NULL_SCHEDULE, SITE_POV, CrashNow
 from repro.fault.injector import NULL_INJECTOR
 from repro.mem.cache import CacheArray
 from repro.mem.coherence import Directory, DrainMessageChannel
@@ -64,12 +65,14 @@ class MemoryHierarchy:
         stats: Optional[SimStats] = None,
         bus: EventBus = NULL_BUS,
         fault_injector=NULL_INJECTOR,
+        crash_schedule=NULL_SCHEDULE,
     ) -> None:
         self.config = config
         self.scheme = scheme
         self.stats = stats or SimStats(num_cores=config.num_cores)
         self.bus = bus
         self.fault_injector = fault_injector
+        self.crash_schedule = crash_schedule
         # block_size is a validated power of two: block address / offset
         # arithmetic in the hot paths reduces to a mask.
         self._block_mask = config.block_size - 1
@@ -79,12 +82,24 @@ class MemoryHierarchy:
         ]
         self.llc = CacheArray(config.llc, name="LLC")
         self.directory = Directory(bus)
-        self.drain_channel = DrainMessageChannel(fault_injector)
+        self.drain_channel = DrainMessageChannel(fault_injector,
+                                                 schedule=crash_schedule)
         self.dram = DRAMController(config.mem, self.stats)
         self.nvmm = NVMMController(config.mem, self.stats, bus,
-                                   injector=fault_injector)
+                                   injector=fault_injector,
+                                   schedule=crash_schedule)
         #: Functional contents of DRAM (volatile: lost on crash).
         self.volatile_image: Dict[int, BlockData] = {}
+        #: Writeback packets caught in flight by a scheduled crash
+        #: (LLC eviction -> NVMM).  Schemes whose battery covers the
+        #: cache-to-controller path (eADR) drain them; all others lose them.
+        self.inflight_writebacks: List[Tuple[int, BlockData]] = []
+        #: Fig. 6(a)/(b) coherence moves caught in flight: a remote
+        #: invalidation removed the block from the holder's bbPB and the
+        #: requester has not allocated it yet.  The paper's battery covers
+        #: the in-flight packet, so BBB's crash drain flushes these (the
+        #: requester's allocation pops its block back out).
+        self.inflight_bbpb_moves: Dict[int, BlockData] = {}
         battery_sb = getattr(scheme, "name", "") in ("bbb", "eadr") and (
             not config.force_volatile_store_buffer
         )
@@ -218,6 +233,11 @@ class MemoryHierarchy:
 
         stall = coherence_delay
         if persistent:
+            if self.crash_schedule.enabled:
+                # The PoV/PoP gap: the L1D write is visible, but the
+                # scheme's persist hook (bbPB allocate / auto-flush) has
+                # not run yet — the window BBB's battery must cover.
+                self.crash_schedule.reached(SITE_POV, now, baddr)
             # Invariant 4: evict the block from any *other* core's bbPB
             # (covers the case where the previous writer's L1 copy is gone
             # but its bbPB entry remains).
@@ -347,7 +367,16 @@ class MemoryHierarchy:
                 self.stats.llc_writebacks_dropped += 1
             else:
                 self.stats.llc_writebacks += 1
-                self._mem_write(victim.addr, victim.data, now)
+                try:
+                    self._mem_write(victim.addr, victim.data, now)
+                except CrashNow:
+                    # The writeback packet is on the wire when power fails;
+                    # the victim is in no cache any more, so record it for
+                    # schemes whose battery covers this path (eADR).
+                    self.inflight_writebacks.append(
+                        (victim.addr, victim.data.copy())
+                    )
+                    raise
 
     # ------------------------------------------------------------------
     # Memory access (functional + timing)
@@ -379,31 +408,38 @@ class MemoryHierarchy:
             return now
         data: Optional[BlockData] = None
         # The newest copy lives in the owner's L1 (if M), else the LLC.
+        # Lines are marked clean only *after* the WPQ accepts the data: a
+        # crash mid-flush must leave them dirty so that schemes covering
+        # the caches (eADR) still recover the data.
         ent = self.directory.entry(baddr)
-        dirty_somewhere = False
+        oblk = None
         if ent is not None and ent.owner is not None:
             oblk = self.l1s[ent.owner].lookup(baddr, touch=False)
             if oblk is not None and oblk.dirty:
                 data = oblk.data.copy()
-                oblk.dirty = False
-                dirty_somewhere = True
+            else:
+                oblk = None
         llc_blk = self.llc.lookup(baddr, touch=False)
-        if llc_blk is not None and llc_blk.dirty:
+        llc_dirty = llc_blk is not None and llc_blk.dirty
+        if llc_dirty:
             if data is None:
                 data = llc_blk.data.copy()
             else:
                 merged = llc_blk.data.copy()
                 merged.merge_from(data)
                 data = merged
-            llc_blk.dirty = False
-            dirty_somewhere = True
-        if not dirty_somewhere or data is None:
+        if data is None:
             return now
-        if llc_blk is not None:
-            llc_blk.data.merge_from(data)
-        return self.nvmm.write(
+        done = self.nvmm.write(
             baddr, data, now + self.config.mem.mc_transfer_cycles
         )
+        if oblk is not None:
+            oblk.dirty = False
+        if llc_dirty:
+            llc_blk.dirty = False
+        if llc_blk is not None:
+            llc_blk.data.merge_from(data)
+        return done
 
     # ------------------------------------------------------------------
     # Crash support
@@ -448,6 +484,8 @@ class MemoryHierarchy:
         self.llc.clear()
         self.volatile_image.clear()
         self.directory = Directory(self.bus)
+        self.inflight_writebacks = []
+        self.inflight_bbpb_moves = {}
         for sb in self.store_buffers:
             sb.clear()
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from repro.check.schedule import NULL_SCHEDULE, SITE_WPQ
 from repro.fault.injector import NULL_INJECTOR
 from repro.mem.block import BlockData
 from repro.mem.nvmm import NVMMedia
@@ -73,11 +74,13 @@ class NVMMController:
     """
 
     def __init__(self, config: MemConfig, stats: SimStats,
-                 bus: EventBus = NULL_BUS, injector=NULL_INJECTOR) -> None:
+                 bus: EventBus = NULL_BUS, injector=NULL_INJECTOR,
+                 schedule=NULL_SCHEDULE) -> None:
         self.config = config
         self.stats = stats
         self.bus = bus
         self.injector = injector
+        self.schedule = schedule
         self.media = NVMMedia(config.nvmm_base, config.nvmm_bytes)
         #: Per-channel next-free time; blocks interleave by block address.
         self._port_free = [0] * config.nvmm_channels
@@ -111,6 +114,11 @@ class NVMMController:
         channel = self.channel_of(block_addr)
         start = max(now, self._port_free[channel])
         done = start + self.config.wpq_accept_cycles
+        if self.schedule.enabled:
+            # Mid-WPQ flush: the block is at the controller but acceptance
+            # (the ADR durability point) has not happened — raising here
+            # models power failing with the transfer still in flight.
+            self.schedule.reached(SITE_WPQ, now, block_addr)
         if self.injector.enabled:
             done = self._accept_with_faults(block_addr, data, start, done)
         else:

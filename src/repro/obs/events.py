@@ -240,6 +240,41 @@ class StallEnd(Event):
     cause: str
 
 
+# ----------------------------------------------------------------------
+# Crash-consistency model checker (check/checker.py)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CheckStateExplored(Event):
+    """One model-checking unit finished exploring its crash-state space:
+    ``explored`` verdicts were computed fresh, ``pruned`` were reused from
+    an equivalent durable fingerprint, out of ``total_points`` reachable
+    micro-step crash points (``unique_states`` distinct durable images)."""
+
+    kind: ClassVar[str] = "check_state_explored"
+    scheme: str
+    workload: str
+    total_points: int
+    explored: int
+    pruned: int
+    unique_states: int
+
+
+@dataclass(frozen=True)
+class CheckViolation(Event):
+    """The model checker found a crash point whose recovered durable image
+    violates the scheme's contract, the golden differential oracle, or a
+    workload invariant."""
+
+    kind: ClassVar[str] = "check_violation"
+    scheme: str
+    workload: str
+    point: int
+    site: str
+    crash_op: int
+    violation: str
+
+
 #: kind-string -> event class, the JSONL round-trip registry.
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.kind: cls
@@ -261,6 +296,8 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         FaultInjected,
         FaultDetected,
         BatteryDepleted,
+        CheckStateExplored,
+        CheckViolation,
     )
 }
 

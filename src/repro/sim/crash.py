@@ -6,6 +6,14 @@ induced at different points of the program to check its persistent state
 correctness" (Section I).  :class:`CrashInjector` automates that sweep for
 the simulator: it re-runs a trace with a crash after op 1, 2, ..., N (or a
 random sample) and applies a checker to each recovered image.
+
+Sampling is deterministic: every draw goes through an explicit
+``random.Random`` — either one the caller passes in or one seeded from the
+``seed`` argument — never the module-global generator, so a sweep is
+reproducible from the ``(seed, sample)`` pair its report records.
+
+Op-boundary sweeps are the coarse tool; the micro-step model checker
+(:mod:`repro.check`) explores the crash points *between* op boundaries.
 """
 
 from __future__ import annotations
@@ -29,9 +37,16 @@ class CrashOutcome:
 
 @dataclass
 class CrashSweepReport:
-    """Aggregate of a crash sweep."""
+    """Aggregate of a crash sweep.
+
+    ``seed`` and ``sample`` record how the crash points were drawn, so the
+    exact sweep can be reproduced from the report alone (``sample=None``
+    means the sweep was exhaustive and ``seed`` was never consulted).
+    """
 
     outcomes: List[CrashOutcome] = field(default_factory=list)
+    seed: Optional[int] = None
+    sample: Optional[int] = None
 
     @property
     def total(self) -> int:
@@ -72,12 +87,20 @@ class CrashInjector:
         self.checker = checker
 
     def crash_points(
-        self, sample: Optional[int] = None, seed: int = 0
+        self,
+        sample: Optional[int] = None,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
     ) -> List[int]:
+        """Op-boundary crash points: all of ``1..total_ops`` or a sorted
+        random sample of ``sample`` of them.  Draws come from ``rng`` when
+        given, else from a fresh ``random.Random(seed)`` — never from the
+        module-global generator, so equal seeds give equal sweeps."""
         total = self.trace.total_ops()
         points = list(range(1, total + 1))
         if sample is not None and sample < len(points):
-            points = sorted(random.Random(seed).sample(points, sample))
+            generator = rng if rng is not None else random.Random(seed)
+            points = sorted(generator.sample(points, sample))
         return points
 
     def run_one(self, crash_op: int) -> CrashOutcome:
@@ -87,9 +110,14 @@ class CrashInjector:
         return CrashOutcome(crash_op, consistent, list(violations))
 
     def sweep(
-        self, sample: Optional[int] = None, seed: int = 0
+        self,
+        sample: Optional[int] = None,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
     ) -> CrashSweepReport:
-        report = CrashSweepReport()
-        for point in self.crash_points(sample=sample, seed=seed):
+        report = CrashSweepReport(
+            seed=seed if sample is not None else None, sample=sample
+        )
+        for point in self.crash_points(sample=sample, seed=seed, rng=rng):
             report.outcomes.append(self.run_one(point))
         return report

@@ -27,6 +27,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.check.schedule import SITE_OP, CrashNow, FiredPoint
 from repro.core.persistency import DrainReport
 from repro.mem.block import block_address
 from repro.mem.hierarchy import MemoryHierarchy
@@ -64,6 +65,9 @@ class RunResult:
     committed_persists: List[PersistRecord] = field(default_factory=list)
     performed_persists: List[PersistRecord] = field(default_factory=list)
     drain_report: Optional[DrainReport] = None
+    #: Micro-step crash point that fired (crash-schedule runs only; None
+    #: for op-boundary crashes requested via ``crash_at_op``).
+    crash_point: Optional[FiredPoint] = None
     #: Architectural execution log (populated when Engine(log=True)) — the
     #: exact order operations took effect, for differential testing
     #: against :mod:`repro.sim.reference`.
@@ -135,14 +139,27 @@ class Engine:
         lengths = [len(ops) for ops in ops_per_core]
         heap = [(0, c) for c in range(num_threads) if lengths[c]]
         execute = self._execute
+        schedule = self.hierarchy.crash_schedule
+        schedule_on = schedule.enabled
         while heap:
             clock, core = heapq.heappop(heap)
             i = indices[core]
             op = ops_per_core[core][i]
             indices[core] = i + 1
-            clock = execute(core, op, clock, result, flush_outstanding[core])
-            clocks[core] = clock
-            executed += 1
+            try:
+                clock = execute(core, op, clock, result, flush_outstanding[core])
+                clocks[core] = clock
+                executed += 1
+                if schedule_on:
+                    schedule.reached(SITE_OP, clock)
+            except CrashNow as crash:
+                # A scheduled micro-step crash fired inside (or right
+                # after) this op: ``executed`` counts fully-executed ops.
+                clocks[core] = max(clocks[core], clock)
+                result.crashed = True
+                result.crash_op = executed
+                result.crash_point = crash.point
+                break
             if i + 1 < lengths[core]:
                 heapq.heappush(heap, (clock, core))
             if crash_at_op is not None and executed >= crash_at_op:
@@ -150,17 +167,24 @@ class Engine:
                 result.crash_op = executed
                 break
 
-        now = max(clocks) if clocks else 0
-        if result.crashed:
-            result.drain_report = self.hierarchy.scheme.crash_drain(now)
-        else:
+        if not result.crashed:
             # Retire remaining store-buffer entries and outstanding flushes.
-            for core in range(trace.num_threads):
-                clocks[core] = self._release_all(core, clocks[core], result)
-                if flush_outstanding[core]:
-                    clocks[core] = max(clocks[core], max(flush_outstanding[core]))
-            if finalize:
-                self.hierarchy.scheme.finalize(max(clocks))
+            try:
+                for core in range(trace.num_threads):
+                    clocks[core] = self._release_all(core, clocks[core], result)
+                    if flush_outstanding[core]:
+                        clocks[core] = max(clocks[core],
+                                           max(flush_outstanding[core]))
+                if finalize:
+                    self.hierarchy.scheme.finalize(max(clocks))
+            except CrashNow as crash:
+                result.crashed = True
+                result.crash_op = executed
+                result.crash_point = crash.point
+        if result.crashed:
+            result.drain_report = self.hierarchy.scheme.crash_drain(
+                max(clocks) if clocks else 0
+            )
         for core, clock in enumerate(clocks):
             self.stats.core[core].cycles = clock
         return result
@@ -259,7 +283,16 @@ class Engine:
                     PersistRecord(core, addr, size, value, self._seq)
                 )
             now += 1  # commit cost
-            done, persistent = self.hierarchy.store(core, addr, size, value, now)
+            try:
+                done, persistent = self.hierarchy.store(
+                    core, addr, size, value, now
+                )
+            except CrashNow:
+                # The fast path models hardware that still routes stores
+                # through the SB; restore the entry so the crash drain
+                # sees exactly what the slow path would.
+                sb.push(addr, value, size, persistent, now)
+                raise
             if self._log_enabled:
                 result.log.append(LogRecord(LogKind.STORE, core, addr, size, value))
             if persistent:
@@ -303,14 +336,25 @@ class Engine:
         sb = self.hierarchy.store_buffers[core]
         while len(sb):
             entry = sb.pop_oldest(now)
-            now = self._release_entry(core, entry, now, result)
+            try:
+                now = self._release_entry(core, entry, now, result)
+            except CrashNow:
+                # Crash mid-release: the store never left the SB as far as
+                # the persistence domain is concerned — reinstate it ahead
+                # of the unreleased remainder for the crash drain.
+                sb.requeue([entry] + sb.entries())
+                raise
         return now
 
     def _release_oldest(self, core: int, now: int, result: RunResult) -> int:
         sb = self.hierarchy.store_buffers[core]
         entry = sb.pop_oldest(now)
         if entry is not None:
-            now = self._release_entry(core, entry, now, result)
+            try:
+                now = self._release_entry(core, entry, now, result)
+            except CrashNow:
+                sb.requeue([entry] + sb.entries())
+                raise
         return now
 
     def _release_relaxed(self, core: int, now: int, result: RunResult) -> int:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import warnings
 from typing import Optional
 
+from repro.check.schedule import NULL_SCHEDULE
 from repro.core.persistency import BBBScheme, PersistencyScheme
 from repro.fault.injector import NULL_INJECTOR
 from repro.mem.hierarchy import MemoryHierarchy
@@ -39,18 +40,21 @@ class System:
         reorder_seed: int = 0,
         bus: EventBus = NULL_BUS,
         fault_injector=NULL_INJECTOR,
+        crash_schedule=NULL_SCHEDULE,
     ) -> None:
         self.config = config or SystemConfig()
         self.scheme = scheme or BBBScheme()
         self.bus = bus
         self.fault_injector = fault_injector
+        self.crash_schedule = crash_schedule
         if fault_injector.enabled and fault_injector.bus is NULL_BUS:
             # Faults emit typed obs events; route them onto the system's
             # bus unless the injector was wired to its own.
             fault_injector.bus = bus
         self.stats = SimStats(num_cores=self.config.num_cores)
         self.hierarchy = MemoryHierarchy(self.config, self.scheme, self.stats,
-                                         bus=bus, fault_injector=fault_injector)
+                                         bus=bus, fault_injector=fault_injector,
+                                         crash_schedule=crash_schedule)
         self.engine = Engine(self.hierarchy, reorder_seed=reorder_seed)
 
     def run(

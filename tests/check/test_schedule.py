@@ -1,0 +1,69 @@
+"""Unit tests for the crash-schedule primitive (repro.check.schedule)."""
+
+import pytest
+
+from repro.check.schedule import (
+    ALL_SITES,
+    NULL_SCHEDULE,
+    CrashNow,
+    CrashSchedule,
+    SITE_DRAIN,
+    SITE_OP,
+    SITE_POV,
+)
+
+
+class TestNullSchedule:
+    def test_disabled(self):
+        assert not NULL_SCHEDULE.enabled
+
+    def test_reached_is_a_noop(self):
+        NULL_SCHEDULE.reached(SITE_OP, 5)
+        assert NULL_SCHEDULE.visits == 0
+
+
+class TestCounting:
+    def test_unbounded_schedule_never_fires(self):
+        s = CrashSchedule(stop_at=None)
+        for i in range(10):
+            s.reached(SITE_OP, i)
+        assert s.visits == 10
+        assert s.fired is None
+
+    def test_site_counts(self):
+        s = CrashSchedule(stop_at=None)
+        s.reached(SITE_OP, 1)
+        s.reached(SITE_POV, 2)
+        s.reached(SITE_OP, 3)
+        assert s.site_counts == {SITE_OP: 2, SITE_POV: 1}
+
+
+class TestFiring:
+    def test_fires_at_exactly_stop_at(self):
+        s = CrashSchedule(stop_at=3)
+        s.reached(SITE_OP, 1)
+        s.reached(SITE_POV, 2)
+        with pytest.raises(CrashNow) as exc:
+            s.reached(SITE_DRAIN, 7, addr=0x40)
+        point = exc.value.point
+        assert point.index == 3
+        assert point.site == SITE_DRAIN
+        assert point.cycle == 7
+        assert point.addr == 0x40
+        assert s.fired == point
+
+    def test_stop_at_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CrashSchedule(stop_at=0)
+
+    def test_site_filter_hides_excluded_visits(self):
+        s = CrashSchedule(stop_at=2, sites=(SITE_POV,))
+        s.reached(SITE_OP, 1)   # filtered out: not a visit
+        s.reached(SITE_POV, 2)  # visit 1
+        assert s.visits == 1
+        with pytest.raises(CrashNow):
+            s.reached(SITE_POV, 3)
+
+    def test_all_sites_is_complete(self):
+        assert SITE_OP in ALL_SITES and SITE_POV in ALL_SITES
+        assert len(ALL_SITES) == 5

@@ -35,6 +35,24 @@ class TestCrashPoints:
         inj = CrashInjector(lambda: build_system("bbb", config=small_config), trace, strict_checker)
         assert len(inj.crash_points(sample=100)) == 6
 
+    def test_explicit_rng_matches_equally_seeded_generator(
+        self, small_config, trace
+    ):
+        import random
+
+        inj = CrashInjector(lambda: build_system("bbb", config=small_config), trace, strict_checker)
+        via_seed = inj.crash_points(sample=3, seed=7)
+        via_rng = inj.crash_points(sample=3, rng=random.Random(7))
+        assert via_seed == via_rng
+
+    def test_module_global_random_state_is_untouched(self, small_config, trace):
+        import random
+
+        inj = CrashInjector(lambda: build_system("bbb", config=small_config), trace, strict_checker)
+        state = random.getstate()
+        inj.crash_points(sample=3, seed=7)
+        assert random.getstate() == state
+
 
 class TestSweep:
     def test_bbb_sweep_is_fully_consistent(self, small_config, trace):
@@ -49,6 +67,28 @@ class TestSweep:
         report = inj.sweep(sample=2, seed=0)
         assert all(isinstance(o, CrashOutcome) for o in report.outcomes)
         assert all(1 <= o.crash_op <= 6 for o in report.outcomes)
+
+    def test_sampled_sweep_is_subset_of_exhaustive(self, small_config, trace):
+        """Exhaustive vs sampled equivalence: every sampled outcome must
+        match the exhaustive sweep's outcome at the same crash op."""
+        inj = CrashInjector(lambda: build_system("bbb", config=small_config), trace, strict_checker)
+        full = {o.crash_op: o.consistent for o in inj.sweep().outcomes}
+        sampled = inj.sweep(sample=3, seed=5)
+        assert sampled.total == 3
+        for o in sampled.outcomes:
+            assert full[o.crash_op] == o.consistent
+
+    def test_report_records_seed_and_sample(self, small_config, trace):
+        inj = CrashInjector(lambda: build_system("bbb", config=small_config), trace, strict_checker)
+        sampled = inj.sweep(sample=2, seed=9)
+        assert sampled.seed == 9 and sampled.sample == 2
+        exhaustive = inj.sweep()
+        assert exhaustive.seed is None and exhaustive.sample is None
+
+    def test_summary_counts(self, small_config, trace):
+        inj = CrashInjector(lambda: build_system("bbb", config=small_config), trace, strict_checker)
+        report = inj.sweep()
+        assert report.summary() == "6 crash points, 6 consistent, 0 inconsistent"
 
     def test_no_persistency_sweep_detects_violations(self, small_config):
         """Directed set-conflict scenario: a 'head' block is evicted (and

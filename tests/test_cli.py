@@ -195,6 +195,42 @@ class TestFaultsCommand:
         assert capsys.readouterr().out == first_out
 
 
+class TestCheckCommand:
+    ARGS = [
+        "check", "--scheme", "bbb", "--threads", "2", "--ops", "3",
+        "--elements", "64", "--jobs", "1",
+    ]
+
+    def test_clean_scheme_reports_and_exits_zero(self, capsys, tmp_path):
+        out_file = tmp_path / "check.json"
+        rc = main(self.ARGS + ["--out", str(out_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "explored" in out
+        with open(out_file) as fh:
+            report = json.load(fh)
+        assert report["schema"] == "repro.crashcheck/v1"
+        assert report["consistent"]
+        assert report["explored"] + report["pruned"] == report["checked_points"]
+
+    def test_mutant_caught_minimized_and_replayable(self, capsys, tmp_path):
+        cex_file = tmp_path / "cex.json"
+        rc = main(self.ARGS + ["--mutant", "bbb-delayed-alloc",
+                               "--cex-out", str(cex_file)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "minimized to" in out
+        assert cex_file.exists()
+        rc = main(["check", "--replay", str(cex_file)])
+        assert rc == 0
+        assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_unknown_scheme_rejected(self, capsys):
+        rc = main(["check", "--scheme", "bogus", "--jobs", "1"])
+        assert rc == 2
+        assert "unknown" in capsys.readouterr().err
+
+
 class TestTraceCommand:
     def test_trace_writes_file(self, capsys, tmp_path):
         out_file = tmp_path / "w.trace"
