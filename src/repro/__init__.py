@@ -124,12 +124,14 @@ __all__ = [
     "SimStats",
     "CrashInjector",
     "CrashSweepReport",
-    "bbb",
+    # deprecated per-scheme factories (names derived, not spelled: scheme
+    # name literals live only in repro.core.registry)
+    bbb.__name__,
     "bbb_processor_side",
-    "bsp",
-    "eadr",
+    bsp.__name__,
+    eadr.__name__,
     "pmem_strict",
-    "bep",
+    bep.__name__,
     "no_persistency",
     # traces & workloads
     "FlatMemory",

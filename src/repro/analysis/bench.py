@@ -30,6 +30,7 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.experiments import default_sim_config, fig7
+from repro.core.registry import BBB, EADR
 from repro.ioutil import atomic_write_json
 from repro.api import build_system
 from repro.sim.config import ConsistencyModel, SystemConfig
@@ -43,12 +44,12 @@ from repro.workloads.base import (
 
 #: Engine-suite grid: (workload, scheme, scheme kwargs).
 ENGINE_GRID: Tuple[Tuple[str, str, Tuple[Tuple[str, int], ...]], ...] = (
-    ("hashmap", "bbb", (("entries", 32),)),
-    ("hashmap", "eadr", ()),
-    ("mutateC", "bbb", (("entries", 32),)),
-    ("mutateC", "eadr", ()),
-    ("swapNC", "bbb", (("entries", 32),)),
-    ("swapNC", "eadr", ()),
+    ("hashmap", BBB, (("entries", 32),)),
+    ("hashmap", EADR, ()),
+    ("mutateC", BBB, (("entries", 32),)),
+    ("mutateC", EADR, ()),
+    ("swapNC", BBB, (("entries", 32),)),
+    ("swapNC", EADR, ()),
 )
 
 #: Workload size for the engine suites.
@@ -56,8 +57,8 @@ ENGINE_SPEC = WorkloadSpec(threads=8, ops=200, elements=16384, seed=42)
 
 #: Reduced grid for the relaxed-consistency suite (slower per op).
 RELAXED_GRID: Tuple[Tuple[str, str, Tuple[Tuple[str, int], ...]], ...] = (
-    ("mutateNC", "bbb", (("entries", 32),)),
-    ("hashmap", "bbb", (("entries", 32),)),
+    ("mutateNC", BBB, (("entries", 32),)),
+    ("hashmap", BBB, (("entries", 32),)),
 )
 
 #: Workloads for the batch-driver suite.

@@ -26,6 +26,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.batch import Progress, RunSpec, run_batch, run_tasks
 from repro.analysis.tables import geomean
+from repro.core.registry import (
+    BBB,
+    BBB_PROC,
+    baseline_scheme,
+    scheme_info,
+)
 from repro.energy import battery as battery_mod
 from repro.energy import model as energy_mod
 from repro.energy.platforms import MOBILE, SERVER
@@ -176,9 +182,15 @@ def _scheme_variants(
     """The Fig. 7 comparison space as (label, scheme, kwargs) rows — plain
     data, so the batch runner can ship them to worker processes."""
     variants: List[Tuple[str, str, Tuple[Tuple[str, int], ...]]] = []
+    bbb_info = scheme_info(BBB)
     for entries in entries_variants:
-        variants.append((f"BBB ({entries})", "bbb", (("entries", int(entries)),)))
-    variants.append(("Optimal (eADR)", "eadr", ()))
+        variants.append((
+            f"{bbb_info.display} ({entries})",
+            bbb_info.name,
+            (("entries", int(entries)),),
+        ))
+    base_info = baseline_scheme()
+    variants.append((base_info.display, base_info.name, ()))
     return variants
 
 
@@ -224,7 +236,7 @@ def fig7(
     rows: List[Fig7Row] = []
     for name in workloads:
         runs = {label: next(results) for label, _, _ in variants}
-        base = runs["Optimal (eADR)"]
+        base = runs[baseline_scheme().display]
         row = Fig7Row(workload=name)
         for label, run in runs.items():
             row.exec_time[label] = run.execution_cycles / max(1, base.execution_cycles)
@@ -280,9 +292,11 @@ def processor_side_write_ratio(
     specs = []
     for name in workloads:
         specs.append(
-            RunSpec(name, "bbb-proc", proc_kwargs, spec=wspec, config=cfg)
+            RunSpec(name, BBB_PROC, proc_kwargs, spec=wspec, config=cfg)
         )
-        specs.append(RunSpec(name, "eadr", spec=wspec, config=cfg))
+        specs.append(
+            RunSpec(name, baseline_scheme().name, spec=wspec, config=cfg)
+        )
     results = iter(run_batch(specs, jobs=jobs, progress=progress))
     ratios: Dict[str, float] = {}
     for name in workloads:
@@ -326,7 +340,7 @@ def fig8(
     specs = [
         RunSpec(
             workload=name,
-            scheme="bbb",
+            scheme=BBB,
             scheme_kwargs=(("entries", int(entries)),),
             spec=wspec,
             config=cfg,

@@ -5,21 +5,26 @@
     from repro.api import Scheme, build_system
 
     system = build_system(Scheme.BBB, entries=32)
-    system = build_system("pmem", config=my_config)
+    system = build_system(Scheme.PMEM, config=my_config)
 
 :func:`build_system` replaces the seven per-scheme factory functions that
 used to live in :mod:`repro.sim.system` (``eadr()``, ``bbb()``, ...), which
 remain as deprecated wrappers around it.  Scheme names are stable strings
-(the same ones the CLI accepts); :class:`Scheme` enumerates them.
+(the same ones the CLI accepts); :class:`Scheme` enumerates the builtin
+comparison space, and both it and :data:`SCHEMES` are derived from the
+scheme registry (:mod:`repro.core.registry`), where every scheme —
+including plugins registered from outside this package — is described by
+a :class:`~repro.core.registry.SchemeInfo` capability descriptor.
 
-Scheme-specific keyword arguments accepted via ``**kw``:
+Scheme-specific keyword arguments accepted via ``**kw`` are declared by
+each scheme's registry entry (``SchemeInfo.accepted_kwargs``):
 
 =====================  ==========================  ==========================
 keyword                schemes                     meaning
 =====================  ==========================  ==========================
-``drain_threshold``    ``bbb``                     bbPB drain threshold
+``drain_threshold``    memory-side BBB             bbPB drain threshold
                                                    (fraction of entries)
-``coalesce_consecutive``  ``bbb-proc``             allow coalescing of
+``coalesce_consecutive``  processor-side BBB       allow coalescing of
                                                    consecutive same-block
                                                    records
 ``reorder_seed``       all                         RNG seed for relaxed-
@@ -36,9 +41,9 @@ keyword                schemes                     meaning
                                                    checker)
 =====================  ==========================  ==========================
 
-``entries`` sizes the persist buffer for the schemes that have one (bbb,
-bbb-proc, bep, bsp) and is ignored by the bufferless schemes, matching the
-old factories' behaviour.
+``entries`` sizes the persist buffer for the schemes whose registry entry
+sets ``has_persist_buffer`` and is ignored by the bufferless schemes,
+matching the old factories' behaviour.
 """
 
 from __future__ import annotations
@@ -47,41 +52,40 @@ import enum
 from typing import Optional, Union
 
 from repro.check.schedule import NULL_SCHEDULE
-from repro.core.bsp import BSP
-from repro.core.persistency import (
-    BBBScheme,
-    BEP,
-    EADR,
-    NoPersistency,
-    StrictPMEM,
-)
+from repro.core.registry import iter_schemes, scheme_info
 from repro.fault.injector import NULL_INJECTOR
 from repro.obs.bus import NULL_BUS
-from repro.sim.config import BBBConfig, SystemConfig
+from repro.sim.config import SystemConfig
 from repro.sim.system import System
 
+#: The builtin persistency schemes of the paper's comparison space
+#: (Fig. 7), as an enum derived from the scheme registry.  Members are
+#: named after the canonical scheme name (``bbb-proc`` -> ``BBB_PROC``).
+Scheme = enum.Enum(
+    "Scheme",
+    [(info.name.upper().replace("-", "_"), info.name)
+     for info in iter_schemes() if info.builtin],
+    type=str,
+    module=__name__,
+    qualname="Scheme",
+)
+Scheme.__doc__ = (
+    "The persistency schemes of the paper's comparison space (Fig. 7), "
+    "derived from the scheme registry."
+)
+Scheme.__str__ = lambda self: self.value  # argparse-friendly
 
-class Scheme(str, enum.Enum):
-    """The persistency schemes of the paper's comparison space (Fig. 7)."""
 
-    BBB = "bbb"              # memory-side bbPB (the paper's design)
-    BBB_PROC = "bbb-proc"    # processor-side bbPB (Section V-C baseline)
-    EADR = "eadr"            # whole-hierarchy battery ("Optimal")
-    PMEM = "pmem"            # strict persistency, hardware clwb+sfence
-    BSP = "bsp"              # bulk strict persistency (MICRO'15)
-    BEP = "bep"              # buffered epoch persistency, volatile buffers
-    NONE = "none"            # no persistency control
-
-    def __str__(self) -> str:  # argparse-friendly
-        return self.value
-
-
-#: Stable tuple of scheme names, in the canonical comparison order.
+#: Stable tuple of builtin scheme names, in the canonical comparison
+#: order.  A static snapshot (taken at import) on purpose: experiment
+#: drivers, smoke suites, and golden fingerprints iterate it, and plugin
+#: schemes registered later must not change their spaces.  Use
+#: :func:`repro.core.registry.scheme_names` for the live set.
 SCHEMES = tuple(s.value for s in Scheme)
 
 
 def build_system(
-    scheme: Union[str, Scheme],
+    scheme: Union[str, "Scheme"],
     *,
     entries: int = 32,
     config: Optional[SystemConfig] = None,
@@ -89,49 +93,18 @@ def build_system(
 ) -> System:
     """Build a runnable :class:`~repro.sim.system.System` for ``scheme``.
 
-    ``scheme`` is a :class:`Scheme` or its string value.  ``entries`` sizes
-    the scheme's persist buffer where it has one.  See the module docstring
-    for the scheme-specific ``**kw``.
+    ``scheme`` is a :class:`Scheme`, any registered scheme name, or an
+    alias.  ``entries`` sizes the scheme's persist buffer where it has
+    one.  See the module docstring for the scheme-specific ``**kw``.
     """
-    try:
-        name = Scheme(scheme)
-    except ValueError:
-        raise ValueError(
-            f"unknown scheme {scheme!r}; valid schemes: {', '.join(SCHEMES)}"
-        ) from None
+    name = scheme.value if isinstance(scheme, Scheme) else str(scheme)
+    info = scheme_info(name)  # raises ValueError on unknown schemes
 
     bus = kw.pop("bus", NULL_BUS)
     reorder_seed = kw.pop("reorder_seed", 0)
     fault_injector = kw.pop("fault_injector", NULL_INJECTOR)
     crash_schedule = kw.pop("crash_schedule", NULL_SCHEDULE)
 
-    if name is Scheme.BBB:
-        scheme_obj = BBBScheme(BBBConfig(
-            entries=entries,
-            drain_threshold=kw.pop("drain_threshold", 0.75),
-            memory_side=True,
-        ))
-    elif name is Scheme.BBB_PROC:
-        scheme_obj = BBBScheme(BBBConfig(
-            entries=entries,
-            memory_side=False,
-            proc_coalesce_consecutive=kw.pop("coalesce_consecutive", True),
-        ))
-    elif name is Scheme.EADR:
-        scheme_obj = EADR()
-    elif name is Scheme.PMEM:
-        scheme_obj = StrictPMEM()
-    elif name is Scheme.BEP:
-        scheme_obj = BEP(entries=entries)
-    elif name is Scheme.BSP:
-        scheme_obj = BSP(entries=entries)
-    else:
-        scheme_obj = NoPersistency()
-
-    if kw:
-        raise TypeError(
-            f"unexpected keyword arguments for scheme {name.value!r}: "
-            f"{', '.join(sorted(kw))}"
-        )
+    scheme_obj = info.build_scheme(entries=entries, **kw)
     return System(config, scheme_obj, reorder_seed=reorder_seed, bus=bus,
                   fault_injector=fault_injector, crash_schedule=crash_schedule)

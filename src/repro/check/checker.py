@@ -41,10 +41,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.check.schedule import CrashSchedule
 from repro.core.recovery import (
     CONTRACT_DOCS,
-    SCHEME_CONTRACTS,
     check_scheme_contract,
     claimed_persists,
 )
+from repro.core.registry import CONTRACT_EPOCH, DEFAULT_SCHEME, scheme_info
 from repro.mem.block import BlockData, block_address, block_offset
 from repro.obs.bus import NULL_BUS
 from repro.obs.events import CheckStateExplored, CheckViolation
@@ -280,15 +280,15 @@ def _check_point(
         )
 
     violations: List[str] = []
-    contract_name = SCHEME_CONTRACTS[unit.scheme]
+    info = scheme_info(unit.scheme)
     contract = check_scheme_contract(unit.scheme, media, claimed)
     violations.extend(contract.violations[:MAX_VIOLATIONS_PER_POINT])
-    if contract_name in ("exact", "eadr-exact"):
+    if info.exact_durability:
         expected = golden_expected(ctx.seed_words, claimed)
         violations.extend(
             diff_golden(media, expected, ctx.config.mem.is_persistent)
         )
-    if ctx.structural is not None and contract_name != "epoch":
+    if ctx.structural is not None and info.contract != CONTRACT_EPOCH:
         # Structural workload invariants (e.g. "a published pointer's
         # target node is initialised") follow from per-core persist order,
         # which prefix-or-stronger contracts promise.  Epoch-contract
@@ -361,7 +361,7 @@ def build_report(
 ) -> Dict[str, Any]:
     """Fold per-point verdicts into the ``repro.crashcheck/v1`` report."""
     bad = [v for v in verdicts if not v.consistent]
-    contract = SCHEME_CONTRACTS[unit.scheme]
+    contract = scheme_info(unit.scheme).contract
     return {
         "schema": CHECK_SCHEMA,
         "unit": _unit_payload(unit),
@@ -487,16 +487,19 @@ def smoke_check(jobs: Optional[int] = None, progress=None) -> Dict[str, Any]:
                 f"(first: {first})"
             )
 
-    pruned_unit = CheckUnit(scheme="bbb", spec=spec, prune=True)
+    pruned_unit = CheckUnit(scheme=DEFAULT_SCHEME, spec=spec, prune=True)
     plain_unit = replace(pruned_unit, prune=False)
     pruned_v, _, _ = explore(pruned_unit)
     plain_v, _, _ = explore(plain_unit)
     if [(v.point, v.consistent, v.violations) for v in pruned_v] != [
         (v.point, v.consistent, v.violations) for v in plain_v
     ]:
-        failures.append("bbb: pruned run verdicts differ from exhaustive run")
+        failures.append(
+            f"{DEFAULT_SCHEME}: pruned run verdicts differ from exhaustive run"
+        )
 
-    mutant_unit = CheckUnit(scheme="bbb", mutant="bbb-delayed-alloc", spec=spec)
+    mutant_unit = CheckUnit(scheme=DEFAULT_SCHEME, mutant="bbb-delayed-alloc",
+                            spec=spec)
     mutant_report, mutant_verdicts = run_check_unit(
         mutant_unit, jobs=jobs, progress=progress
     )

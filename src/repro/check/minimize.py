@@ -35,11 +35,8 @@ from repro.check.checker import (
     golden_expected,
 )
 from repro.check.schedule import CrashSchedule
-from repro.core.recovery import (
-    SCHEME_CONTRACTS,
-    check_scheme_contract,
-    claimed_persists,
-)
+from repro.core.recovery import check_scheme_contract, claimed_persists
+from repro.core.registry import scheme_info
 from repro.ioutil import atomic_write_json
 from repro.sim.trace import OpKind, ProgramTrace, ThreadTrace, TraceOp
 
@@ -125,7 +122,7 @@ def _point_violations(unit, config, seed_words, trace, k):
     media = system.nvmm_media
     claimed = claimed_persists(unit.scheme, result)
     violations = list(check_scheme_contract(unit.scheme, media, claimed).violations)
-    if SCHEME_CONTRACTS[unit.scheme] in ("exact", "eadr-exact"):
+    if scheme_info(unit.scheme).exact_durability:
         violations.extend(diff_golden(
             media, golden_expected(seed_words, claimed),
             config.mem.is_persistent,

@@ -19,6 +19,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.check.schedule import NULL_SCHEDULE
 from repro.core.persistency import BBBScheme, EADR
+from repro.core.registry import scheme_for_class, scheme_info
 from repro.mem.block import BlockData
 from repro.sim.config import BBBConfig
 
@@ -88,10 +89,13 @@ class ForgetfulEADR(EADR):
 
 
 #: Mutant name -> (base scheme name, constructor).  The base scheme is
-#: what a :class:`~repro.check.checker.CheckUnit` must carry in ``scheme``.
+#: what a :class:`~repro.check.checker.CheckUnit` must carry in ``scheme``;
+#: it is resolved from the registry by class ancestry, so a mutant targets
+#: whichever scheme its class subclasses.
 MUTANTS = {
-    "bbb-delayed-alloc": ("bbb", DelayedAllocBBB),
-    "eadr-skip-l1": ("eadr", ForgetfulEADR),
+    "bbb-delayed-alloc": (scheme_for_class(DelayedAllocBBB).name,
+                          DelayedAllocBBB),
+    "eadr-skip-l1": (scheme_for_class(ForgetfulEADR).name, ForgetfulEADR),
 }
 
 
@@ -110,8 +114,7 @@ def build_mutant_system(
         raise ValueError(
             f"unknown mutant {name!r}; valid mutants: {', '.join(sorted(MUTANTS))}"
         ) from None
-    if base == "bbb":
-        scheme = cls(BBBConfig(entries=entries, memory_side=True))
-    else:
-        scheme = cls()
+    # The base scheme's registered factory builds the mutant subclass, so
+    # mutants construct exactly like the scheme they sabotage.
+    scheme = scheme_info(base).build_scheme(entries=entries, scheme_cls=cls)
     return System(config, scheme, crash_schedule=crash_schedule)

@@ -53,6 +53,13 @@ from repro.analysis.experiments import (
 from repro.analysis.tables import fmt_ratio, fmt_si, render_table
 from repro.api import SCHEMES, build_system
 from repro.core.persistency import table1_rows
+from repro.core.registry import (
+    DEFAULT_SCHEME,
+    baseline_scheme,
+    canonical_name,
+    iter_schemes,
+    scheme_names,
+)
 from repro.core.recovery import check_prefix_consistency
 from repro.energy import battery, model
 from repro.energy.platforms import MOBILE, SERVER
@@ -167,11 +174,13 @@ def cmd_compare(args) -> int:
         )
         return run
 
-    base = compare_one("eadr")
-    for name in SCHEMES:
-        if name == "none":
-            continue
-        run = base if name == "eadr" else compare_one(name)
+    base_name = baseline_scheme().name
+    base = compare_one(base_name)
+    for info in iter_schemes():
+        if not info.crash_consistent:
+            continue  # demonstration baselines have no meaningful ratio
+        name = info.name
+        run = base if name == base_name else compare_one(name)
         rows.append(
             (
                 name,
@@ -358,7 +367,13 @@ def cmd_faults(args) -> int:
             [w.strip() for w in args.workloads.split(",") if w.strip()]
             if args.workloads else list(SMOKE_WORKLOADS)
         )
-        unknown = [s for s in schemes if s not in SCHEMES]
+        resolved, unknown = [], []
+        for s in schemes:
+            try:
+                resolved.append(canonical_name(s))
+            except ValueError:
+                unknown.append(s)
+        schemes = resolved
         unknown += [w for w in workloads if w not in WORKLOAD_NAMES]
         if unknown:
             print(f"error: unknown scheme/workload: {', '.join(unknown)}",
@@ -454,7 +469,9 @@ def cmd_check(args) -> int:
             print(f"error: {failure}", file=sys.stderr)
         return 0 if out["ok"] else 1
 
-    if args.scheme not in SCHEMES:
+    try:
+        args.scheme = canonical_name(args.scheme)
+    except ValueError:
         print(f"error: unknown scheme {args.scheme!r}", file=sys.stderr)
         return 2
     if args.mutant is not None and args.mutant not in MUTANTS:
@@ -548,7 +565,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="simulate one workload under one scheme")
     _add_workload_args(p_run)
-    p_run.add_argument("--scheme", choices=sorted(SCHEMES), default="bbb")
+    p_run.add_argument("--scheme", choices=sorted(scheme_names(include_aliases=True)),
+                       default=DEFAULT_SCHEME)
     p_run.add_argument("--entries", type=int, default=32, help="bbPB entries")
     p_run.add_argument("--no-finalize", action="store_true",
                        help="measure the execution window only")
@@ -572,7 +590,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one workload with full observability and print the report",
     )
     _add_workload_args(p_prof)
-    p_prof.add_argument("--scheme", choices=sorted(SCHEMES), default="bbb")
+    p_prof.add_argument("--scheme", choices=sorted(scheme_names(include_aliases=True)),
+                       default=DEFAULT_SCHEME)
     p_prof.add_argument("--entries", type=int, default=32, help="bbPB entries")
     p_prof.add_argument("--cprofile", action="store_true",
                         help="include a cProfile hotspot table")
@@ -583,7 +602,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_crash = sub.add_parser("crash", help="crash-sweep a workload")
     _add_workload_args(p_crash)
-    p_crash.add_argument("--scheme", choices=sorted(SCHEMES), default="bbb")
+    p_crash.add_argument("--scheme", choices=sorted(scheme_names(include_aliases=True)),
+                       default=DEFAULT_SCHEME)
     p_crash.add_argument("--entries", type=int, default=32)
     p_crash.add_argument("--sample", type=int, default=40,
                          help="number of crash points to test")
@@ -663,7 +683,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "mutant is caught and minimized")
     p_check.add_argument("--replay", default=None, metavar="PATH",
                          help="replay a counterexample artifact and exit")
-    p_check.add_argument("--scheme", default="bbb", help="scheme to check")
+    p_check.add_argument("--scheme", default=DEFAULT_SCHEME,
+                         help="scheme to check")
     p_check.add_argument("--mutant", default=None,
                          help="run a deliberately broken scheme variant "
                               "(see repro.check.mutants.MUTANTS)")

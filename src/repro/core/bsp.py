@@ -41,8 +41,6 @@ from repro.sim.config import BBBConfig
 class BSP(PersistencyScheme):
     """Bulk Strict Persistency with volatile, program-ordered buffers."""
 
-    name = "bsp"
-
     def __init__(self, entries: int = 32) -> None:
         super().__init__()
         self.entries = entries

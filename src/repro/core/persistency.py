@@ -84,7 +84,13 @@ class PersistencyScheme:
     the :class:`~repro.sim.system.System` after the hierarchy is built.
     """
 
+    #: Stamped by the scheme registry at registration
+    #: (:func:`repro.core.registry.register_scheme`); the base value only
+    #: covers schemes constructed without ever being registered.
     name = "base"
+    #: Whether the battery covers the store buffers under this scheme.
+    #: The hierarchy reads this when building :class:`StoreBuffer`s.
+    battery_backed_sb = False
 
     def __init__(self) -> None:
         self.hierarchy: Optional["MemoryHierarchy"] = None
@@ -159,11 +165,9 @@ class NoPersistency(PersistencyScheme):
     natural writebacks, i.e. in cache-replacement order.  Exists to
     demonstrate the inconsistency BBB prevents (Section II-A)."""
 
-    name = "none"
-
     def traits(self) -> SchemeTraits:
         return SchemeTraits(
-            name="none",
+            name=self.name,
             sw_complexity="n/a (not crash consistent)",
             persist_instructions="n/a",
             hw_complexity="None",
@@ -178,7 +182,7 @@ class EADR(PersistencyScheme):
     battery-backed (Section II-B).  No stalls, no extra writes; the crash
     drain moves every dirty NVMM block from every cache level to media."""
 
-    name = "eadr"
+    battery_backed_sb = True
 
     def on_persisting_store(
         self, core: int, block_addr: int, block_data: BlockData, now: int
@@ -247,8 +251,6 @@ class StrictPMEM(PersistencyScheme):
     followed by clwb+sfence, so the core stalls until the line reaches the
     WPQ (the PoP stays at the memory controller)."""
 
-    name = "pmem-strict"
-
     def wants_auto_flush(self) -> bool:
         return True
 
@@ -294,7 +296,7 @@ class BBBScheme(PersistencyScheme):
       buffers, in the order Section III-C requires.
     """
 
-    name = "bbb"
+    battery_backed_sb = True
 
     def __init__(self, bbb_config: Optional[BBBConfig] = None) -> None:
         super().__init__()
@@ -498,8 +500,6 @@ class BEP(PersistencyScheme):
     draining (the paper: "stalls may still occur at epoch boundaries in
     BEP").
     """
-
-    name = "bep"
 
     def __init__(self, entries: int = 32) -> None:
         super().__init__()

@@ -27,6 +27,14 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core import registry as _registry
+from repro.core.registry import (
+    CONTRACT_EADR_EXACT,
+    CONTRACT_EPOCH,
+    CONTRACT_EXACT,
+    CONTRACT_PREFIX,
+    scheme_info,
+)
 from repro.mem.block import BlockData, block_address, block_offset
 from repro.mem.nvmm import NVMMedia
 from repro.sim.engine import PersistRecord
@@ -242,44 +250,80 @@ class Outcome(str, enum.Enum):
     BASELINE_INCONSISTENT = "baseline-inconsistent"
 
 
-#: Scheme name -> the consistency contract its crash recovery promises.
-#: Schemes with a closed PoV/PoP gap (or synchronous persists) owe *exact*
-#: durability of every committed persisting store; buffered/uncontrolled
-#: schemes owe only per-core prefix consistency (and ``none`` not even
-#: that — it is the motivating broken baseline).
-SCHEME_CONTRACTS: Dict[str, str] = {
-    "bbb": "exact",
-    "bbb-proc": "exact",
-    "eadr": "eadr-exact",
-    "pmem": "exact",
-    "pmem-strict": "exact",
-    "bsp": "prefix",
-    "bep": "epoch",
-    "none": "prefix",
-}
+class _SchemeContractView:
+    """Live mapping view of scheme name -> contract kind, backed by the
+    scheme registry (:mod:`repro.core.registry`).
+
+    Schemes with a closed PoV/PoP gap (or synchronous persists) owe
+    *exact* durability of every committed persisting store;
+    buffered/uncontrolled schemes owe only per-core prefix consistency
+    (and ``none`` not even that — it is the motivating broken baseline).
+
+    Keys include aliases (a scheme object's instance name resolves the
+    same as its canonical name), and plugin schemes registered after
+    import appear automatically.
+    """
+
+    def __getitem__(self, scheme_name: str) -> str:
+        try:
+            return scheme_info(scheme_name).contract
+        except ValueError:
+            raise KeyError(scheme_name) from None
+
+    def get(self, scheme_name: str, default=None):
+        try:
+            return self[scheme_name]
+        except KeyError:
+            return default
+
+    def __contains__(self, scheme_name) -> bool:
+        return self.get(scheme_name) is not None
+
+    def keys(self):
+        return iter(_registry.scheme_names(include_aliases=True))
+
+    __iter__ = keys
+
+    def __len__(self) -> int:
+        return len(_registry.scheme_names(include_aliases=True))
+
+    def items(self):
+        return ((name, self[name]) for name in self.keys())
+
+    def values(self):
+        return (self[name] for name in self.keys())
+
+    def __repr__(self) -> str:
+        return f"SCHEME_CONTRACTS({dict(self.items())!r})"
+
+
+#: Scheme name -> consistency contract; a live registry-backed view kept
+#: for backward compatibility.  New code should read
+#: ``scheme_info(name).contract`` directly.
+SCHEME_CONTRACTS = _SchemeContractView()
 
 
 #: Contract name -> one-paragraph description of what the contract
 #: promises, embedded into fault-campaign and model-checker reports so a
 #: report file is self-describing.
 CONTRACT_DOCS: Dict[str, str] = {
-    "exact": (
+    CONTRACT_EXACT: (
         "Every committed persisting store is durable byte-for-byte after a "
         "crash (PoV == PoP: battery-backed buffers or synchronous flushes "
         "close the visibility/persistence gap)."
     ),
-    "eadr-exact": (
+    CONTRACT_EADR_EXACT: (
         "Exact durability via a whole-hierarchy battery: everything that "
         "reached any cache level is drained on power failure, so the durable "
         "image equals the architecturally visible one."
     ),
-    "prefix": (
+    CONTRACT_PREFIX: (
         "Per-core prefix consistency only: each core's persisting stores "
         "reach NVMM in order, but an arbitrary suffix may be lost and "
         "cross-core interleavings are unconstrained.  Write-once locations "
         "must hold either the written value or indeterminate zeros."
     ),
-    "epoch": (
+    CONTRACT_EPOCH: (
         "Epoch-granularity consistency (buffered epoch persistency): all "
         "epochs before some k are fully durable plus an arbitrary per-block "
         "subset of epoch k.  Within an epoch, coalescing may persist stores "
@@ -294,15 +338,16 @@ def claimed_persists(scheme_name: str, result) -> list:
     """The persist records a scheme *claims* are durable at a crash point.
 
     Most schemes place the point of persistence at store commit (battery
-    covers the rest), so their claim is ``result.committed_persists``.  The
-    strict-persistency schemes (``pmem``/``pmem-strict``) instead place PoP
-    at WPQ acceptance: a store that has committed but whose flush has not
-    been accepted by the ADR domain is *not* yet claimed durable, so their
-    claim is ``result.performed_persists``.  Checking a strict scheme
-    against its committed set at an arbitrary micro-step would report the
-    current in-flight store as "lost" when the scheme never promised it.
+    covers the rest), so their claim is ``result.committed_persists``.
+    Schemes whose registry descriptor says ``pop_at_flush`` (strict
+    persistency via hardware flushes) instead place PoP at WPQ acceptance:
+    a store that has committed but whose flush has not been accepted by
+    the ADR domain is *not* yet claimed durable, so their claim is
+    ``result.performed_persists``.  Checking a strict scheme against its
+    committed set at an arbitrary micro-step would report the current
+    in-flight store as "lost" when the scheme never promised it.
     """
-    if scheme_name in ("pmem", "pmem-strict"):
+    if scheme_info(scheme_name).pop_at_flush:
         return list(result.performed_persists)
     return list(result.committed_persists)
 
@@ -313,16 +358,17 @@ def check_scheme_contract(
     committed_persists: Sequence[PersistRecord],
     block_size: int = 64,
 ) -> ConsistencyResult:
-    """Apply the contract checker registered for ``scheme_name`` to a
-    crashed run's durable image."""
-    contract = SCHEME_CONTRACTS.get(scheme_name)
-    if contract is None:
+    """Apply the contract checker the scheme registry declares for
+    ``scheme_name`` to a crashed run's durable image."""
+    try:
+        info = scheme_info(scheme_name)
+    except ValueError:
         raise ValueError(
             f"no consistency contract registered for scheme {scheme_name!r}"
-        )
-    if contract in ("exact", "eadr-exact"):
+        ) from None
+    if info.exact_durability:
         return check_exact_durability(media, committed_persists, block_size)
-    if contract == "epoch":
+    if info.contract == CONTRACT_EPOCH:
         # PersistRecord carries no epoch id, so the whole run is one
         # epoch: the image must be a per-block subset of the final replay
         # (see CONTRACT_DOCS["epoch"] for the conservativeness argument).

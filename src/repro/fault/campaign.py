@@ -37,10 +37,10 @@ from repro.analysis.batch import BatchPolicy, Progress, run_tasks
 from repro.core.recovery import (
     CONTRACT_DOCS,
     Outcome,
-    SCHEME_CONTRACTS,
     check_scheme_contract,
     classify_outcome,
 )
+from repro.core.registry import scheme_info
 from repro.fault.injector import FaultInjector
 from repro.fault.plan import (
     BATTERY_DOMAIN_SITES,
@@ -176,7 +176,7 @@ def execute_fault_unit(unit: FaultUnit) -> Dict[str, Any]:
     return {
         "scheme": unit.scheme,
         "workload": unit.workload,
-        "contract": SCHEME_CONTRACTS[unit.scheme],
+        "contract": scheme_info(unit.scheme).contract,
         "crash_at": crash_at,
         "plan": unit.plan.to_dict(),
         "battery_domain": unit.plan.touches_battery_domain_only(),
@@ -255,8 +255,8 @@ def run_campaign(
         "schemes": list(schemes),
         "contracts": {
             s: {
-                "name": SCHEME_CONTRACTS[s],
-                "doc": CONTRACT_DOCS[SCHEME_CONTRACTS[s]],
+                "name": scheme_info(s).contract,
+                "doc": CONTRACT_DOCS[scheme_info(s).contract],
             }
             for s in schemes
         },

@@ -100,7 +100,7 @@ class MemoryHierarchy:
         #: the in-flight packet, so BBB's crash drain flushes these (the
         #: requester's allocation pops its block back out).
         self.inflight_bbpb_moves: Dict[int, BlockData] = {}
-        battery_sb = getattr(scheme, "name", "") in ("bbb", "eadr") and (
+        battery_sb = getattr(scheme, "battery_backed_sb", False) and (
             not config.force_volatile_store_buffer
         )
         self.store_buffers = [

@@ -132,7 +132,7 @@ def _reconcile(events: List[Event], stats: SimStats
 
 def profile_run(
     workload: str,
-    scheme: str = "bbb",
+    scheme: Optional[str] = None,
     *,
     entries: int = 32,
     spec=None,
@@ -140,12 +140,16 @@ def profile_run(
     finalize: bool = False,
     cprofile: bool = False,
 ) -> ProfileReport:
-    """Run ``workload`` under ``scheme`` with observability enabled."""
+    """Run ``workload`` under ``scheme`` (default: the registry's default
+    scheme) with observability enabled."""
     # Imported here (not at module top) to keep obs importable without the
     # analysis/workload layers in minimal embeddings.
     from repro.analysis.experiments import default_sim_config
     from repro.api import build_system
+    from repro.core.registry import DEFAULT_SCHEME
     from repro.workloads.base import WorkloadSpec, build_cached, seed_media_words
+
+    scheme = scheme or DEFAULT_SCHEME
 
     cfg = config or default_sim_config()
     wspec = spec or WorkloadSpec()
@@ -191,7 +195,7 @@ def smoke_report() -> ProfileReport:
     from repro.workloads.base import WorkloadSpec
 
     return profile_run(
-        "hashmap", "bbb", entries=8,
+        "hashmap", entries=8,
         spec=WorkloadSpec(threads=4, ops=60, elements=1024, seed=11),
         finalize=True,
     )

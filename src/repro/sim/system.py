@@ -20,6 +20,7 @@ import warnings
 from typing import Optional
 
 from repro.check.schedule import NULL_SCHEDULE
+from repro.core import registry as _registry
 from repro.core.persistency import BBBScheme, PersistencyScheme
 from repro.fault.injector import NULL_INJECTOR
 from repro.mem.hierarchy import MemoryHierarchy
@@ -86,87 +87,31 @@ def _warn_factory(old: str, scheme: str) -> None:
     )
 
 
-def eadr(config: Optional[SystemConfig] = None, **kw) -> System:
-    """Deprecated: use ``repro.api.build_system("eadr", ...)``."""
-    _warn_factory("eadr", "eadr")
-    from repro.api import build_system
+def _make_legacy_factory(info):
+    """One deprecated wrapper per registered builtin: ``name(config, **kw)``
+    warns, then routes through :func:`repro.api.build_system`."""
 
-    return build_system("eadr", config=config, **kw)
+    def factory(config: Optional[SystemConfig] = None, **kw) -> System:
+        _warn_factory(info.legacy_factory, info.name)
+        from repro.api import build_system
 
+        return build_system(info.name, config=config, **kw)
 
-def bbb(
-    config: Optional[SystemConfig] = None,
-    entries: int = 32,
-    drain_threshold: float = 0.75,
-    **kw,
-) -> System:
-    """Deprecated: use ``repro.api.build_system("bbb", ...)``."""
-    _warn_factory("bbb", "bbb")
-    from repro.api import build_system
-
-    return build_system(
-        "bbb", entries=entries, config=config,
-        drain_threshold=drain_threshold, **kw
+    factory.__name__ = factory.__qualname__ = info.legacy_factory
+    factory.__doc__ = (
+        f"Deprecated: use ``repro.api.build_system({info.name!r}, ...)``."
     )
+    return factory
 
 
-def bbb_processor_side(
-    config: Optional[SystemConfig] = None,
-    entries: int = 32,
-    coalesce_consecutive: bool = True,
-    **kw,
-) -> System:
-    """Deprecated: use ``repro.api.build_system("bbb-proc", ...)``."""
-    _warn_factory("bbb_processor_side", "bbb-proc")
-    from repro.api import build_system
-
-    return build_system(
-        "bbb-proc", entries=entries, config=config,
-        coalesce_consecutive=coalesce_consecutive, **kw
-    )
-
-
-def pmem_strict(config: Optional[SystemConfig] = None, **kw) -> System:
-    """Deprecated: use ``repro.api.build_system("pmem", ...)``."""
-    _warn_factory("pmem_strict", "pmem")
-    from repro.api import build_system
-
-    return build_system("pmem", config=config, **kw)
-
-
-def bep(config: Optional[SystemConfig] = None, entries: int = 32, **kw) -> System:
-    """Deprecated: use ``repro.api.build_system("bep", ...)``."""
-    _warn_factory("bep", "bep")
-    from repro.api import build_system
-
-    return build_system("bep", entries=entries, config=config, **kw)
-
-
-def bsp(config: Optional[SystemConfig] = None, entries: int = 32, **kw) -> System:
-    """Deprecated: use ``repro.api.build_system("bsp", ...)``."""
-    _warn_factory("bsp", "bsp")
-    from repro.api import build_system
-
-    return build_system("bsp", entries=entries, config=config, **kw)
-
-
-def no_persistency(config: Optional[SystemConfig] = None, **kw) -> System:
-    """Deprecated: use ``repro.api.build_system("none", ...)``."""
-    _warn_factory("no_persistency", "none")
-    from repro.api import build_system
-
-    return build_system("none", config=config, **kw)
-
-
-#: Deprecated scheme-name -> factory registry.  Kept so old callers keep
+#: Deprecated scheme-name -> factory registry, generated from the scheme
+#: registry's ``legacy_factory`` declarations.  Kept so old callers keep
 #: working (each entry warns); new code resolves schemes by name through
 #: :func:`repro.api.build_system`.
-SCHEME_FACTORIES = {
-    "bbb": bbb,
-    "bbb-proc": bbb_processor_side,
-    "eadr": eadr,
-    "pmem": pmem_strict,
-    "bsp": bsp,
-    "bep": bep,
-    "none": no_persistency,
-}
+SCHEME_FACTORIES = {}
+for _info in _registry.iter_schemes():
+    if _info.legacy_factory:
+        _factory = _make_legacy_factory(_info)
+        globals()[_info.legacy_factory] = _factory
+        SCHEME_FACTORIES[_info.name] = _factory
+del _info, _factory

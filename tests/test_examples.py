@@ -65,3 +65,15 @@ class TestExamplesRun:
         out = capsys.readouterr().out
         assert "Table III" in out
         assert "write ratio" in out
+
+    def test_custom_scheme(self, capsys):
+        # The pluggability proof: a scheme registered from outside
+        # src/repro runs through build, the crash checker, and a fault
+        # campaign.  (Its registration is idempotent, so running the
+        # example twice in one process is safe.)
+        with pytest.raises(SystemExit) as exc:
+            run_example("custom_scheme.py")
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "registered scheme 'bbb-nocoalesce'" in out
+        assert "custom scheme ran through build, check, and faults: OK" in out

@@ -1,0 +1,80 @@
+"""Static gate: scheme-name string literals live only in the registry.
+
+The PR that introduced :mod:`repro.core.registry` replaced ~66 scattered
+name comparisons with capability dispatch.  This AST walk keeps that from
+regressing: any string constant in ``src/repro`` exactly equal to a
+registered scheme name or alias — outside ``core/registry.py`` and
+outside docstrings — fails the build.
+
+Docstrings are exempt (prose legitimately names schemes); so are tests
+and examples (they exercise the public string API on purpose).
+"""
+
+import ast
+from pathlib import Path
+
+from repro.core.registry import iter_schemes, scheme_names
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+EXEMPT = SRC / "core" / "registry.py"
+
+
+def _docstring_ids(tree):
+    """ids of Constant nodes that are docstrings of a module/class/def."""
+    ids = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node,
+            (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+        ):
+            body = getattr(node, "body", [])
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                ids.add(id(body[0].value))
+    return ids
+
+
+def find_scheme_literals(path):
+    """(lineno, literal) for every scheme-name constant in ``path``."""
+    names = set(scheme_names(include_aliases=True))
+    tree = ast.parse(path.read_text(), filename=str(path))
+    docstrings = _docstring_ids(tree)
+    hits = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value in names
+            and id(node) not in docstrings
+        ):
+            hits.append((node.lineno, node.value))
+    return hits
+
+
+def test_no_scheme_name_literals_outside_registry():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path == EXEMPT:
+            continue
+        for lineno, literal in find_scheme_literals(path):
+            offenders.append(
+                f"{path.relative_to(SRC.parent.parent)}:{lineno}: {literal!r}"
+            )
+    assert not offenders, (
+        "scheme-name string literals outside core/registry.py (dispatch on "
+        "the registry instead):\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_registry_is_where_the_names_live():
+    # The exempt file must actually define every builtin canonical name,
+    # so the lint cannot be "satisfied" by deleting the registry.  (Plugin
+    # schemes registered by examples/tests live in their own modules.)
+    text = EXEMPT.read_text()
+    for info in iter_schemes():
+        if info.builtin:
+            assert f'"{info.name}"' in text, info.name
