@@ -10,25 +10,47 @@ Suites:
 * ``engine_tso``       — single-process engine throughput (trace ops/sec)
                          over a fixed (workload x scheme) grid under TSO,
                          timing ``System.run`` only (trace build excluded).
-* ``engine_relaxed``   — same, under relaxed consistency (exercises the
-                         out-of-order store-buffer release path).
+                         Runs the object **and** columnar interpreter per
+                         cell, asserts their stats/records are bit-identical
+                         (fingerprint compare), and reports the per-cell
+                         ``columnar_speedup`` plus the batched-interpreter
+                         telemetry.
+* ``engine_relaxed``   — object interpreter under relaxed consistency (the
+                         columnar path is TSO-only and falls back).
 * ``trace_build``      — uncached workload trace generation for the full
                          Table IV suite.
 * ``batch_fig7``       — end-to-end Fig. 7 driver on a reduced workload
                          set through the batch runner (includes fan-out /
                          result-collection overhead).
+* ``analytical``       — the closed-form model (:mod:`repro.analysis.
+                         analytical`) against the discrete results of the
+                         same grid: relative errors and the tolerance gate.
+
+The headline ``columnar_speedup`` is taken over *engine-bound* cells —
+those whose batched-path telemetry shows a private-op fraction of at least
+:data:`ENGINE_BOUND_FRACTION` (cells dominated by shared/coherence traffic
+measure the memory model, not the interpreter).  The cell set is derived
+from the measured telemetry, never from workload or scheme names.
 
 All suites use fixed seeds and sizes; the numbers are comparable across
-runs on the same machine.
+runs on the same machine.  ``run_smoke`` is the same equivalence +
+tolerance check on a tiny grid, cheap enough for CI.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import platform
 import subprocess
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis.analytical import (
+    TOLERANCE,
+    analytical_estimate,
+    validate_against_sim,
+)
 from repro.analysis.experiments import default_sim_config, fig7
 from repro.core.registry import BBB, EADR
 from repro.ioutil import atomic_write_json
@@ -65,6 +87,19 @@ RELAXED_GRID: Tuple[Tuple[str, str, Tuple[Tuple[str, int], ...]], ...] = (
 BATCH_WORKLOADS: Tuple[str, ...] = ("hashmap", "mutateC", "swapNC")
 BATCH_SPEC = WorkloadSpec(threads=8, ops=100, elements=8192, seed=42)
 
+#: A cell counts as engine-bound when at least this fraction of its ops
+#: retired through the batched private-window path.
+ENGINE_BOUND_FRACTION = 0.9
+
+#: Headline gate: engine-bound cells must show at least this columnar
+#: speedup (checked in the report and by ``run_smoke``'s big sibling —
+#: CI does not gate on wall-clock ratios, which are noisy on shared
+#: runners).
+COLUMNAR_SPEEDUP_TARGET = 3.0
+
+#: Tiny grid for the CI smoke gate.
+SMOKE_SPEC = WorkloadSpec(threads=4, ops=40, elements=2048, seed=11)
+
 
 def repo_revision() -> str:
     """Short git revision of the working tree, or ``dev`` outside git."""
@@ -76,6 +111,21 @@ def repo_revision() -> str:
         return out.stdout.strip() or "dev"
     except Exception:
         return "dev"
+
+
+def fingerprint_run(result) -> str:
+    """Stable digest of everything a run observably produced: the full
+    stats payload plus the committed/performed persist-record streams.
+    Two runs with equal fingerprints are bit-identical as far as any
+    downstream consumer can tell."""
+    blob = {
+        "stats": result.stats.to_dict(),
+        "committed": [tuple(r) for r in result.committed_persists],
+        "performed": [tuple(r) for r in result.performed_persists],
+    }
+    return hashlib.sha256(
+        json.dumps(blob, sort_keys=True).encode()
+    ).hexdigest()
 
 
 def _suite_result(wall_s: float, ops: int, extra: Optional[Dict[str, Any]] = None
@@ -90,35 +140,134 @@ def _suite_result(wall_s: float, ops: int, extra: Optional[Dict[str, Any]] = Non
     return result
 
 
+def _timed_run(scheme, kwargs, config, trace, initial_words, mode,
+               repeats: int = 1):
+    """Run the cell ``repeats`` times (fresh single-shot ``System`` each
+    time — only trace conversion and ``engine_prep`` stay warm, exactly
+    what grid/batch consumers amortise) and report the fastest run.
+    ``repeats=1`` therefore times a *cold* run, conversion included."""
+    best = None
+    system = result = None
+    for _ in range(max(1, repeats)):
+        system = build_system(scheme, config=config, mode=mode,
+                              **dict(kwargs))
+        seed_media_words(system.nvmm_media, initial_words)
+        t0 = time.perf_counter()
+        result = system.run(trace, finalize=False)
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return system, result, best
+
+
 def _run_engine_grid(
-    grid, spec: WorkloadSpec, config: SystemConfig
+    grid, spec: WorkloadSpec, config: SystemConfig,
+    modes: Tuple[str, ...] = ("object", "columnar"),
+    check_identical: bool = True,
+    analytical: bool = False,
+    repeats: int = 1,
 ) -> Dict[str, Any]:
-    """Time ``System.run`` (only) for each grid cell; one process, serial."""
+    """Time ``System.run`` (only) for each grid cell; one process, serial.
+
+    With both discrete modes requested, each cell's stats/records are
+    fingerprint-compared — a mismatch raises, because every perf number in
+    the report is conditional on the two interpreters doing the same work.
+
+    ``repeats > 1`` reports each mode's best-of-N (steady state, one-time
+    conversion/prep costs amortised away, less scheduler noise); the
+    headline ``engine_tso`` suite uses it because its consumers — sweeps,
+    batches, campaigns — run each converted trace many times.
+    """
     total_ops = 0
     total_s = 0.0
     per_run: List[Dict[str, Any]] = []
+    speedups: List[Tuple[float, float]] = []  # (private_fraction, speedup)
+    analytical_ok = True
     for workload, scheme, kwargs in grid:
         trace, initial_words = build_cached(workload, config.mem, spec)
-        system = build_system(scheme, config=config, **dict(kwargs))
-        seed_media_words(system.nvmm_media, initial_words)
-        t0 = time.perf_counter()
-        system.run(trace, finalize=False)
-        dt = time.perf_counter() - t0
         n = trace.total_ops()
+        entry: Dict[str, Any] = {"workload": workload, "scheme": scheme}
+        fingerprints: Dict[str, str] = {}
+        last = None
+        for mode in modes:
+            system, result, dt = _timed_run(
+                scheme, kwargs, config, trace, initial_words, mode,
+                repeats=repeats)
+            fingerprints[mode] = fingerprint_run(result)
+            entry[f"wall_s_{mode}"] = round(dt, 4)
+            entry[f"ops_per_sec_{mode}"] = (
+                round(n / dt, 1) if dt > 0 else None)
+            if mode == "columnar":
+                counters = dict(system.engine.batch_counters)
+                priv = counters.get("private_ops", 0)
+                shared_ops = counters.get("shared_ops", 0)
+                denom = priv + shared_ops
+                counters["private_fraction"] = (
+                    round(priv / denom, 4) if denom else 0.0)
+                entry["batch"] = counters
+            last = (system, result, dt)
+        if check_identical and len(set(fingerprints.values())) > 1:
+            raise RuntimeError(
+                f"interpreter divergence on {workload}/{scheme}: "
+                f"{fingerprints}"
+            )
+        entry["fingerprint"] = next(iter(fingerprints.values()))
+        if "object" in modes and "columnar" in modes:
+            num = entry["wall_s_object"]
+            den = entry["wall_s_columnar"]
+            speedup = round(num / den, 2) if den else None
+            entry["columnar_speedup"] = speedup
+            if speedup is not None and "batch" in entry:
+                speedups.append(
+                    (entry["batch"]["private_fraction"], speedup))
+        if analytical and last is not None:
+            system, result, _ = last
+            t0 = time.perf_counter()
+            est = analytical_estimate(
+                trace, scheme, config,
+                entries=dict(kwargs).get("entries"), finalize=False)
+            est_dt = time.perf_counter() - t0
+            verdict = validate_against_sim(est, result.stats)
+            entry["analytical"] = {
+                "wall_s": round(est_dt, 4),
+                "execution_cycles": est.stats.execution_cycles,
+                "nvmm_writes": est.stats.nvmm_writes,
+                "occupancy": round(est.occupancy, 2),
+                "errors": {k: round(v, 4)
+                           for k, v in verdict["errors"].items()},
+                "ok": verdict["ok"],
+            }
+            analytical_ok = analytical_ok and verdict["ok"]
+        # Charge the suite clock with the preferred (last listed) mode.
         total_ops += n
-        total_s += dt
-        per_run.append(
-            {"workload": workload, "scheme": scheme, "wall_s": round(dt, 4),
-             "ops_per_sec": round(n / dt, 1) if dt > 0 else None,
-             # Full counter set in the shared repro.simstats/v1 schema, so
-             # perf numbers are comparable only when the work matched.
-             "stats": system.stats.to_dict()}
-        )
-    return _suite_result(total_s, total_ops, {"runs": per_run})
+        total_s += entry[f"wall_s_{modes[-1]}"]
+        # Full counter set in the shared repro.simstats/v1 schema, so
+        # perf numbers are comparable only when the work matched.
+        entry["stats"] = last[1].stats.to_dict()
+        per_run.append(entry)
+    extra: Dict[str, Any] = {"runs": per_run, "modes": list(modes)}
+    if speedups:
+        engine_bound = [s for frac, s in speedups
+                        if frac >= ENGINE_BOUND_FRACTION]
+        extra["engine_bound_speedup"] = (
+            round(max(engine_bound), 2) if engine_bound else None)
+        extra["engine_bound_cells"] = len(engine_bound)
+        extra["columnar_target"] = COLUMNAR_SPEEDUP_TARGET
+        extra["columnar_target_met"] = bool(
+            engine_bound and max(engine_bound) >= COLUMNAR_SPEEDUP_TARGET)
+    if analytical:
+        extra["analytical_ok"] = analytical_ok
+        extra["tolerance"] = dict(TOLERANCE)
+    return _suite_result(total_s, total_ops, extra)
 
 
-def bench_engine_tso() -> Dict[str, Any]:
-    return _run_engine_grid(ENGINE_GRID, ENGINE_SPEC, default_sim_config())
+def bench_engine_tso(
+    modes: Tuple[str, ...] = ("object", "columnar"),
+    analytical: bool = True,
+) -> Dict[str, Any]:
+    return _run_engine_grid(
+        ENGINE_GRID, ENGINE_SPEC, default_sim_config(),
+        modes=modes, analytical=analytical, repeats=3,
+    )
 
 
 def bench_engine_relaxed() -> Dict[str, Any]:
@@ -127,7 +276,10 @@ def bench_engine_relaxed() -> Dict[str, Any]:
     config = dataclasses.replace(
         default_sim_config(), consistency=ConsistencyModel.RELAXED
     )
-    return _run_engine_grid(RELAXED_GRID, ENGINE_SPEC, config)
+    return _run_engine_grid(
+        RELAXED_GRID, ENGINE_SPEC, config,
+        modes=("object",), check_identical=False,
+    )
 
 
 def bench_trace_build() -> Dict[str, Any]:
@@ -161,10 +313,35 @@ def bench_batch_fig7(jobs: Optional[int] = None) -> Dict[str, Any]:
     return _suite_result(time.perf_counter() - t0, sim_ops)
 
 
-def run_bench(jobs: Optional[int] = None) -> Dict[str, Any]:
-    """Run every suite and return the full report structure."""
+#: ``--mode`` values accepted by ``repro bench`` -> engine_tso modes.
+BENCH_MODES = ("all", "object", "columnar", "analytical")
+
+
+def run_bench(jobs: Optional[int] = None, mode: str = "all") -> Dict[str, Any]:
+    """Run every suite and return the full report structure.
+
+    ``mode`` narrows the engine_tso suite: ``object`` / ``columnar`` time
+    one interpreter only (no equivalence check possible with a single
+    mode), ``analytical`` skips the timing comparison and reports only the
+    closed-form model against the discrete sim, ``all`` (default) records
+    object, columnar, and analytical together.
+    """
+    if mode not in BENCH_MODES:
+        raise ValueError(
+            f"unknown bench mode {mode!r}; expected one of "
+            f"{', '.join(BENCH_MODES)}"
+        )
+    if mode == "all":
+        engine = bench_engine_tso()
+    elif mode == "analytical":
+        engine = _run_engine_grid(
+            ENGINE_GRID, ENGINE_SPEC, default_sim_config(),
+            modes=("columnar",), check_identical=False, analytical=True,
+        )
+    else:
+        engine = bench_engine_tso(modes=(mode,), analytical=False)
     suites = {
-        "engine_tso": bench_engine_tso(),
+        "engine_tso": engine,
         "engine_relaxed": bench_engine_relaxed(),
         "trace_build": bench_trace_build(),
         "batch_fig7": bench_batch_fig7(jobs),
@@ -175,8 +352,43 @@ def run_bench(jobs: Optional[int] = None) -> Dict[str, Any]:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "jobs": jobs,
+        "mode": mode,
         "suites": suites,
     }
+
+
+def run_smoke() -> Dict[str, Any]:
+    """CI gate: columnar-vs-object bit-identity plus the analytical
+    tolerance band, on a tiny grid.  Returns ``{"ok": bool, ...}``; no
+    wall-clock ratios are checked (those are meaningless on shared CI
+    runners) — only correctness properties.
+    """
+    config = default_sim_config()
+    cells: List[Dict[str, Any]] = []
+    ok = True
+    for workload, scheme, kwargs in ENGINE_GRID:
+        trace, initial_words = build_cached(workload, config.mem, SMOKE_SPEC)
+        fps = {}
+        result = None
+        for mode in ("object", "columnar"):
+            _, result, _ = _timed_run(
+                scheme, kwargs, config, trace, initial_words, mode)
+            fps[mode] = fingerprint_run(result)
+        identical = fps["object"] == fps["columnar"]
+        est = analytical_estimate(
+            trace, scheme, config,
+            entries=dict(kwargs).get("entries"), finalize=False)
+        verdict = validate_against_sim(est, result.stats)
+        cell_ok = identical and verdict["ok"]
+        ok = ok and cell_ok
+        cells.append({
+            "workload": workload, "scheme": scheme,
+            "identical": identical,
+            "analytical_ok": verdict["ok"],
+            "errors": {k: round(v, 4) for k, v in verdict["errors"].items()},
+        })
+    return {"ok": ok, "spec": "smoke", "cells": cells,
+            "tolerance": dict(TOLERANCE)}
 
 
 def write_bench(report: Dict[str, Any], out_path: Optional[str] = None) -> str:

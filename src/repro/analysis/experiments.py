@@ -148,12 +148,22 @@ def run_workload(
     system_factory: Callable[[], System],
     spec: Optional[WorkloadSpec] = None,
     config: Optional[SystemConfig] = None,
+    *,
+    trace=None,
+    initial_words: Optional[Dict[int, int]] = None,
 ) -> WorkloadRun:
     cfg = config or default_sim_config()
     wspec = spec or WorkloadSpec()
-    # Trace generation is deterministic in (name, mem, spec); the memoized
-    # build means sweeps and normalization baselines pay for it once.
-    trace, initial_words = build_cached(name, cfg.mem, wspec)
+    if trace is None:
+        # Trace generation is deterministic in (name, mem, spec); the
+        # memoized build means sweeps and normalization baselines pay for
+        # it once.  Callers with a pre-built trace (the shared-memory
+        # batch handoff) pass it in and skip the build entirely.
+        trace, initial_words = build_cached(name, cfg.mem, wspec)
+    elif initial_words is None:
+        # A trace without its media pre-population is not runnable
+        # faithfully; rebuild to recover the words (memoized, cheap).
+        trace, initial_words = build_cached(name, cfg.mem, wspec)
     system = system_factory()
     # Pre-populated structures are durable before the window starts.
     seed_media_words(system.nvmm_media, initial_words)

@@ -44,6 +44,11 @@ keyword                schemes                     meaning
 ``entries`` sizes the persist buffer for the schemes whose registry entry
 sets ``has_persist_buffer`` and is ignored by the bufferless schemes,
 matching the old factories' behaviour.
+
+``mode`` selects how the system executes traces: the engine interpreter
+modes (``auto``/``object``/``columnar``, see
+:data:`repro.sim.engine.ENGINE_MODES`) or ``analytical`` for the
+closed-form model (:mod:`repro.analysis.analytical`).
 """
 
 from __future__ import annotations
@@ -104,7 +109,9 @@ def build_system(
     reorder_seed = kw.pop("reorder_seed", 0)
     fault_injector = kw.pop("fault_injector", NULL_INJECTOR)
     crash_schedule = kw.pop("crash_schedule", NULL_SCHEDULE)
+    mode = kw.pop("mode", "auto")
 
     scheme_obj = info.build_scheme(entries=entries, **kw)
     return System(config, scheme_obj, reorder_seed=reorder_seed, bus=bus,
-                  fault_injector=fault_injector, crash_schedule=crash_schedule)
+                  fault_injector=fault_injector, crash_schedule=crash_schedule,
+                  mode=mode)

@@ -151,6 +151,26 @@ class SchemeInfo:
     #: False for schemes that exist to demonstrate inconsistency (``none``)
     #: — comparison drivers skip them.
     crash_consistent: bool = True
+    #: Whether the scheme's persist-path hooks (``on_persisting_store``,
+    #: ``on_remote_invalidation``, ``on_llc_eviction``, epoch handling,
+    #: drains) leave L1 *contents* alone, touching only scheme-private
+    #: buffers, NVMM, and statistics.  The engine's batched columnar
+    #: interpreter relies on this to keep its per-core L1-residency scans
+    #: valid across shared ops; schemes that set it False stay fully
+    #: supported but force the interpreter to conservatively rescan every
+    #: core after each shared op.  All builtin schemes qualify as True.
+    cache_local_persists: bool = True
+    #: True when the scheme's persisting-store hook never stalls, keeps no
+    #: persist-side buffer state, and is insensitive to call order and the
+    #: ``now`` argument (its effects are commutative counters at most),
+    #: and ``bbpb_owner_of`` is always None.  The batched interpreter may
+    #: then retire M-state-hit persisting stores on the private fast path
+    #: (persist records are re-sequenced into exact global order
+    #: afterwards).  Schemes with persist-side buffering — whose drain
+    #: timing couples cores through the shared NVMM write ports — must
+    #: leave this False so every persisting store executes in exact global
+    #: order.
+    stall_free_persists: bool = False
     #: Alternate accepted names (e.g. the scheme object's instance name).
     aliases: Tuple[str, ...] = ()
     #: Scheme-specific keyword arguments the factory accepts.
@@ -217,6 +237,8 @@ def register_scheme(
     battery_domain: bool = False,
     comparison_baseline: bool = False,
     crash_consistent: bool = True,
+    cache_local_persists: bool = True,
+    stall_free_persists: bool = False,
     aliases: Tuple[str, ...] = (),
     accepted_kwargs: Tuple[str, ...] = (),
     display: str = "",
@@ -259,6 +281,8 @@ def register_scheme(
             battery_backed_sb=bool(getattr(cls, "battery_backed_sb", False)),
             comparison_baseline=comparison_baseline,
             crash_consistent=crash_consistent,
+            cache_local_persists=cache_local_persists,
+            stall_free_persists=stall_free_persists,
             aliases=tuple(aliases),
             accepted_kwargs=tuple(accepted_kwargs),
             display=display or name,
@@ -411,6 +435,7 @@ def _build_bbb_proc(cls, entries, coalesce_consecutive=True):
     pop=POP_STORE_COMMIT,
     battery_domain=True,
     comparison_baseline=True,
+    stall_free_persists=True,
     display="Optimal (eADR)",
     doc='whole-hierarchy battery, the "Optimal" line of Fig. 7',
     legacy_factory="eadr",
@@ -472,6 +497,7 @@ def _build_bep(cls, entries):
     contract=CONTRACT_PREFIX,
     pop=POP_STORE_COMMIT,
     crash_consistent=False,
+    stall_free_persists=True,
     display="no persistency",
     doc="volatile caches, no ordering control (the motivating baseline)",
     legacy_factory="no_persistency",

@@ -54,7 +54,8 @@ from repro.obs.events import (
     event_from_payload,
     event_to_payload,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               run_registry)
 from repro.obs.profile import ProfileReport, profile_run, smoke_report
 from repro.obs.timeline import OccupancySampler
 
@@ -87,5 +88,6 @@ __all__ = [
     "OccupancySampler",
     "ProfileReport",
     "profile_run",
+    "run_registry",
     "smoke_report",
 ]

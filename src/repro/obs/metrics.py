@@ -241,3 +241,26 @@ class MetricsRegistry:
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable dump of every metric, sorted by name."""
         return {name: self._metrics[name].to_dict() for name in self.names()}
+
+
+def run_registry(system, registry: Optional[MetricsRegistry] = None
+                 ) -> MetricsRegistry:
+    """Project a finished :class:`~repro.sim.system.System` into one
+    registry: the run's ``SimStats`` counters, the engine's
+    ``engine.batch.*`` batched-interpreter telemetry, and — for
+    ``mode="analytical"`` runs — the model's ``analytical.*`` gauges.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    system.stats.to_registry(reg)
+    system.engine.publish_batch_metrics(reg)
+    estimate = getattr(system, "analytical", None)
+    if estimate is not None:
+        reg.gauge("analytical.occupancy",
+                  "estimated mean bbPB entries resident per core"
+                  ).set(estimate.occupancy)
+        reg.counter("analytical.drains",
+                    "estimated persist-buffer drains").inc(estimate.drains)
+        reg.counter("analytical.stall_cycles",
+                    "estimated persist-induced stall cycles"
+                    ).inc(estimate.stall_cycles)
+    return reg

@@ -26,9 +26,14 @@ from repro.fault.injector import NULL_INJECTOR
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.obs.bus import NULL_BUS, EventBus
 from repro.sim.config import SystemConfig
-from repro.sim.engine import Engine, RunResult
+from repro.sim.engine import ENGINE_MODES, Engine, RunResult
 from repro.sim.stats import SimStats
 from repro.sim.trace import ProgramTrace
+
+#: Modes accepted by :class:`System`: the engine's interpreter modes plus
+#: ``"analytical"`` (closed-form estimate, no discrete simulation —
+#: :mod:`repro.analysis.analytical`).
+SYSTEM_MODES = ENGINE_MODES + ("analytical",)
 
 
 class System:
@@ -42,9 +47,16 @@ class System:
         bus: EventBus = NULL_BUS,
         fault_injector=NULL_INJECTOR,
         crash_schedule=NULL_SCHEDULE,
+        mode: str = "auto",
     ) -> None:
+        if mode not in SYSTEM_MODES:
+            raise ValueError(
+                f"unknown system mode {mode!r}; expected one of "
+                f"{', '.join(SYSTEM_MODES)}"
+            )
         self.config = config or SystemConfig()
         self.scheme = scheme or BBBScheme()
+        self.mode = mode
         self.bus = bus
         self.fault_injector = fault_injector
         self.crash_schedule = crash_schedule
@@ -56,7 +68,9 @@ class System:
         self.hierarchy = MemoryHierarchy(self.config, self.scheme, self.stats,
                                          bus=bus, fault_injector=fault_injector,
                                          crash_schedule=crash_schedule)
-        self.engine = Engine(self.hierarchy, reorder_seed=reorder_seed)
+        engine_mode = mode if mode in ENGINE_MODES else "auto"
+        self.engine = Engine(self.hierarchy, reorder_seed=reorder_seed,
+                             mode=engine_mode)
 
     def run(
         self,
@@ -66,7 +80,20 @@ class System:
     ) -> RunResult:
         """Execute ``trace`` to completion, or crash after ``crash_at_op``
         globally interleaved operations.  A ``System`` is single-shot: build
-        a fresh one per run."""
+        a fresh one per run.
+
+        In ``mode="analytical"`` no discrete simulation happens: the stats
+        are filled from the closed-form model (crash runs are not supported
+        there — an estimate has no architectural crash point)."""
+        if self.mode == "analytical":
+            if crash_at_op is not None:
+                raise ValueError(
+                    "analytical mode cannot crash mid-run; use a discrete "
+                    "engine mode for crash-consistency experiments"
+                )
+            from repro.analysis.analytical import run_analytical
+
+            return run_analytical(self, trace, finalize=finalize)
         return self.engine.run(trace, crash_at_op=crash_at_op, finalize=finalize)
 
     @property

@@ -1,4 +1,4 @@
-"""Trace file I/O: save and load :class:`ProgramTrace` objects.
+"""Trace file I/O: save and load program traces in either representation.
 
 Format: one JSON object per line (JSONL).  The first line is a header
 ``{"repro-trace": 1, "threads": N}``; every other line is one operation
@@ -6,6 +6,13 @@ Format: one JSON object per line (JSONL).  The first line is a header
 with zero-valued fields omitted.  The format is deliberately plain so
 traces can be produced or consumed by external tools (or hand-written for
 directed experiments).
+
+Both trace representations are first-class: :func:`save_trace` accepts a
+:class:`ProgramTrace` or a :class:`~repro.sim.coltrace.ColumnarTrace`
+(written column-wise, without materialising per-op objects), and
+:func:`load_trace_columnar` decodes a file straight into columns — the
+bytes on disk are identical either way, so the two loaders round-trip
+each other's files.
 """
 
 from __future__ import annotations
@@ -63,23 +70,60 @@ def _decode_op(record: dict) -> TraceOp:
     )
 
 
-def save_trace(trace: ProgramTrace, path: Union[str, Path]) -> int:
-    """Write ``trace`` to ``path``; returns the number of ops written."""
+def _encode_columns(thread_id: int, t, fh) -> int:
+    """Write one :class:`~repro.sim.coltrace.ThreadColumns` column-wise.
+    Wide ops (the rare ones that overflow the fixed-width columns) fall
+    back to the exact per-op encoder."""
+    from repro.sim.coltrace import CODE_TO_KIND
+
+    kinds, addrs, sizes, values, cycles = t.column_lists()
+    tags, wide = t.tags, t.wide
+    dumps = json.dumps
+    for i in range(t.n):
+        if i in wide:
+            fh.write(_encode_op(thread_id, wide[i]) + "\n")
+            continue
+        record = {"t": thread_id, "k": _KIND_CODES[CODE_TO_KIND[kinds[i]]]}
+        if addrs[i]:
+            record["a"] = addrs[i]
+        if sizes[i] != 8:
+            record["s"] = sizes[i]
+        if values[i]:
+            record["v"] = values[i]
+        if cycles[i]:
+            record["c"] = cycles[i]
+        tag = tags.get(i)
+        if tag:
+            record["g"] = tag
+        fh.write(dumps(record, separators=(",", ":")) + "\n")
+    return t.n
+
+
+def save_trace(trace, path: Union[str, Path]) -> int:
+    """Write ``trace`` (either representation) to ``path``; returns the
+    number of ops written.  A columnar trace is written column-wise —
+    same bytes, no per-op object materialisation."""
+    from repro.sim.coltrace import ColumnarTrace
+
     path = Path(path)
     count = 0
     with path.open("w") as fh:
         header = {"repro-trace": FORMAT_VERSION, "threads": trace.num_threads}
         fh.write(json.dumps(header) + "\n")
-        for thread_id, thread in enumerate(trace.threads):
-            for op in thread:
-                fh.write(_encode_op(thread_id, op) + "\n")
-                count += 1
+        if isinstance(trace, ColumnarTrace):
+            for thread_id, t in enumerate(trace.threads):
+                count += _encode_columns(thread_id, t, fh)
+        else:
+            for thread_id, thread in enumerate(trace.threads):
+                for op in thread:
+                    fh.write(_encode_op(thread_id, op) + "\n")
+                    count += 1
     return count
 
 
-def load_trace(path: Union[str, Path]) -> ProgramTrace:
-    """Read a trace written by :func:`save_trace`."""
-    path = Path(path)
+def _load_records(path: Path):
+    """Yield ``(line_no, record)`` for every op line, after validating the
+    header; the first yield is ``(0, num_threads)``."""
     with path.open() as fh:
         header_line = fh.readline()
         try:
@@ -93,7 +137,7 @@ def load_trace(path: Union[str, Path]) -> ProgramTrace:
         num_threads = header.get("threads")
         if not isinstance(num_threads, int) or num_threads < 1:
             raise TraceFormatError(f"bad thread count {num_threads!r}")
-        threads: List[ThreadTrace] = [ThreadTrace() for _ in range(num_threads)]
+        yield 0, num_threads
         for line_no, line in enumerate(fh, start=2):
             line = line.strip()
             if not line:
@@ -107,5 +151,52 @@ def load_trace(path: Union[str, Path]) -> ProgramTrace:
                 raise TraceFormatError(
                     f"line {line_no}: thread {thread_id} out of range"
                 )
-            threads[thread_id].append(_decode_op(record))
+            yield line_no, record
+
+
+def load_trace(path: Union[str, Path]) -> ProgramTrace:
+    """Read a trace written by :func:`save_trace`."""
+    records = _load_records(Path(path))
+    _, num_threads = next(records)
+    threads: List[ThreadTrace] = [ThreadTrace() for _ in range(num_threads)]
+    for line_no, record in records:
+        threads[record.get("t", 0)].append(_decode_op(record))
     return ProgramTrace(threads)
+
+
+def load_trace_columnar(path: Union[str, Path]):
+    """Read a trace file straight into a
+    :class:`~repro.sim.coltrace.ColumnarTrace` — no intermediate
+    :class:`TraceOp` objects for ops that fit the fixed-width columns.
+    Loads the same files as :func:`load_trace`; round-trips are exact."""
+    from repro.sim.coltrace import (KIND_TO_CODE, ColumnarTrace,
+                                    ThreadColumns, _fits)
+
+    records = _load_records(Path(path))
+    _, num_threads = next(records)
+    cols = [([], [], [], [], [], {}, {}) for _ in range(num_threads)]
+    for line_no, record in records:
+        kinds, addrs, sizes, values, cycles, tags, wide = cols[
+            record.get("t", 0)]
+        try:
+            kind = _CODE_KINDS[record["k"]]
+        except KeyError as exc:
+            raise TraceFormatError(
+                f"unknown op kind {record.get('k')!r}") from exc
+        i = len(kinds)
+        kinds.append(KIND_TO_CODE[kind])
+        op = _decode_op(record)
+        if _fits(op):
+            addrs.append(op.addr)
+            sizes.append(op.size)
+            values.append(op.value)
+            cycles.append(op.cycles)
+        else:
+            wide[i] = op
+            addrs.append(0)
+            sizes.append(0)
+            values.append(0)
+            cycles.append(0)
+        if op.tag is not None:
+            tags[i] = op.tag
+    return ColumnarTrace([ThreadColumns(*c) for c in cols])

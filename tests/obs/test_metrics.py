@@ -75,3 +75,41 @@ class TestRegistry:
         dump = reg.to_dict()
         assert dump["a"]["value"] == 1
         assert dump["b"]["children"]["0"]["value"] == 7
+
+
+class TestRunRegistry:
+    def _run(self, mode):
+        from repro.analysis.experiments import default_sim_config
+        from repro.api import build_system
+        from repro.core.registry import iter_schemes
+        from repro.workloads.base import (WorkloadSpec, build_cached,
+                                          seed_media_words)
+
+        cfg = default_sim_config()
+        trace, words = build_cached(
+            "hashmap", cfg.mem, WorkloadSpec(threads=2, ops=20,
+                                             elements=512, seed=2))
+        scheme = next(i for i in iter_schemes() if i.has_persist_buffer)
+        system = build_system(scheme.name, config=cfg, entries=8, mode=mode)
+        seed_media_words(system.nvmm_media, words)
+        system.run(trace, finalize=False)
+        return system
+
+    def test_projects_stats_and_batch_counters(self):
+        from repro.obs import run_registry
+
+        system = self._run("columnar")
+        reg = run_registry(system)
+        assert reg.get("engine.batch.phases").value > 0
+        assert reg.get("engine.batch.private_ops").value > 0
+        assert reg.get("nvmm_writes").value == system.stats.nvmm_writes
+
+    def test_analytical_runs_add_model_gauges(self):
+        from repro.obs import run_registry
+
+        system = self._run("analytical")
+        reg = run_registry(system)
+        assert "analytical.occupancy" in reg
+        assert "analytical.drains" in reg
+        # No interpretation happened, so the batch counters stay zero.
+        assert reg.get("engine.batch.phases").value == 0

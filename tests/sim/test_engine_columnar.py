@@ -1,0 +1,71 @@
+"""Golden-fingerprint equivalence: the batched columnar interpreter must
+produce bit-identical ``SimStats`` (and persist records) to the object-mode
+engine for every registered scheme x benchmark workload, and the
+analytical mode must stay inside its declared tolerance band."""
+
+import pytest
+
+from repro.analysis.bench import fingerprint_run
+from repro.analysis.experiments import default_sim_config
+from repro.api import build_system
+from repro.core.registry import CONTRACT_EPOCH, iter_schemes
+from repro.sim.trace import with_epochs
+from repro.workloads.base import (WORKLOAD_NAMES, WorkloadSpec, build_cached,
+                                  seed_media_words)
+
+SPEC = WorkloadSpec(threads=2, ops=25, elements=512, seed=13)
+SCHEMES = [info for info in iter_schemes() if info.builtin]
+
+
+def _run(info, trace, initial_words, mode):
+    kwargs = {"entries": 8} if info.has_persist_buffer else {}
+    system = build_system(info.name, config=default_sim_config(),
+                          mode=mode, **kwargs)
+    seed_media_words(system.nvmm_media, initial_words)
+    result = system.run(trace, finalize=False)
+    return system, result
+
+
+@pytest.mark.parametrize("info", SCHEMES, ids=lambda i: i.name)
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_columnar_matches_object_mode(info, workload):
+    cfg = default_sim_config()
+    trace, initial_words = build_cached(workload, cfg.mem, SPEC)
+    if info.contract == CONTRACT_EPOCH:
+        trace = with_epochs(trace, every_n_stores=8)
+    _, obj = _run(info, trace, initial_words, "object")
+    _, col = _run(info, trace, initial_words, "columnar")
+    assert fingerprint_run(obj) == fingerprint_run(col)
+
+
+def test_batched_path_actually_engages():
+    """At least one TSO run must take the batched fast path — otherwise the
+    equivalence above is vacuously comparing object mode with itself."""
+    cfg = default_sim_config()
+    trace, initial_words = build_cached("hashmap", cfg.mem, SPEC)
+    engaged = []
+    for info in SCHEMES:
+        t = (with_epochs(trace, every_n_stores=8)
+             if info.contract == CONTRACT_EPOCH else trace)
+        system, _ = _run(info, t, initial_words, "columnar")
+        engaged.append(system.engine.batch_counters["phases"] > 0)
+    assert any(engaged)
+
+
+@pytest.mark.parametrize(
+    "info",
+    [i for i in SCHEMES if i.contract != CONTRACT_EPOCH],
+    ids=lambda i: i.name,
+)
+def test_analytical_exact_counts(info):
+    """Analytical mode reproduces the op counts exactly for every
+    non-epoch scheme (cycle/write errors are gated by the tolerance test
+    in tests/test_analytical.py)."""
+    cfg = default_sim_config()
+    trace, initial_words = build_cached("hashmap", cfg.mem, SPEC)
+    _, sim = _run(info, trace, initial_words, "object")
+    _, est = _run(info, trace, initial_words, "analytical")
+    assert est.stats.total_loads == sim.stats.total_loads
+    assert est.stats.total_stores == sim.stats.total_stores
+    assert (est.stats.total_persisting_stores
+            == sim.stats.total_persisting_stores)

@@ -47,6 +47,21 @@ class TestThreadTrace:
         t = ThreadTrace([TraceOp.fence(), TraceOp.fence(), TraceOp.load(0)])
         assert t.count(OpKind.FENCE) == 2
 
+    def test_count_cache_tracks_append_and_extend(self):
+        t = ThreadTrace([TraceOp.load(0)])
+        assert t.count(OpKind.LOAD) == 1  # materialises the cache
+        t.append(TraceOp.load(8))
+        t.extend([TraceOp.store(16, 1), TraceOp.load(24)])
+        assert t.count(OpKind.LOAD) == 3
+        assert t.count(OpKind.STORE) == 1
+
+    def test_count_cache_invalidation_after_direct_mutation(self):
+        t = ThreadTrace([TraceOp.load(0), TraceOp.store(8, 1)])
+        assert t.count(OpKind.STORE) == 1
+        t.ops.append(TraceOp.store(16, 2))  # bypasses the bookkeeping
+        t.invalidate_counts()
+        assert t.count(OpKind.STORE) == 2
+
 
 class TestProgramTrace:
     def test_requires_threads(self):

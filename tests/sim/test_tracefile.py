@@ -132,3 +132,46 @@ class TestErrors:
         )
         trace = load_trace(path)
         assert trace.total_ops() == 1
+
+
+class TestColumnarIO:
+    def test_columnar_save_is_byte_identical(self, tmp_path):
+        from repro.sim.coltrace import columnar_of
+
+        trace = sample_trace()
+        obj_path = tmp_path / "obj.trace"
+        col_path = tmp_path / "col.trace"
+        n_obj = save_trace(trace, obj_path)
+        n_col = save_trace(columnar_of(trace), col_path)
+        assert n_obj == n_col == trace.total_ops()
+        assert obj_path.read_bytes() == col_path.read_bytes()
+
+    def test_load_trace_columnar_roundtrip(self, tmp_path):
+        from repro.sim.coltrace import columnar_of
+        from repro.sim.tracefile import load_trace_columnar
+
+        trace = sample_trace()
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        cols = load_trace_columnar(path)
+        want = columnar_of(trace)
+        assert [t.column_lists() for t in cols.threads] == \
+            [t.column_lists() for t in want.threads]
+        assert [t.tags for t in cols.threads] == \
+            [t.tags for t in want.threads]
+        back = cols.to_program()
+        assert [list(t) for t in back.threads] == \
+            [list(t) for t in trace.threads]
+
+    def test_wide_op_survives_columnar_io(self, tmp_path):
+        from repro.sim.coltrace import columnar_of
+        from repro.sim.tracefile import load_trace_columnar
+
+        wide = ProgramTrace.single(
+            [TraceOp.store(0, 1 << 70, tag="w"), TraceOp.load(64)]
+        )
+        path = tmp_path / "wide.trace"
+        save_trace(columnar_of(wide), path)
+        cols = load_trace_columnar(path)
+        assert not cols.fast_path_ok
+        assert cols.threads[0].op_at(0) == wide.threads[0][0]

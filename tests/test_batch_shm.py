@@ -1,0 +1,87 @@
+"""Shared-memory columnar trace handoff (repro.analysis.batch): publish a
+trace once, attach it zero-copy from workers, and fall back to worker-side
+rebuilds whenever the segment is unusable — always with identical results."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.batch import (BatchPolicy, RunSpec, attach_columnar,
+                                  run_batch, share_columnar, share_specs)
+from repro.analysis.experiments import default_sim_config
+from repro.core.registry import iter_schemes
+from repro.sim.coltrace import columnar_of
+from repro.workloads.base import WorkloadSpec, build_cached
+
+SPEC = WorkloadSpec(threads=2, ops=25, elements=512, seed=9)
+
+
+def _specs():
+    out = []
+    for workload in ("hashmap", "mutateC"):
+        for info in iter_schemes():
+            if not info.builtin or info.contract == "epoch":
+                continue
+            kwargs = (("entries", 8),) if info.has_persist_buffer else ()
+            out.append(RunSpec(workload, info.name, kwargs, spec=SPEC))
+    return out
+
+
+def test_share_attach_roundtrip():
+    cfg = default_sim_config()
+    trace, words = build_cached("hashmap", cfg.mem, SPEC)
+    cols = columnar_of(trace)
+    with share_columnar(cols, words) as share:
+        got, got_words = attach_columnar(share.manifest)
+        assert got_words == words
+        assert got.total_ops() == cols.total_ops()
+        for a, b in zip(cols.threads, got.threads):
+            assert a.column_lists() == b.column_lists()
+            assert a.tags == b.tags
+
+
+def test_share_specs_dedups_by_trace():
+    specs = _specs()
+    annotated, shares = share_specs(specs)
+    try:
+        assert len(annotated) == len(specs)
+        manifests = {s.trace_shm for s in annotated}
+        assert None not in manifests
+        assert len(manifests) == len(shares) == 2  # one per workload
+        # Annotation only touches trace_shm.
+        for before, after in zip(specs, annotated):
+            assert dataclasses.replace(after, trace_shm=None) == before
+    finally:
+        for share in shares:
+            share.close()
+
+
+def test_batch_results_identical_with_and_without_sharing():
+    specs = _specs()[:6]
+    base = run_batch(specs, jobs=1, share_traces=False)
+    shared = run_batch(specs, jobs=1, share_traces=True)
+    for a, b in zip(base, shared):
+        assert a.stats == b.stats
+
+
+def test_stale_manifest_falls_back_to_rebuild():
+    specs = _specs()[:2]
+    annotated, shares = share_specs(specs)
+    for share in shares:  # unlink before the batch runs
+        share.close()
+    stale = [dataclasses.replace(s) for s in annotated]
+    base = run_batch(specs, jobs=1, share_traces=False)
+    got = run_batch(stale, jobs=1, share_traces=False)
+    for a, b in zip(base, got):
+        assert a.stats == b.stats
+
+
+def test_checkpoint_policy_disables_auto_sharing(tmp_path):
+    """Segment names vary per run; with a checkpoint configured the auto
+    default must leave the specs untouched so fingerprints stay stable."""
+    specs = _specs()[:3]
+    policy = BatchPolicy(checkpoint=str(tmp_path / "ck.jsonl"))
+    first = run_batch(specs, jobs=1, policy=policy)
+    resumed = run_batch(specs, jobs=1, policy=policy)
+    for a, b in zip(first, resumed):
+        assert a.stats == b.stats
