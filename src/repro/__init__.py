@@ -25,7 +25,7 @@ Quickstart::
     print(result.stats.nvmm_writes, result.execution_cycles)
 """
 
-from repro.api import Scheme, SCHEMES, build_system
+from repro.api import Scheme, SCHEMES, RunOptions, build_system
 from repro.core.bbpb import MemorySideBBPB, ProcessorSideBBPB
 from repro.obs.bus import EventBus, EventRecorder, NULL_BUS
 from repro.core.bsp import BSP
@@ -81,6 +81,7 @@ __version__ = "1.0.0"
 __all__ = [
     # public construction API
     "build_system",
+    "RunOptions",
     "Scheme",
     "SCHEMES",
     # observability

@@ -22,6 +22,12 @@ Suites:
 * ``batch_fig7``       — end-to-end Fig. 7 driver on a reduced workload
                          set through the batch runner (includes fan-out /
                          result-collection overhead).
+* ``traffic``          — request-driven serving through the streamed
+                         engine (``repro traffic``): load generation, KV
+                         lowering, and the reactor loop for the default
+                         scheme trio; ``ops_per_sec`` is requests served
+                         per wall second, and the measured latency curves
+                         ride along in ``extra``.
 * ``analytical``       — the closed-form model (:mod:`repro.analysis.
                          analytical`) against the discrete results of the
                          same grid: relative errors and the tolerance gate.
@@ -52,9 +58,9 @@ from repro.analysis.analytical import (
     validate_against_sim,
 )
 from repro.analysis.experiments import default_sim_config, fig7
-from repro.core.registry import BBB, EADR
+from repro.core.registry import ADR, BBB, EADR
 from repro.ioutil import atomic_write_json
-from repro.api import build_system
+from repro.api import RunOptions, build_system
 from repro.sim.config import ConsistencyModel, SystemConfig
 from repro.workloads.base import (
     WORKLOAD_NAMES,
@@ -86,6 +92,11 @@ RELAXED_GRID: Tuple[Tuple[str, str, Tuple[Tuple[str, int], ...]], ...] = (
 #: Workloads for the batch-driver suite.
 BATCH_WORKLOADS: Tuple[str, ...] = ("hashmap", "mutateC", "swapNC")
 BATCH_SPEC = WorkloadSpec(threads=8, ops=100, elements=8192, seed=42)
+
+#: Traffic-suite shape: the default serving trio over a small load grid.
+TRAFFIC_SCHEMES: Tuple[str, ...] = (BBB, EADR, ADR)
+TRAFFIC_LOADS: Tuple[float, ...] = (1.0, 4.0)
+TRAFFIC_REQUESTS = 120
 
 #: A cell counts as engine-bound when at least this fraction of its ops
 #: retired through the batched private-window path.
@@ -149,8 +160,8 @@ def _timed_run(scheme, kwargs, config, trace, initial_words, mode,
     best = None
     system = result = None
     for _ in range(max(1, repeats)):
-        system = build_system(scheme, config=config, mode=mode,
-                              **dict(kwargs))
+        system = build_system(scheme, config=config,
+                              options=RunOptions(mode=mode), **dict(kwargs))
         seed_media_words(system.nvmm_media, initial_words)
         t0 = time.perf_counter()
         result = system.run(trace, finalize=False)
@@ -313,6 +324,28 @@ def bench_batch_fig7(jobs: Optional[int] = None) -> Dict[str, Any]:
     return _suite_result(time.perf_counter() - t0, sim_ops)
 
 
+def bench_traffic() -> Dict[str, Any]:
+    """Request-driven serving end-to-end (load generation + KV lowering +
+    streamed engine) for the default scheme trio over a small load grid.
+    ``ops`` counts completed requests, so ``ops_per_sec`` is the serving
+    harness's request throughput; the measured curves ride along so a
+    bench archive also records the latency trajectory."""
+    from repro.serve import TrafficSpec, traffic_curve
+
+    config = default_sim_config()
+    spec = TrafficSpec(requests=TRAFFIC_REQUESTS, seed=42)
+    t0 = time.perf_counter()
+    report = traffic_curve(
+        TRAFFIC_SCHEMES, spec, TRAFFIC_LOADS, config=config, entries=32,
+    )
+    wall = time.perf_counter() - t0
+    completed = sum(point["completed"] for point in report["points"])
+    return _suite_result(wall, completed, {
+        "schema": report["schema"],
+        "curves": report["curves"],
+    })
+
+
 #: ``--mode`` values accepted by ``repro bench`` -> engine_tso modes.
 BENCH_MODES = ("all", "object", "columnar", "analytical")
 
@@ -345,6 +378,7 @@ def run_bench(jobs: Optional[int] = None, mode: str = "all") -> Dict[str, Any]:
         "engine_relaxed": bench_engine_relaxed(),
         "trace_build": bench_trace_build(),
         "batch_fig7": bench_batch_fig7(jobs),
+        "traffic": bench_traffic(),
     }
     return {
         "revision": repo_revision(),

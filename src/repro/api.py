@@ -16,6 +16,14 @@ scheme registry (:mod:`repro.core.registry`), where every scheme —
 including plugins registered from outside this package — is described by
 a :class:`~repro.core.registry.SchemeInfo` capability descriptor.
 
+Run-level wiring — observability bus, relaxed-release seed, fault
+injection, crash scheduling, execution mode — travels in one typed
+:class:`RunOptions` value::
+
+    from repro.api import RunOptions, build_system
+
+    system = build_system("bbb", options=RunOptions(bus=bus, mode="object"))
+
 Scheme-specific keyword arguments accepted via ``**kw`` are declared by
 each scheme's registry entry (``SchemeInfo.accepted_kwargs``):
 
@@ -27,41 +35,33 @@ keyword                schemes                     meaning
 ``coalesce_consecutive``  processor-side BBB       allow coalescing of
                                                    consecutive same-block
                                                    records
-``reorder_seed``       all                         RNG seed for relaxed-
-                                                   consistency release
-``bus``                all                         :class:`repro.obs.bus.
-                                                   EventBus` receiving the
-                                                   run's events
-``fault_injector``     all                         :class:`repro.fault.
-                                                   FaultInjector` applying
-                                                   a fault plan to the run
-``crash_schedule``     all                         :class:`repro.check.
-                                                   CrashSchedule` firing a
-                                                   micro-step crash (model
-                                                   checker)
 =====================  ==========================  ==========================
 
 ``entries`` sizes the persist buffer for the schemes whose registry entry
 sets ``has_persist_buffer`` and is ignored by the bufferless schemes,
 matching the old factories' behaviour.
 
-``mode`` selects how the system executes traces: the engine interpreter
-modes (``auto``/``object``/``columnar``, see
-:data:`repro.sim.engine.ENGINE_MODES`) or ``analytical`` for the
-closed-form model (:mod:`repro.analysis.analytical`).
+The run-level values (``bus``, ``reorder_seed``, ``fault_injector``,
+``crash_schedule``, ``mode``) are also still accepted as bare keyword
+arguments for backward compatibility; that spelling is **deprecated**
+(it warns ``DeprecationWarning``, and CI runs the tools with
+``-W error::DeprecationWarning``) — pass ``options=`` instead.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import warnings
+from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.check.schedule import NULL_SCHEDULE
+from repro.check.schedule import NULL_SCHEDULE, CrashSchedule
 from repro.core.registry import iter_schemes, scheme_info
-from repro.fault.injector import NULL_INJECTOR
-from repro.obs.bus import NULL_BUS
+from repro.fault.injector import NULL_INJECTOR, FaultInjector
+from repro.obs.bus import NULL_BUS, EventBus
 from repro.sim.config import SystemConfig
-from repro.sim.system import System
+from repro.sim.system import SYSTEM_MODES, System
 
 #: The builtin persistency schemes of the paper's comparison space
 #: (Fig. 7), as an enum derived from the scheme registry.  Members are
@@ -89,29 +89,91 @@ Scheme.__str__ = lambda self: self.value  # argparse-friendly
 SCHEMES = tuple(s.value for s in Scheme)
 
 
+@dataclass(frozen=True)
+class RunOptions:
+    """Run-level wiring of a :class:`~repro.sim.system.System`, as one
+    typed value instead of loose keyword arguments.
+
+    Every field defaults to "off"/"auto", so ``RunOptions()`` is the plain
+    un-instrumented run.  The value is frozen — derive variants with
+    :meth:`replace`::
+
+        base = RunOptions(bus=bus)
+        checked = base.replace(crash_schedule=schedule)
+    """
+
+    #: Event bus receiving the run's typed obs events (default: the
+    #: zero-cost disabled :data:`~repro.obs.bus.NULL_BUS`).
+    bus: EventBus = NULL_BUS
+    #: RNG seed for relaxed-consistency store-buffer release order.
+    reorder_seed: int = 0
+    #: Fault plan applied to the run (default: no faults).
+    fault_injector: FaultInjector = NULL_INJECTOR
+    #: Micro-step crash schedule (model checker; default: never fires).
+    crash_schedule: CrashSchedule = NULL_SCHEDULE
+    #: Execution mode: an engine interpreter mode (``auto`` / ``object``
+    #: / ``columnar``) or ``analytical`` (closed-form model).
+    mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.mode not in SYSTEM_MODES:
+            raise ValueError(
+                f"unknown system mode {self.mode!r}; expected one of "
+                f"{', '.join(SYSTEM_MODES)}"
+            )
+
+    def replace(self, **changes) -> "RunOptions":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: The default (un-instrumented, ``auto``-mode) run wiring.
+DEFAULT_RUN_OPTIONS = RunOptions()
+
+#: Deprecated bare-kwarg spellings of the :class:`RunOptions` fields.
+_LEGACY_RUN_KWARGS = (
+    "bus", "reorder_seed", "fault_injector", "crash_schedule", "mode",
+)
+
+
 def build_system(
     scheme: Union[str, "Scheme"],
     *,
     entries: int = 32,
     config: Optional[SystemConfig] = None,
+    options: Optional[RunOptions] = None,
     **kw,
 ) -> System:
     """Build a runnable :class:`~repro.sim.system.System` for ``scheme``.
 
     ``scheme`` is a :class:`Scheme`, any registered scheme name, or an
     alias.  ``entries`` sizes the scheme's persist buffer where it has
-    one.  See the module docstring for the scheme-specific ``**kw``.
+    one.  ``options`` carries the run-level wiring (:class:`RunOptions`);
+    the remaining ``**kw`` are scheme-specific (see the module
+    docstring).  Passing ``RunOptions`` fields as bare keyword arguments
+    is deprecated.
     """
     name = scheme.value if isinstance(scheme, Scheme) else str(scheme)
     info = scheme_info(name)  # raises ValueError on unknown schemes
 
-    bus = kw.pop("bus", NULL_BUS)
-    reorder_seed = kw.pop("reorder_seed", 0)
-    fault_injector = kw.pop("fault_injector", NULL_INJECTOR)
-    crash_schedule = kw.pop("crash_schedule", NULL_SCHEDULE)
-    mode = kw.pop("mode", "auto")
+    legacy = {k: kw.pop(k) for k in _LEGACY_RUN_KWARGS if k in kw}
+    if legacy:
+        names = ", ".join(sorted(legacy))
+        if options is not None:
+            raise TypeError(
+                f"build_system() got options= and the legacy keyword "
+                f"argument(s) {names}; pass everything via options="
+            )
+        warnings.warn(
+            f"passing {names} to build_system() as bare keyword arguments "
+            f"is deprecated; pass options=RunOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        options = RunOptions(**legacy)
+    opts = options if options is not None else DEFAULT_RUN_OPTIONS
 
     scheme_obj = info.build_scheme(entries=entries, **kw)
-    return System(config, scheme_obj, reorder_seed=reorder_seed, bus=bus,
-                  fault_injector=fault_injector, crash_schedule=crash_schedule,
-                  mode=mode)
+    return System(config, scheme_obj, reorder_seed=opts.reorder_seed,
+                  bus=opts.bus, fault_injector=opts.fault_injector,
+                  crash_schedule=opts.crash_schedule, mode=opts.mode)

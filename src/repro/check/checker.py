@@ -127,7 +127,7 @@ class _UnitContext:
         self.structural = self.workload.make_checker()
 
     def build_system(self, schedule: CrashSchedule):
-        from repro.api import build_system
+        from repro.api import RunOptions, build_system
 
         unit = self.unit
         if unit.mutant is not None:
@@ -140,7 +140,7 @@ class _UnitContext:
         else:
             system = build_system(
                 unit.scheme, entries=unit.entries, config=self.config,
-                crash_schedule=schedule,
+                options=RunOptions(crash_schedule=schedule),
             )
         self.workload.seed_media(system.nvmm_media)
         return system

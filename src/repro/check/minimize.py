@@ -102,11 +102,11 @@ def _build_seeded_system(unit: CheckUnit, config, seed_words, schedule):
             crash_schedule=schedule,
         )
     else:
-        from repro.api import build_system
+        from repro.api import RunOptions, build_system
 
         system = build_system(
             unit.scheme, entries=unit.entries, config=config,
-            crash_schedule=schedule,
+            options=RunOptions(crash_schedule=schedule),
         )
     seed_media_words(system.nvmm_media, seed_words)
     return system

@@ -9,6 +9,10 @@ Commands:
 * ``energy``  — print the draining-cost and battery-sizing tables.
 * ``table1``  — print the qualitative scheme comparison.
 * ``trace``   — generate a workload trace and save it to a file.
+* ``traffic`` (alias ``serve``) — request-driven serving: sweep offered
+  load across schemes and report the throughput-vs-load curve with
+  p50/p99/p999 request latency per scheme (``repro.traffic/v1`` JSON
+  via ``--out``).
 * ``bench``   — time the fixed perf smoke suite and write ``BENCH_<rev>.json``.
 * ``faults``  — seeded fault-injection campaign (scheme x workload x plan);
   exits non-zero if any battery-domain fault produced silent corruption.
@@ -51,10 +55,13 @@ from repro.analysis.experiments import (
     steady_state_nvmm_writes,
 )
 from repro.analysis.tables import fmt_ratio, fmt_si, render_table
-from repro.api import SCHEMES, build_system
+from repro.api import SCHEMES, RunOptions, build_system
 from repro.core.persistency import table1_rows
 from repro.core.registry import (
+    ADR,
+    BBB,
     DEFAULT_SCHEME,
+    EADR,
     baseline_scheme,
     canonical_name,
     iter_schemes,
@@ -97,8 +104,8 @@ def _spec(args) -> WorkloadSpec:
 def _make_system(scheme: str, entries: int, bus: EventBus = NULL_BUS,
                  mode: str = "auto") -> System:
     return build_system(
-        scheme, entries=entries, config=default_sim_config(), bus=bus,
-        mode=mode,
+        scheme, entries=entries, config=default_sim_config(),
+        options=RunOptions(bus=bus, mode=mode),
     )
 
 
@@ -172,7 +179,7 @@ def cmd_compare(args) -> int:
         run = run_workload(
             args.workload,
             lambda: build_system(name, entries=args.entries, config=config,
-                                 bus=bus),
+                                 options=RunOptions(bus=bus)),
             spec, config,
         )
         _export_events(
@@ -365,6 +372,115 @@ def cmd_bench(args) -> int:
     if "analytical_ok" in engine:
         print(f"analytical within tolerance: {engine['analytical_ok']}")
     print(f"wrote {path}")
+    return 0
+
+
+#: Default scheme trio of the serving comparison: the paper's design, its
+#: "Optimal" baseline, and the flush-based ADR platform.
+TRAFFIC_DEFAULT_SCHEMES = (BBB, EADR, ADR)
+#: Default offered-load grid (requests per 1000 cycles).
+TRAFFIC_DEFAULT_LOADS = (0.5, 1.0, 2.0, 4.0)
+
+
+def _traffic_spec(args, offered_load: float):
+    from repro.serve import TenantSpec, TrafficSpec
+
+    tenants = tuple(
+        TenantSpec(
+            f"tenant{i}",
+            keys=args.keys,
+            read_fraction=args.read,
+            update_fraction=args.update,
+            insert_fraction=args.insert,
+        )
+        for i in range(args.tenants)
+    )
+    return TrafficSpec(
+        requests=args.requests,
+        tenants=tenants,
+        zipf_theta=args.zipf,
+        arrival=args.arrival,
+        offered_load=offered_load,
+        clients=args.clients,
+        think_cycles=args.think,
+        burst_every=args.burst_every,
+        burst_len=args.burst_len,
+        burst_factor=args.burst_factor,
+        seed=args.seed,
+    )
+
+
+def cmd_traffic(args) -> int:
+    # Imported here: the serving stack should not tax other commands.
+    from repro.serve import render_curve, traffic_curve
+    from repro.serve.loadgen import ARRIVAL_CLOSED
+
+    if args.smoke:
+        return _traffic_smoke()
+
+    try:
+        schemes = (
+            [canonical_name(s) for s in args.schemes.split(",")]
+            if args.schemes else list(TRAFFIC_DEFAULT_SCHEMES)
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    loads = (
+        [float(x) for x in args.loads.split(",")]
+        if args.loads else list(TRAFFIC_DEFAULT_LOADS)
+    )
+    if args.arrival == ARRIVAL_CLOSED:
+        # Closed-loop rate is set by clients/think time, not offered load:
+        # one point per scheme.
+        loads = loads[:1]
+    spec = _traffic_spec(args, loads[0])
+    report = traffic_curve(schemes, spec, loads, entries=args.entries)
+    if args.out:
+        import json
+
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    print(render_curve(report))
+    return 0
+
+
+def _traffic_smoke() -> int:
+    """CI gate: a tiny fixed sweep must produce a schema-valid report with
+    non-empty latency percentiles for every scheme point."""
+    from repro.serve import (
+        TrafficSpec,
+        render_curve,
+        traffic_curve,
+        validate_traffic_report,
+    )
+
+    schemes = list(TRAFFIC_DEFAULT_SCHEMES)
+    spec = TrafficSpec(requests=40, seed=7)
+    report = traffic_curve(schemes, spec, [1.0, 4.0], entries=16)
+    try:
+        validate_traffic_report(report)
+    except ValueError as exc:
+        print(f"traffic smoke FAILED: {exc}", file=sys.stderr)
+        return 1
+    failures = []
+    for point in report["points"]:
+        label = f"{point['scheme']}@{point['offered_load']}"
+        if point["completed"] != point["requests"]:
+            failures.append(f"{label}: only {point['completed']}/"
+                            f"{point['requests']} requests completed")
+        if point["latency"]["count"] == 0:
+            failures.append(f"{label}: empty latency histogram")
+        if not all(point["latency"][p] > 0 for p in ("p50", "p99", "p999")):
+            failures.append(f"{label}: zero latency percentile")
+    for failure in failures:
+        print(f"traffic smoke FAILED: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(render_curve(report))
+    print("traffic smoke ok")
     return 0
 
 
@@ -663,6 +779,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_trace)
     p_trace.add_argument("--out", required=True, help="output trace file")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_traffic = sub.add_parser(
+        "traffic", aliases=["serve"],
+        help="request-driven serving: throughput-vs-offered-load curve "
+             "with p50/p99/p999 per scheme",
+    )
+    p_traffic.add_argument("--schemes", default=None, metavar="A,B,...",
+                           help="comma-separated schemes (default: "
+                                f"{','.join(TRAFFIC_DEFAULT_SCHEMES)})")
+    p_traffic.add_argument("--loads", default=None, metavar="L1,L2,...",
+                           help="offered loads in requests/kilocycle "
+                                "(default: "
+                                + ",".join(str(x)
+                                           for x in TRAFFIC_DEFAULT_LOADS)
+                                + ")")
+    p_traffic.add_argument("--requests", type=int, default=150,
+                           help="requests per measured point")
+    p_traffic.add_argument("--arrival", choices=["open", "closed"],
+                           default="open",
+                           help="open loop (Poisson arrivals) or closed "
+                                "loop (clients + think time)")
+    p_traffic.add_argument("--clients", type=int, default=8,
+                           help="closed loop: client population")
+    p_traffic.add_argument("--think", type=int, default=500,
+                           help="closed loop: mean think cycles")
+    p_traffic.add_argument("--tenants", type=int, default=2,
+                           help="tenant namespaces")
+    p_traffic.add_argument("--keys", type=int, default=512,
+                           help="keyspace size per tenant")
+    p_traffic.add_argument("--zipf", type=float, default=0.9,
+                           help="Zipf skew theta in [0,1)")
+    p_traffic.add_argument("--read", type=float, default=0.70)
+    p_traffic.add_argument("--update", type=float, default=0.25)
+    p_traffic.add_argument("--insert", type=float, default=0.05)
+    p_traffic.add_argument("--burst-every", type=int, default=0,
+                           help="open loop: burst period in cycles (0=off)")
+    p_traffic.add_argument("--burst-len", type=int, default=0,
+                           help="open loop: burst length in cycles")
+    p_traffic.add_argument("--burst-factor", type=float, default=4.0,
+                           help="open loop: burst rate multiplier")
+    p_traffic.add_argument("--entries", type=int, default=32,
+                           help="bbPB entries")
+    p_traffic.add_argument("--seed", type=int, default=42)
+    p_traffic.add_argument("--out", default=None, metavar="PATH",
+                           help="write the repro.traffic/v1 report as JSON")
+    p_traffic.add_argument("--smoke", action="store_true",
+                           help="CI gate: tiny fixed sweep; exits non-zero "
+                                "on schema/percentile failure")
+    p_traffic.set_defaults(func=cmd_traffic)
 
     p_bench = sub.add_parser(
         "bench", help="time the fixed perf smoke suite, write BENCH_<rev>.json"

@@ -44,6 +44,7 @@ from repro.core import persistency as _p
 from repro.sim.config import BBBConfig
 
 __all__ = [
+    "ADR",
     "BBB",
     "BBB_PROC",
     "BEP",
@@ -82,6 +83,7 @@ BBB_PROC = "bbb-proc"
 EADR = "eadr"
 PMEM = "pmem"
 PMEM_STRICT = "pmem-strict"  # alias of PMEM (the scheme class's instance name)
+ADR = "adr"  # alias of PMEM (the platform name papers compare against)
 BSP = "bsp"
 BEP = "bep"
 NONE = "none"
@@ -450,7 +452,7 @@ def _build_eadr(cls, entries):
     cls=_p.StrictPMEM,
     contract=CONTRACT_EXACT,
     pop=POP_FLUSH,
-    aliases=(PMEM_STRICT,),
+    aliases=(PMEM_STRICT, ADR),
     instance_name=PMEM_STRICT,
     display="PMEM (strict)",
     doc="strict persistency via hardware clwb+sfence; PoP at the WPQ",

@@ -146,17 +146,17 @@ def execute_fault_unit(unit: FaultUnit) -> Dict[str, Any]:
     crash point, contract-check both, classify.  Module-level and
     dict-returning so the batch runner can pickle it both ways."""
     from repro.analysis.experiments import default_sim_config
-    from repro.api import build_system
+    from repro.api import RunOptions, build_system
 
     cfg = default_sim_config()
     trace, initial_words = build_cached(unit.workload, cfg.mem, unit.spec)
     crash_at = min(unit.crash_at, max(1, trace.total_ops() - 1))
 
     def crashed_run(injector: Optional[FaultInjector]):
-        kw: Dict[str, Any] = {"entries": unit.entries, "config": cfg}
-        if injector is not None:
-            kw["fault_injector"] = injector
-        system = build_system(unit.scheme, **kw)
+        options = (RunOptions(fault_injector=injector)
+                   if injector is not None else RunOptions())
+        system = build_system(unit.scheme, entries=unit.entries, config=cfg,
+                              options=options)
         seed_media_words(system.nvmm_media, initial_words)
         result = system.run(trace, crash_at_op=crash_at, finalize=False)
         contract = check_scheme_contract(

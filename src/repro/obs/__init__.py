@@ -20,14 +20,14 @@ The subsystem has three legs, all documented in ``docs/api.md``:
 
 Typical use::
 
-    from repro.api import build_system
+    from repro.api import RunOptions, build_system
     from repro.obs import EventBus, EventRecorder, OccupancySampler
     from repro.obs.exporters import write_chrome_trace, write_jsonl
 
     bus = EventBus()
     recorder = EventRecorder(bus)
     sampler = OccupancySampler(bus)
-    system = build_system("bbb", bus=bus)
+    system = build_system("bbb", options=RunOptions(bus=bus))
     system.run(trace)
     write_jsonl(recorder.events, "events.jsonl")
     write_chrome_trace(recorder.events, "trace.json")
@@ -45,6 +45,7 @@ from repro.obs.events import (
     DrainStart,
     Event,
     ForcedDrain,
+    RequestCompleted,
     SbPush,
     SbRelease,
     StallBegin,
@@ -53,6 +54,12 @@ from repro.obs.events import (
     WpqEnqueue,
     event_from_payload,
     event_to_payload,
+)
+from repro.obs.latency import (
+    ExactLatencies,
+    LatencyHistogram,
+    LatencyRecorder,
+    percentile_summary,
 )
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                run_registry)
@@ -75,12 +82,17 @@ __all__ = [
     "CoherenceMove",
     "WpqEnqueue",
     "WpqDrain",
+    "RequestCompleted",
     "SbPush",
     "SbRelease",
     "StallBegin",
     "StallEnd",
     "event_to_payload",
     "event_from_payload",
+    "ExactLatencies",
+    "LatencyHistogram",
+    "LatencyRecorder",
+    "percentile_summary",
     "Counter",
     "Gauge",
     "Histogram",

@@ -18,8 +18,9 @@ Design constraints (in priority order):
    simulator state; they are observers (recorders, samplers, metrics).
 
 3. **No global state.**  A bus is owned by a :class:`~repro.sim.system.
-   System` (pass one to ``repro.api.build_system(..., bus=bus)``); two
-   systems with two buses never interleave events.
+   System` (pass one via ``repro.api.build_system(...,
+   options=RunOptions(bus=bus))``); two systems with two buses never
+   interleave events.
 """
 
 from __future__ import annotations
@@ -74,7 +75,8 @@ class _NullBus(EventBus):
     def subscribe(self, fn: Subscriber) -> Subscriber:
         raise RuntimeError(
             "NULL_BUS is the shared disabled bus; create an EventBus() and "
-            "pass it to build_system(..., bus=bus) instead"
+            "pass it via build_system(..., options=RunOptions(bus=bus)) "
+            "instead"
         )
 
 

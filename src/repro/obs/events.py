@@ -241,6 +241,25 @@ class StallEnd(Event):
 
 
 # ----------------------------------------------------------------------
+# Traffic frontend (serve/frontend.py)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RequestCompleted(Event):
+    """A client request finished executing on its core (``cycle`` = the
+    completion cycle of its last operation).  ``latency`` is in cycles
+    from the request's arrival (open loop) or issue (closed loop);
+    ``tenant`` is the namespace the request targeted."""
+
+    kind: ClassVar[str] = "request_completed"
+    core: int
+    request_id: int
+    tenant: str
+    op: str
+    latency: int
+
+
+# ----------------------------------------------------------------------
 # Crash-consistency model checker (check/checker.py)
 # ----------------------------------------------------------------------
 
@@ -296,6 +315,7 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         FaultInjected,
         FaultDetected,
         BatteryDepleted,
+        RequestCompleted,
         CheckStateExplored,
         CheckViolation,
     )

@@ -1,0 +1,236 @@
+"""Per-request latency tracking for the traffic frontend.
+
+Two accumulators with one quantile API:
+
+* :class:`LatencyHistogram` — a geometric (log-bucketed) histogram with a
+  bounded *relative* quantile error.  Bucket ``i`` covers
+  ``[growth**i, growth**(i+1))`` cycles, so with the default growth of
+  ``2**(1/8)`` every reported quantile is within ~9% of the exact value
+  while memory stays O(log(max latency)) regardless of request count.
+  This is the accumulator the frontend uses: a load sweep observes
+  millions of requests and must not hold them all.
+* :class:`ExactLatencies` — keeps every sample; exact quantiles.  Used by
+  tests (the Hypothesis property compares the two) and small runs.
+
+Both report the nearest-rank quantile: ``quantile(q)`` is the smallest
+recorded value ``v`` such that at least ``ceil(q * n)`` samples are
+``<= v`` (the histogram returns its bucket's upper bound, keeping the
+estimate conservative — a reported p99 never understates the true p99 by
+more than one bucket's width).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_GROWTH",
+    "ExactLatencies",
+    "LatencyHistogram",
+    "LatencyRecorder",
+    "PERCENTILE_LABELS",
+    "percentile_summary",
+]
+
+#: Default bucket growth factor: 8 buckets per octave (~9% relative error).
+DEFAULT_GROWTH = 2.0 ** (1.0 / 8.0)
+
+#: The quantiles the traffic reports publish, with their report labels.
+PERCENTILE_LABELS: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p99", 0.99),
+    ("p999", 0.999),
+)
+
+
+class LatencyHistogram:
+    """Geometric log-bucket histogram over positive integer latencies.
+
+    Bucket index of value ``v`` (``v >= 1``) is
+    ``floor(log(v) / log(growth))``; value 0 gets its own underflow
+    bucket.  Quantiles return the bucket's inclusive *upper* bound, so
+    estimates are conservative (never below the true nearest-rank value)
+    and the relative error is bounded by ``growth - 1``.
+    """
+
+    __slots__ = ("growth", "_log_growth", "_buckets", "_count", "_sum",
+                 "_min", "_max")
+
+    def __init__(self, growth: float = DEFAULT_GROWTH) -> None:
+        if growth <= 1.0:
+            raise ValueError(f"growth must exceed 1.0, got {growth!r}")
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self._buckets: Dict[int, int] = {}
+        self._count = 0
+        self._sum = 0
+        self._min: Optional[int] = None
+        self._max: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _index(self, value: int) -> int:
+        if value <= 0:
+            return -1  # underflow bucket: exactly the value 0
+        return int(math.log(value) / self._log_growth)
+
+    def _upper_bound(self, index: int) -> int:
+        """Largest integer value mapping to bucket ``index``."""
+        if index < 0:
+            return 0
+        hi = int(math.ceil(self.growth ** (index + 1))) - 1
+        # Float round-off can land the boundary value in the next bucket;
+        # walk back until the bound really maps here.
+        while hi > 1 and self._index(hi) > index:
+            hi -= 1
+        return hi
+
+    # ------------------------------------------------------------------
+    def record(self, value: int) -> None:
+        value = int(value)
+        if value < 0:
+            raise ValueError(f"latency must be >= 0, got {value}")
+        idx = self._index(value)
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+        self._count += 1
+        self._sum += value
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        if other.growth != self.growth:
+            raise ValueError("cannot merge histograms with different growth")
+        for idx, n in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + n
+        self._count += other._count
+        self._sum += other._sum
+        for bound in (other._min, other._max):
+            if bound is not None:
+                self._min = bound if self._min is None else min(self._min, bound)
+                self._max = bound if self._max is None else max(self._max, bound)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> int:
+        return self._sum
+
+    def mean(self) -> float:
+        return (self._sum / self._count) if self._count else 0.0
+
+    def quantile(self, q: float) -> int:
+        """Nearest-rank quantile estimate (bucket upper bound, clamped to
+        the observed max).  Empty histogram -> 0."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q!r}")
+        if not self._count:
+            return 0
+        rank = math.ceil(q * self._count)
+        seen = 0
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if seen >= rank:
+                return min(self._upper_bound(idx), self._max or 0)
+        return self._max or 0  # pragma: no cover — rank <= count always hits
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serialisable form (bucket index -> count, plus summary)."""
+        return {
+            "growth": self.growth,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "buckets": {str(i): n for i, n in sorted(self._buckets.items())},
+        }
+
+
+class ExactLatencies:
+    """Reference accumulator: keeps every sample, exact nearest-rank
+    quantiles.  Same API subset as :class:`LatencyHistogram`."""
+
+    __slots__ = ("_values", "_sorted")
+
+    def __init__(self) -> None:
+        self._values: List[int] = []
+        self._sorted = True
+
+    def record(self, value: int) -> None:
+        value = int(value)
+        if value < 0:
+            raise ValueError(f"latency must be >= 0, got {value}")
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> int:
+        return sum(self._values)
+
+    def mean(self) -> float:
+        return (sum(self._values) / len(self._values)) if self._values else 0.0
+
+    def quantile(self, q: float) -> int:
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q!r}")
+        if not self._values:
+            return 0
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        rank = math.ceil(q * len(self._values))
+        return self._values[rank - 1]
+
+
+class LatencyRecorder:
+    """Per-key latency accumulation (one histogram per tenant/op/...).
+
+    The frontend keeps one recorder per run and records each completed
+    request under both the aggregate key ``""`` and its tenant, so reports
+    can break latency out per namespace without a second pass.
+    """
+
+    AGGREGATE = ""
+
+    def __init__(self, growth: float = DEFAULT_GROWTH) -> None:
+        self.growth = growth
+        self._hists: Dict[str, LatencyHistogram] = {}
+
+    def record(self, value: int, *keys: str) -> None:
+        """Record under the aggregate plus every key in ``keys``."""
+        for key in (self.AGGREGATE,) + keys:
+            hist = self._hists.get(key)
+            if hist is None:
+                hist = self._hists[key] = LatencyHistogram(self.growth)
+            hist.record(value)
+
+    def histogram(self, key: str = AGGREGATE) -> LatencyHistogram:
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = self._hists[key] = LatencyHistogram(self.growth)
+        return hist
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(k for k in self._hists if k != self.AGGREGATE)
+
+    def summary(self, key: str = AGGREGATE) -> Dict[str, object]:
+        return percentile_summary(self.histogram(key))
+
+
+def percentile_summary(hist) -> Dict[str, object]:
+    """The standard report block: count/mean plus the published
+    percentiles.  Works for both accumulator classes."""
+    block: Dict[str, object] = {
+        "count": hist.count,
+        "mean_cycles": round(hist.mean(), 3),
+    }
+    for label, q in PERCENTILE_LABELS:
+        block[label] = hist.quantile(q)
+    return block

@@ -145,7 +145,7 @@ def profile_run(
     # Imported here (not at module top) to keep obs importable without the
     # analysis/workload layers in minimal embeddings.
     from repro.analysis.experiments import default_sim_config
-    from repro.api import build_system
+    from repro.api import RunOptions, build_system
     from repro.core.registry import DEFAULT_SCHEME
     from repro.workloads.base import WorkloadSpec, build_cached, seed_media_words
 
@@ -159,7 +159,8 @@ def profile_run(
     recorder = EventRecorder(bus)
     sampler = OccupancySampler(bus)
     probe = DrainLatencyProbe(bus)
-    system = build_system(scheme, config=cfg, entries=entries, bus=bus)
+    system = build_system(scheme, config=cfg, entries=entries,
+                          options=RunOptions(bus=bus))
     seed_media_words(system.nvmm_media, initial_words)
 
     hotspots: Optional[str] = None

@@ -1,0 +1,60 @@
+"""Request-driven traffic frontend over the streaming engine.
+
+The rest of the repository asks "how long does this *trace* take?"; this
+package asks the serving question the paper's motivation opens with —
+what latency does a client of a persistent key-value service observe
+under each persistency scheme, and how does it degrade as offered load
+approaches saturation?
+
+Three layers:
+
+* :mod:`repro.serve.loadgen` — synthetic client sessions: Zipf-skewed
+  keys, YCSB-style read/update/insert mixes, burst phases, multi-tenant
+  namespaces, and open- (Poisson arrivals) or closed-loop (clients with
+  think time) arrival processes.  Pure request objects, no memory ops.
+* :mod:`repro.serve.kvservice` — a tenant-namespaced chained-hash KV
+  store over the persistent heap that lowers each request to the exact
+  load/store/compute sequence a server thread would execute, and routes
+  it to a core deterministically (key -> bucket -> core).
+* :mod:`repro.serve.frontend` — the reactor: drives an
+  :class:`~repro.sim.engine.EngineStream`, feeding each core one request
+  at a time and reading per-request latency straight off the starved
+  core's clock.  :func:`~repro.serve.frontend.run_traffic` measures one
+  (scheme, offered load) point; :func:`~repro.serve.frontend.
+  traffic_curve` sweeps a load grid across schemes into the versioned
+  ``repro.traffic/v1`` report (:mod:`repro.serve.report`).
+
+Everything is deterministic in ``TrafficSpec.seed``: two runs of the same
+spec against the same scheme produce identical traces, latencies, and
+reports.
+"""
+
+from repro.serve.frontend import TrafficPoint, run_traffic, traffic_curve
+from repro.serve.kvservice import KVService
+from repro.serve.loadgen import (
+    Request,
+    TenantSpec,
+    TrafficSpec,
+    ZipfSampler,
+    iter_requests,
+)
+from repro.serve.report import (
+    TRAFFIC_SCHEMA_VERSION,
+    render_curve,
+    validate_traffic_report,
+)
+
+__all__ = [
+    "KVService",
+    "Request",
+    "TenantSpec",
+    "TrafficPoint",
+    "TrafficSpec",
+    "TRAFFIC_SCHEMA_VERSION",
+    "ZipfSampler",
+    "iter_requests",
+    "render_curve",
+    "run_traffic",
+    "traffic_curve",
+    "validate_traffic_report",
+]

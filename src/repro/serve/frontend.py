@@ -1,0 +1,327 @@
+"""The traffic reactor: client sessions -> per-core op streams -> engine.
+
+:func:`run_traffic` measures one (scheme, traffic spec) point by driving
+an :class:`~repro.sim.engine.EngineStream` as an event loop:
+
+* Each request is lowered to its op sequence (:class:`~repro.serve.
+  kvservice.KVService`) and fed to its home core **one request at a
+  time**.  When a core starves (``pump()`` returns it), its clock is
+  exactly the completion cycle of the request in flight — per-request
+  latency with no per-op callbacks.
+* **Open loop** — requests carry absolute Poisson arrival cycles; a core
+  whose next request has not arrived yet is ``advance``-d to the arrival
+  (modelling the idle gap), and latency is ``completion − arrival``, so
+  queueing delay under overload shows up in the tail exactly as it
+  would at a real server.
+* **Closed loop** — a fixed client population; a completion schedules
+  the client's next request after an exponential think time.  Dispatch
+  is per-core FIFO in routing order: a freed core takes the
+  oldest-routed request, advancing to its ready cycle if needed; cores
+  with nothing routed go ``idle`` so they never block global progress,
+  and are woken when a request routes to them (or, if everything idles,
+  the reactor advances the earliest-ready core — the event-loop timer
+  step).
+
+Determinism: the load generator, the service routing, and the engine's
+streamed interleaving are all seeded/deterministic, so a (scheme, spec)
+pair always produces the same latencies and the same fingerprint-stable
+engine results.  Open-loop runs use only ``feed``/``advance``/``end``
+and interoperate with the batched columnar interpreter; closed-loop runs
+additionally use ``idle``, whose wake policy has no materialized-trace
+equivalent (the run is still deterministic — it is just not claimed
+bit-identical to any ``Engine.run`` invocation).
+
+:func:`traffic_curve` sweeps offered load across schemes and packages
+the throughput-vs-load curve with p50/p99/p999 per scheme into the
+versioned ``repro.traffic/v1`` report (see :mod:`repro.serve.report`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.api import RunOptions, build_system
+from repro.core.registry import canonical_name, scheme_info
+from repro.obs.bus import EventBus
+from repro.obs.events import RequestCompleted
+from repro.obs.latency import LatencyRecorder, percentile_summary
+from repro.serve.kvservice import KVService
+from repro.serve.loadgen import Request, TrafficSpec, iter_requests, think_time
+from repro.serve.report import build_report
+from repro.sim.config import SystemConfig
+
+__all__ = ["TrafficPoint", "run_traffic", "traffic_curve"]
+
+#: Key prefixes the recorder files per-tenant / per-op breakdowns under.
+_TENANT_KEY = "tenant:"
+_OP_KEY = "op:"
+
+
+@dataclass
+class TrafficPoint:
+    """One (scheme, offered load) measurement."""
+
+    scheme: str
+    arrival: str
+    offered_load: float
+    requests: int
+    completed: int
+    execution_cycles: int
+    #: Achieved throughput, requests per 1000 cycles.
+    achieved_load: float
+    latency: Dict[str, object]
+    tenants: Dict[str, Dict[str, object]]
+    ops: Dict[str, Dict[str, object]]
+    crashed: bool = False
+    #: Simulator counters worth carrying into reports.
+    nvmm_writes: int = 0
+    stall_cycles: int = 0
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "scheme": self.scheme,
+            "arrival": self.arrival,
+            "offered_load": self.offered_load,
+            "requests": self.requests,
+            "completed": self.completed,
+            "execution_cycles": self.execution_cycles,
+            "achieved_load": self.achieved_load,
+            "latency": dict(self.latency),
+            "tenants": {k: dict(v) for k, v in self.tenants.items()},
+            "ops": {k: dict(v) for k, v in self.ops.items()},
+            "crashed": self.crashed,
+            "nvmm_writes": self.nvmm_writes,
+            "stall_cycles": self.stall_cycles,
+        }
+
+
+def default_traffic_config() -> SystemConfig:
+    """The system the frontend serves on when no config is given (the
+    same scaled Table III system the experiment drivers use)."""
+    from repro.analysis.experiments import default_sim_config
+
+    return default_sim_config()
+
+
+def run_traffic(
+    scheme: str,
+    spec: TrafficSpec,
+    *,
+    config: Optional[SystemConfig] = None,
+    entries: int = 32,
+    options: Optional[RunOptions] = None,
+) -> TrafficPoint:
+    """Serve ``spec``'s traffic on ``scheme``; return the measured point."""
+    info = scheme_info(scheme)
+    cfg = config or default_traffic_config()
+    opts = options or RunOptions()
+    system = build_system(info.name, entries=entries, config=cfg,
+                          options=opts)
+    service = KVService(cfg.mem, spec, cfg.num_cores)
+    recorder = LatencyRecorder()
+    session = system.stream()
+    bus = opts.bus
+
+    if spec.open_loop:
+        completed, crashed = _open_loop(session, service, spec, recorder, bus)
+    else:
+        completed, crashed = _closed_loop(session, service, spec, recorder,
+                                          bus)
+    result = session.finish()
+
+    cycles = result.execution_cycles
+    achieved = (completed / cycles * 1000.0) if cycles else 0.0
+    tenants = {
+        key[len(_TENANT_KEY):]: percentile_summary(recorder.histogram(key))
+        for key in recorder.keys() if key.startswith(_TENANT_KEY)
+    }
+    ops = {
+        key[len(_OP_KEY):]: percentile_summary(recorder.histogram(key))
+        for key in recorder.keys() if key.startswith(_OP_KEY)
+    }
+    return TrafficPoint(
+        scheme=info.name,
+        arrival=spec.arrival,
+        offered_load=spec.offered_load,
+        requests=spec.requests,
+        completed=completed,
+        execution_cycles=cycles,
+        achieved_load=round(achieved, 6),
+        latency=percentile_summary(recorder.histogram()),
+        tenants=tenants,
+        ops=ops,
+        crashed=crashed or result.crashed,
+        nvmm_writes=result.stats.nvmm_writes,
+        stall_cycles=result.stats.total_bbpb_stalls,
+    )
+
+
+# ----------------------------------------------------------------------
+# Reactor loops
+# ----------------------------------------------------------------------
+
+def _complete(
+    session,
+    service: KVService,
+    recorder: LatencyRecorder,
+    bus: EventBus,
+    core: int,
+    request: Request,
+    arrival: int,
+) -> None:
+    clock = session.clock(core)
+    latency = max(0, clock - arrival)
+    recorder.record(
+        latency, _TENANT_KEY + request.tenant, _OP_KEY + request.op
+    )
+    if bus.enabled:
+        bus.emit(RequestCompleted(
+            cycle=clock,
+            core=core,
+            request_id=request.request_id,
+            tenant=request.tenant,
+            op=request.op,
+            latency=latency,
+        ))
+
+
+def _open_loop(
+    session, service: KVService, spec: TrafficSpec,
+    recorder: LatencyRecorder, bus: EventBus,
+) -> Tuple[int, bool]:
+    n = service.num_cores
+    queues: List[Deque[Request]] = [deque() for _ in range(n)]
+    for request in iter_requests(spec):
+        queues[service.core_of(request)].append(request)
+    in_flight: List[Optional[Request]] = [None] * n
+    completed = 0
+
+    while True:
+        needy = session.pump()
+        if needy is None:
+            break
+        request = in_flight[needy]
+        if request is not None:
+            _complete(session, service, recorder, bus, needy, request,
+                      request.arrival)
+            completed += 1
+            in_flight[needy] = None
+        if queues[needy]:
+            nxt = queues[needy].popleft()
+            # The gap until the next arrival is idle time, not service
+            # time: move the core's clock to the arrival cycle.
+            session.advance(needy, nxt.arrival)
+            session.feed(needy, service.ops_for(nxt))
+            in_flight[needy] = nxt
+        else:
+            session.end(needy)
+    return completed, session.result.crashed
+
+
+def _closed_loop(
+    session, service: KVService, spec: TrafficSpec,
+    recorder: LatencyRecorder, bus: EventBus,
+) -> Tuple[int, bool]:
+    n = service.num_cores
+    think_rng = random.Random(spec.seed ^ 0x7417E)
+    #: Per-client queues of that client's requests, in draw order.
+    client_queues: Dict[int, Deque[Request]] = {}
+    for request in iter_requests(spec):
+        client_queues.setdefault(request.client, deque()).append(request)
+    #: Per-core FIFO of (request, ready cycle), in routing order.
+    pending: List[Deque[Tuple[Request, int]]] = [deque() for _ in range(n)]
+    #: Request in flight per core, with its ready (arrival) cycle.
+    in_flight: List[Optional[Tuple[Request, int]]] = [None] * n
+    sleeping = [False] * n
+    completed = 0
+
+    def dispatch(core: int) -> bool:
+        """Feed ``core``'s oldest routed request; False if none queued."""
+        if not pending[core]:
+            return False
+        request, ready = pending[core].popleft()
+        session.advance(core, ready)
+        session.feed(core, service.ops_for(request))
+        in_flight[core] = (request, ready)
+        sleeping[core] = False
+        return True
+
+    def route(request: Request, ready: int) -> None:
+        core = service.core_of(request)
+        pending[core].append((request, ready))
+        if sleeping[core] and in_flight[core] is None:
+            dispatch(core)
+
+    # Every client's first request is ready at cycle 0.
+    for client in sorted(client_queues):
+        queue = client_queues[client]
+        if queue:
+            route(queue.popleft(), 0)
+
+    while True:
+        needy = session.pump()
+        if needy is None:
+            if session.result.crashed:
+                break
+            # Everyone is idle: either done, or all queued requests are
+            # in the future — wake the earliest (the timer step).
+            best_core = -1
+            best_ready = 0
+            for core in range(n):
+                if pending[core]:
+                    ready = pending[core][0][1]
+                    if best_core < 0 or ready < best_ready:
+                        best_core, best_ready = core, ready
+            if best_core < 0:
+                break
+            dispatch(best_core)
+            continue
+        flight = in_flight[needy]
+        if flight is not None:
+            request, ready = flight
+            _complete(session, service, recorder, bus, needy, request, ready)
+            completed += 1
+            in_flight[needy] = None
+            # The client thinks, then issues its next request.
+            queue = client_queues.get(request.client)
+            if queue:
+                next_ready = session.clock(needy) + think_time(
+                    spec, think_rng
+                )
+                route(queue.popleft(), next_ready)
+        if not dispatch(needy):
+            # Nothing routed here right now; requests may arrive later.
+            session.idle(needy)
+            sleeping[needy] = True
+    return completed, session.result.crashed
+
+
+# ----------------------------------------------------------------------
+# The curve sweep
+# ----------------------------------------------------------------------
+
+def traffic_curve(
+    schemes: Sequence[str],
+    spec: TrafficSpec,
+    loads: Sequence[float],
+    *,
+    config: Optional[SystemConfig] = None,
+    entries: int = 32,
+) -> Dict[str, object]:
+    """Throughput-vs-offered-load curve with latency percentiles for each
+    scheme, as a ``repro.traffic/v1`` report payload."""
+    if not schemes:
+        raise ValueError("at least one scheme is required")
+    if not loads:
+        raise ValueError("at least one offered load is required")
+    names = [canonical_name(s) for s in schemes]
+    points: List[TrafficPoint] = []
+    for name in names:
+        for load in loads:
+            points.append(run_traffic(
+                name, spec.with_load(load), config=config, entries=entries,
+            ))
+    return build_report(spec, names, list(loads), points)

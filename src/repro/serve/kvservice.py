@@ -1,0 +1,261 @@
+"""A tenant-namespaced persistent KV store that lowers requests to ops.
+
+This is the "server" the traffic frontend drives: a chained hashmap per
+tenant over the persistent heap (the same structure as the ``hashmap``
+workload, which is what makes the serving results comparable to the
+batch results), plus the request -> memory-op lowering a server thread
+would execute:
+
+* ``read`` — parse scratch traffic, load the bucket head, walk the chain
+  (key load per hop, value load on hit).  No persisting stores.
+* ``update`` — walk like a read; on hit one persisting store to the
+  node's value word.  A miss upserts (falls through to insert).
+* ``insert`` — load the head, initialise a fresh node (three persisting
+  stores), publish it with a head store — the publish-after-init
+  ordering whose crash safety the schemes differ on.
+
+Routing is deterministic: ``key -> bucket`` by hash within the tenant,
+``bucket -> core`` by bucket index modulo cores — so a key always lands
+on the same core (as a partitioned server would shard it) and repeated
+runs of one spec produce identical per-core op streams.
+
+The service keeps a Python-side model (bucket heads, node contents) so
+op values are exact, and exposes ``make_checker`` with the same durable
+chain-walk invariant as the hashmap workload.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.serve.loadgen import (
+    OP_INSERT,
+    OP_READ,
+    OP_UPDATE,
+    Request,
+    TrafficSpec,
+)
+from repro.sim.config import MemConfig
+from repro.sim.trace import TraceOp
+from repro.workloads.alloc import PersistentHeap, VolatileHeap
+from repro.workloads.base import WORD
+
+__all__ = ["KVService"]
+
+#: node layout: key @0, value @8, next @16 (hashmap workload layout).
+_NODE_SIZE = 3 * WORD
+#: Volatile request-parsing/serialisation stores per request.
+_PARSE_STORES = 4
+#: Scratch slots per core.
+_SCRATCH_SLOTS = 32
+
+
+class _TenantStore:
+    """One tenant's chained hashmap: persistent layout + Python model."""
+
+    __slots__ = ("name", "buckets", "bucket_base", "heads", "nodes", "by_key")
+
+    def __init__(self, name: str, buckets: int, pheap: PersistentHeap) -> None:
+        self.name = name
+        self.buckets = buckets
+        self.bucket_base = pheap.alloc(buckets * WORD)
+        #: bucket index -> newest node addr (0 = empty chain).
+        self.heads: Dict[int, int] = {}
+        #: node addr -> (key, value, next addr).
+        self.nodes: Dict[int, Tuple[int, int, int]] = {}
+        #: key -> node addr (the chain walk's destination).
+        self.by_key: Dict[int, int] = {}
+
+    def bucket_of(self, key: int) -> int:
+        # A deterministic integer mix (not ``hash``: Python randomises
+        # str hashes, and determinism across processes is part of the
+        # traffic contract).
+        mixed = (key * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        return (mixed >> 17) % self.buckets
+
+    def bucket_addr(self, bucket: int) -> int:
+        return self.bucket_base + bucket * WORD
+
+    def chain(self, bucket: int) -> List[int]:
+        """Node addrs from head to tail."""
+        out = []
+        addr = self.heads.get(bucket, 0)
+        while addr:
+            out.append(addr)
+            addr = self.nodes[addr][2]
+        return out
+
+
+class KVService:
+    """Request -> (core, ops) lowering over per-tenant chained hashmaps."""
+
+    def __init__(
+        self,
+        mem: MemConfig,
+        spec: TrafficSpec,
+        num_cores: int,
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+        self.mem = mem
+        self.spec = spec
+        self.num_cores = num_cores
+        self.pheap = PersistentHeap(mem)
+        self.vheap = VolatileHeap(mem)
+        self._scratch = [
+            self.vheap.alloc(_SCRATCH_SLOTS * WORD) for _ in range(num_cores)
+        ]
+        self._stores: Dict[str, _TenantStore] = {}
+        self._tenant_index: Dict[str, int] = {}
+        for i, tenant in enumerate(spec.tenants):
+            buckets = max(8, tenant.keys // 4)
+            self._stores[tenant.name] = _TenantStore(
+                tenant.name, buckets, self.pheap
+            )
+            self._tenant_index[tenant.name] = i
+        self.requests_lowered = 0
+        self.persisting_stores = 0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def core_of(self, request: Request) -> int:
+        """Deterministic key -> bucket -> core placement."""
+        store = self._stores[request.tenant]
+        bucket = store.bucket_of(request.key)
+        offset = self._tenant_index[request.tenant]
+        return (bucket + offset) % self.num_cores
+
+    # ------------------------------------------------------------------
+    # Lowering
+    # ------------------------------------------------------------------
+    def ops_for(self, request: Request) -> List[TraceOp]:
+        """The memory-op sequence serving ``request`` on its core.
+
+        Mutates the model (inserts/updates), so each request must be
+        lowered exactly once, in issue order — the frontend lowers at
+        feed time, when the request's position in the global order is
+        already fixed.
+        """
+        store = self._stores[request.tenant]
+        bucket = store.bucket_of(request.key)
+        core = self.core_of(request)
+        scratch = self._scratch[core]
+        rid = request.request_id
+        ops: List[TraceOp] = []
+
+        # Request parsing / response serialisation: volatile traffic.
+        for i in range(_PARSE_STORES):
+            slot = scratch + ((rid + i) % _SCRATCH_SLOTS) * WORD
+            ops.append(TraceOp.store(slot, (request.key + i) & 0xFFFFFFFF))
+        ops.append(TraceOp.compute(4))
+
+        # Every op starts at the bucket head.
+        ops.append(TraceOp.load(store.bucket_addr(bucket)))
+
+        if request.op == OP_READ:
+            self._walk(store, bucket, request.key, ops)
+        elif request.op == OP_UPDATE:
+            found = self._walk(store, bucket, request.key, ops)
+            if found is not None:
+                value = self._value_of(request)
+                ops.append(TraceOp.store(
+                    found + 8, value, tag=f"upd:{request.tenant}:{rid}"
+                ))
+                key, _, nxt = store.nodes[found]
+                store.nodes[found] = (key, value, nxt)
+                self.persisting_stores += 1
+            else:
+                self._insert(store, bucket, request, ops)
+        elif request.op == OP_INSERT:
+            self._insert(store, bucket, request, ops)
+        else:
+            raise ValueError(f"unknown request op {request.op!r}")
+
+        self.requests_lowered += 1
+        return ops
+
+    def _value_of(self, request: Request) -> int:
+        return ((request.key << 20) ^ request.request_id) & 0xFFFFFFFFFFFF
+
+    def _walk(
+        self, store: _TenantStore, bucket: int, key: int, ops: List[TraceOp]
+    ) -> Optional[int]:
+        """Chain walk: key load per node, value load on the hit.  Returns
+        the matching node addr (None = miss)."""
+        for addr in store.chain(bucket):
+            ops.append(TraceOp.load(addr + 0))
+            if store.nodes[addr][0] == key:
+                ops.append(TraceOp.load(addr + 8))
+                return addr
+            ops.append(TraceOp.load(addr + 16))
+        return None
+
+    def _insert(
+        self,
+        store: _TenantStore,
+        bucket: int,
+        request: Request,
+        ops: List[TraceOp],
+    ) -> None:
+        rid = request.request_id
+        old_head = store.heads.get(bucket, 0)
+        node = self.pheap.alloc(_NODE_SIZE)
+        value = self._value_of(request)
+        ops.append(TraceOp.store(
+            node + 0, request.key, tag=f"key:{store.name}:{rid}"
+        ))
+        ops.append(TraceOp.store(
+            node + 8, value, tag=f"val:{store.name}:{rid}"
+        ))
+        ops.append(TraceOp.store(
+            node + 16, old_head, tag=f"next:{store.name}:{rid}"
+        ))
+        ops.append(TraceOp.store(
+            store.bucket_addr(bucket), node, tag=f"head:{store.name}:{rid}"
+        ))
+        store.heads[bucket] = node
+        store.nodes[node] = (request.key, value, old_head)
+        store.by_key[request.key] = node
+        self.persisting_stores += 4
+
+    # ------------------------------------------------------------------
+    # Recovery checking (same invariant as the hashmap workload)
+    # ------------------------------------------------------------------
+    def make_checker(self) -> Callable:
+        """Durable chain walk: every node reachable from a durable bucket
+        head must be fully initialised with the model's key/value."""
+        snapshots = [
+            (store, dict(store.nodes),
+             [store.bucket_addr(b) for b in range(store.buckets)])
+            for store in self._stores.values()
+        ]
+
+        def checker(system, result) -> Tuple[bool, List[str]]:
+            media = system.nvmm_media
+            violations: List[str] = []
+            for store, expected, bucket_addrs in snapshots:
+                for baddr in bucket_addrs:
+                    node = media.read_word(baddr)
+                    hops = 0
+                    while node and hops <= len(expected) + 1:
+                        if node not in expected:
+                            violations.append(
+                                f"tenant {store.name}: bucket 0x{baddr:x} "
+                                f"chain points to 0x{node:x}, not a node"
+                            )
+                            break
+                        key, value, _ = expected[node]
+                        if (media.read_word(node + 0) != key
+                                or media.read_word(node + 8) != value):
+                            violations.append(
+                                f"tenant {store.name}: node 0x{node:x} "
+                                f"reachable but not initialised — pointer "
+                                f"persisted before node"
+                            )
+                            break
+                        node = media.read_word(node + 16)
+                        hops += 1
+            return (not violations, violations)
+
+        return checker

@@ -25,8 +25,10 @@ from __future__ import annotations
 import heapq
 import random
 from bisect import bisect_left
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, NamedTuple, Optional
+from itertools import islice
+from typing import Deque, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.check.schedule import SITE_OP, CrashNow, FiredPoint
 from repro.core.persistency import DrainReport
@@ -39,11 +41,17 @@ from repro.obs.events import (
     StallBegin,
     StallEnd,
 )
-from repro.sim.coltrace import ColumnarTrace, columnar_of
+from repro.sim.coltrace import (
+    KIND_TO_CODE,
+    ColumnarTrace,
+    ThreadColumns,
+    _fits,
+    columnar_of,
+)
 from repro.sim.config import ConsistencyModel
 from repro.sim.reference import LogKind, LogRecord
 from repro.sim.stats import SimStats
-from repro.sim.trace import OpKind, ProgramTrace, TraceOp
+from repro.sim.trace import OpKind, ProgramTrace, ThreadTrace, TraceOp
 
 #: Interpreter modes accepted by :class:`Engine`.  ``auto`` uses the
 #: batched columnar path whenever it is handed a :class:`ColumnarTrace`
@@ -218,7 +226,7 @@ class Engine:
             self.batch_counters[key] = 0
 
         if batched:
-            executed = self._run_columnar(
+            executed, _ = self._run_columnar(
                 cols, result, clocks, indices, flush_outstanding
             )
         else:
@@ -259,10 +267,24 @@ class Engine:
                     result.crash_op = executed
                     break
 
+        return self._epilogue(result, clocks, flush_outstanding, executed,
+                              finalize)
+
+    def _epilogue(
+        self,
+        result: RunResult,
+        clocks: List[int],
+        flush_outstanding: List[List[int]],
+        executed: int,
+        finalize: bool,
+    ) -> RunResult:
+        """Settle a completed (or crashed) execution: retire remaining
+        store-buffer entries and outstanding flushes, finalize the scheme,
+        drain on crash, and publish per-core cycle counts.  Shared by
+        :meth:`run` and :meth:`EngineStream.finish`."""
         if not result.crashed:
-            # Retire remaining store-buffer entries and outstanding flushes.
             try:
-                for core in range(num_threads):
+                for core in range(len(clocks)):
                     clocks[core] = self._release_all(core, clocks[core], result)
                     if flush_outstanding[core]:
                         clocks[core] = max(clocks[core],
@@ -291,8 +313,13 @@ class Engine:
         clocks: List[int],
         indices: List[int],
         flush_outstanding: List[List[int]],
-    ) -> int:
+        open_ends: Optional[List[bool]] = None,
+    ) -> "Tuple[int, Optional[int]]":
         """Scan/cut batched execution of an eligible (TSO, crash-free) run.
+
+        Returns ``(executed, starved)``.  ``starved`` is ``None`` for a
+        complete run; with ``open_ends`` it names the core whose barrier
+        halted the window (see below).
 
         Correctness rests on the *private-ops-commute* property: an L1-hit
         LOAD, an M-state-hit non-persisting STORE, and a COMPUTE touch only
@@ -328,6 +355,21 @@ class Engine:
         full record list is re-sequenced into exact global order after the
         run (record-producing ops advance their core's clock, so heap
         positions are unique and totally ordered).
+
+        **Open ends (streaming windows).**  ``open_ends[c]`` marks core
+        ``c``'s column as an *incomplete prefix*: more ops may be fed
+        later.  An exhausted open core acts as a **barrier** at heap key
+        ``(clocks[c], c)`` — ops of other cores ordering at or after the
+        barrier are neither retired nor executed, because an op fed to
+        ``c`` later could order before them.  When the barrier is the
+        globally next key the window stops and the barrier core is
+        returned as ``starved``; every op executed in the window orders
+        strictly before the barrier, so consecutive windows concatenate
+        into exactly the global heap order of a materialized run (the
+        per-window record re-sequencing below is globally correct for the
+        same reason).  Cores with ``open_ends[c]`` false behave as in a
+        one-shot run: their column is final and its end never blocks
+        anyone.
         """
         h = self.hierarchy
         config = self.config
@@ -367,6 +409,11 @@ class Engine:
         llc_nsets = llc.config.num_sets
         seq_base = self._seq
         committed = result.committed_persists
+        # Streaming windows append to lists that already hold earlier
+        # windows' records; re-sequencing must only touch this window's
+        # slice (all earlier keys order strictly before the barrier).
+        committed_base = len(committed)
+        performed_base = len(result.performed_persists)
         #: Deferred private persist records: (pop clock, core, addr, size,
         #: value) — merged with the shared-op records at the end.
         priv_records: List["tuple"] = []
@@ -392,6 +439,7 @@ class Engine:
         rescans = 0
         scanned_ops = 0
         shared_ops = 0
+        starved: Optional[int] = None
         cores = list(range(n))
         _I = MESI_I
         _M = MESI_M
@@ -489,15 +537,25 @@ class Engine:
                 valid[c] = True
                 seen[c] = l1_versions[c]
 
-            # -- (2) the globally next shared op ---------------------------
+            # -- (2) the globally next shared op (or open-end barrier) -----
+            # Exhausted open cores park at (clocks[c], c) as barriers; the
+            # ascending-core scan with a strict ``<`` reproduces the heap's
+            # (clock, core) tie-break exactly.
             s_core = -1
             s_clock = 0
+            s_starve = False
             for c in cores:
                 if park_idx[c] < lengths[c]:
-                    pc = park_clock[c]
-                    if s_core < 0 or pc < s_clock:
-                        s_core = c
-                        s_clock = pc
+                    blocked = False
+                elif open_ends is not None and open_ends[c]:
+                    blocked = True
+                else:
+                    continue
+                pc = park_clock[c]
+                if s_core < 0 or pc < s_clock:
+                    s_core = c
+                    s_clock = pc
+                    s_starve = blocked
 
             # -- (3) retire private ops ordered before S* ------------------
             phases += 1
@@ -602,7 +660,11 @@ class Engine:
                 mpos[c] = me
                 executed += j - idx
 
-            if s_core < 0:
+            if s_core < 0 or s_starve:
+                # Drained — or an open-end barrier is the globally next
+                # key, so nothing more may execute until that core is fed.
+                if s_starve:
+                    starved = s_core
                 break
 
             # -- (4) the shared op runs through the exact per-op path ------
@@ -649,12 +711,16 @@ class Engine:
             # (pop clock, core) keys are unique and the sort reproduces the
             # object interpreter's pop order — and with it the seq
             # numbering — exactly.  Only the last committed record can lack
-            # its performed twin (defensive crash path).
+            # its performed twin (defensive crash path).  Only this call's
+            # slice is rebuilt: earlier streaming windows are already in
+            # final order and their keys all precede this window's.
             performed = result.performed_persists
-            npairs = len(performed)
+            win_committed = committed[committed_base:]
+            win_performed = performed[performed_base:]
+            npairs = len(win_performed)
             entries = [
                 (tag[0], tag[1], rec.addr, rec.size, rec.value, j < npairs)
-                for j, (rec, tag) in enumerate(zip(committed, shared_tags))
+                for j, (rec, tag) in enumerate(zip(win_committed, shared_tags))
             ]
             entries.extend(
                 (clk, cr, addr, sz, v, True)
@@ -674,16 +740,21 @@ class Engine:
                 if paired:
                     seq += 1
                     papp((cr, addr, sz, v, seq))
-            committed[:] = map(PersistRecord._make, committed_rows)
-            performed[:] = map(PersistRecord._make, performed_rows)
+            committed[committed_base:] = map(PersistRecord._make,
+                                             committed_rows)
+            performed[performed_base:] = map(PersistRecord._make,
+                                             performed_rows)
             self._seq = seq
 
-        counters["phases"] = phases
-        counters["private_ops"] = executed - shared_ops
-        counters["shared_ops"] = shared_ops
-        counters["rescans"] = rescans
-        counters["scanned_ops"] = scanned_ops
-        return executed
+        # Accumulate (not assign): a streaming session spans many windows.
+        # Engine.run zeroes the counters up front, so one-shot runs read
+        # the same values as before.
+        counters["phases"] += phases
+        counters["private_ops"] += executed - shared_ops
+        counters["shared_ops"] += shared_ops
+        counters["rescans"] += rescans
+        counters["scanned_ops"] += scanned_ops
+        return executed, starved
 
     # ------------------------------------------------------------------
     # Per-op execution
@@ -881,3 +952,296 @@ class Engine:
             for cycle, addr in released:
                 self._bus.emit(SbRelease(cycle, core, addr, len(kept)))
         return now
+
+    # ------------------------------------------------------------------
+    # Streaming ingestion
+    # ------------------------------------------------------------------
+    def stream(self) -> "EngineStream":
+        """Open a streaming ingestion session (see :class:`EngineStream`).
+
+        An :class:`Engine` is single-shot: use either :meth:`run` or one
+        stream per engine, never both."""
+        return EngineStream(self)
+
+    def run_stream(
+        self,
+        streams: Sequence[Iterable[TraceOp]],
+        chunk: int = 256,
+        finalize: bool = True,
+    ) -> RunResult:
+        """Execute per-core op iterables incrementally, pulling ``chunk``
+        ops at a time from whichever core the engine starves on.
+
+        Equivalent to materializing the iterables into a
+        :class:`~repro.sim.trace.ProgramTrace` and calling :meth:`run` —
+        bit-identical stats and persist records — without ever holding
+        more than the in-flight chunks in memory.
+        """
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        num_cores = self.config.num_cores
+        if len(streams) > num_cores:
+            raise ValueError(
+                f"{len(streams)} op streams but the system has "
+                f"{num_cores} cores"
+            )
+        iters = [iter(s) for s in streams]
+        session = self.stream()
+
+        def refill(core: int) -> None:
+            batch = list(islice(iters[core], chunk))
+            if batch:
+                session.feed(core, batch)
+            else:
+                session.end(core)
+
+        for core in range(len(iters)):
+            refill(core)
+        for core in range(len(iters), num_cores):
+            session.end(core)
+        while True:
+            needy = session.pump()
+            if needy is None:
+                break
+            refill(needy)
+        return session.finish(finalize=finalize)
+
+
+class EngineStream:
+    """Incremental, request-driven execution session over one
+    :class:`Engine`.
+
+    Instead of materializing a whole :class:`~repro.sim.trace.ProgramTrace`
+    up front, a caller *feeds* ops to per-core queues and *pumps* the
+    engine, which executes exactly as far as it can while preserving the
+    deterministic smallest-clock interleaving of :meth:`Engine.run`:
+
+    * ``pump()`` executes ops only while the globally next heap key
+      ``(clock, core)`` belongs to a core with buffered work.  When the
+      next key belongs to a core whose queue is empty (and that has not
+      been :meth:`end`-ed or marked :meth:`idle`), the pump *starves* and
+      returns that core's index — backpressure telling the caller which
+      stream the engine needs next.  This is what makes streamed ingestion
+      bit-identical to a materialized run: an op fed later to the starved
+      core could order before anything currently buffered elsewhere.
+    * ``feed(core, ops)`` appends ops to a core's queue; ``end(core)``
+      declares a stream complete; ``idle(core)`` temporarily removes a
+      core from the starvation barrier (closed-loop serving: the core has
+      no request in flight, so it cannot block global progress — a later
+      ``feed`` re-arms it).
+    * ``advance(core, cycle)`` moves an (empty-queued) core's clock
+      forward to a request arrival time, modelling the gap between
+      requests in an open-loop workload.
+    * ``finish()`` ends every core, drains, and settles the run exactly
+      like :meth:`Engine.run`'s completion path, returning the
+      :class:`RunResult`.
+
+    Because a core's clock only moves when its own ops execute, a starved
+    core's clock is exactly the completion cycle of the last op it was
+    fed — per-request latency falls out of ``clock(core)`` with no per-op
+    completion callbacks (:mod:`repro.serve` builds on this).
+
+    Eligible sessions (TSO, no crash schedule, no fault injection, no
+    execution log, ``mode != "object"``) run each pump through the
+    batched columnar interpreter with the buffered queues as an
+    *open-ended* window (`_run_columnar` ``open_ends``); everything else
+    takes the per-op object path.  Both paths produce identical results.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        n = engine.config.num_cores
+        self.num_cores = n
+        self.result = RunResult(stats=engine.stats)
+        self.clocks = [0] * n
+        self.flush_outstanding: List[List[int]] = [[] for _ in range(n)]
+        self.executed = 0
+        self._pending: List[Deque[TraceOp]] = [deque() for _ in range(n)]
+        self._ended = [False] * n
+        self._idle = [False] * n
+        self._finished = False
+        schedule = engine.hierarchy.crash_schedule
+        self._schedule = schedule
+        self._schedule_on = schedule.enabled
+        for key in engine.batch_counters:
+            engine.batch_counters[key] = 0
+        self._batched = (
+            engine.mode != "object"
+            and engine._tso
+            and not self._schedule_on
+            and not engine._log_enabled
+            and not engine.hierarchy.fault_injector.enabled
+        )
+
+    # -- ingestion -----------------------------------------------------
+    def clock(self, core: int) -> int:
+        """Core ``core``'s cycle clock — after a starve, the completion
+        cycle of the last op it executed."""
+        return self.clocks[core]
+
+    def feed(self, core: int, ops: Iterable[TraceOp]) -> None:
+        """Append ops to ``core``'s queue (clears an ``idle`` mark)."""
+        if self._finished:
+            raise RuntimeError("stream already finished")
+        if self._ended[core]:
+            raise ValueError(f"core {core} already ended")
+        self._idle[core] = False
+        pend = self._pending[core]
+        if self._batched:
+            for op in ops:
+                if not _fits(op):
+                    # Out-of-range fields poison the fixed-width columns:
+                    # fall back to the object path for the session's
+                    # remainder (results are identical either way).
+                    self._batched = False
+                pend.append(op)
+        else:
+            pend.extend(ops)
+
+    def end(self, core: int) -> None:
+        """Declare ``core``'s stream complete; it stops blocking pumps
+        once its queue drains, and may not be fed again."""
+        self._ended[core] = True
+        self._idle[core] = False
+
+    def idle(self, core: int) -> None:
+        """Remove an empty-queued core from the starvation barrier until
+        the next :meth:`feed` (closed-loop: no request in flight)."""
+        if self._pending[core]:
+            raise ValueError(f"core {core} has buffered ops; cannot idle")
+        self._idle[core] = True
+
+    def advance(self, core: int, cycle: int) -> None:
+        """Move an empty-queued core's clock forward to ``cycle`` (no-op
+        if its clock is already past), modelling inter-request gaps."""
+        if self._pending[core]:
+            raise ValueError(f"core {core} has buffered ops; cannot advance")
+        if cycle > self.clocks[core]:
+            self.clocks[core] = cycle
+
+    # -- execution -----------------------------------------------------
+    def pump(self) -> Optional[int]:
+        """Execute every buffered op that can run without violating the
+        global interleaving.  Returns the index of the core the engine
+        starved on (feed, idle, or end it, then pump again), or ``None``
+        when nothing blocks progress — every non-ended core is idle or
+        the session is fully drained (or crashed)."""
+        if self._finished:
+            raise RuntimeError("stream already finished")
+        if self.result.crashed:
+            return None
+        if self._batched:
+            return self._pump_columnar()
+        return self._pump_object()
+
+    def _pump_object(self) -> Optional[int]:
+        engine = self.engine
+        execute = engine._execute
+        result = self.result
+        clocks = self.clocks
+        pending = self._pending
+        ended = self._ended
+        idle = self._idle
+        fo = self.flush_outstanding
+        schedule_on = self._schedule_on
+        schedule = self._schedule
+        n = self.num_cores
+        while True:
+            # Same order as Engine.run's min-heap: smallest clock wins,
+            # ties break toward the lower core index (ascending scan with
+            # a strict ``<``).
+            best = -1
+            best_clock = 0
+            starve = False
+            for c in range(n):
+                if pending[c]:
+                    blocked = False
+                elif ended[c] or idle[c]:
+                    continue
+                else:
+                    blocked = True
+                clk = clocks[c]
+                if best < 0 or clk < best_clock:
+                    best = c
+                    best_clock = clk
+                    starve = blocked
+            if best < 0:
+                return None
+            if starve:
+                return best
+            op = pending[best].popleft()
+            try:
+                clock = execute(best, op, best_clock, result, fo[best])
+                clocks[best] = clock
+                self.executed += 1
+                if schedule_on:
+                    schedule.reached(SITE_OP, clock)
+            except CrashNow as crash:
+                clocks[best] = max(clocks[best], best_clock)
+                result.crashed = True
+                result.crash_op = self.executed
+                result.crash_point = crash.point
+                return None
+
+    def _pump_columnar(self) -> Optional[int]:
+        engine = self.engine
+        pending = self._pending
+        clocks = self.clocks
+        n = self.num_cores
+        if not any(pending):
+            # Nothing buffered anywhere: starvation is decided by the same
+            # (clock, core) scan, with no window to build.
+            best = -1
+            for c in range(n):
+                if self._ended[c] or self._idle[c]:
+                    continue
+                if best < 0 or clocks[c] < clocks[best]:
+                    best = c
+            return best if best >= 0 else None
+        window_ops: List[List[TraceOp]] = []
+        threads: List[ThreadColumns] = []
+        for c in range(n):
+            ops = list(pending[c])
+            window_ops.append(ops)
+            threads.append(ThreadColumns(
+                [KIND_TO_CODE[op.kind] for op in ops],
+                [op.addr for op in ops],
+                [op.size for op in ops],
+                [op.value for op in ops],
+                [op.cycles for op in ops],
+            ))
+        cols = ColumnarTrace(threads)
+        # Shared-op dispatch pulls TraceOp objects; hand it the originals
+        # instead of round-tripping through op_at.
+        cols._program = ProgramTrace([ThreadTrace(ops) for ops in window_ops])
+        open_ends = [not self._ended[c] and not self._idle[c]
+                     for c in range(n)]
+        indices = [0] * n
+        executed, starved = engine._run_columnar(
+            cols, self.result, clocks, indices, self.flush_outstanding,
+            open_ends=open_ends,
+        )
+        self.executed += executed
+        for c in range(n):
+            pend = pending[c]
+            for _ in range(indices[c]):
+                pend.popleft()
+        if self.result.crashed:  # pragma: no cover - plugin hooks only
+            return None
+        return starved
+
+    # -- completion ----------------------------------------------------
+    def finish(self, finalize: bool = True) -> RunResult:
+        """End every core, drain all buffered ops, and settle the run
+        exactly as :meth:`Engine.run` does on completion."""
+        if self._finished:
+            return self.result
+        for core in range(self.num_cores):
+            self._ended[core] = True
+            self._idle[core] = False
+        self.pump()
+        self._finished = True
+        return self.engine._epilogue(
+            self.result, self.clocks, self.flush_outstanding,
+            self.executed, finalize,
+        )

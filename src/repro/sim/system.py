@@ -26,7 +26,7 @@ from repro.fault.injector import NULL_INJECTOR
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.obs.bus import NULL_BUS, EventBus
 from repro.sim.config import SystemConfig
-from repro.sim.engine import ENGINE_MODES, Engine, RunResult
+from repro.sim.engine import ENGINE_MODES, Engine, EngineStream, RunResult
 from repro.sim.stats import SimStats
 from repro.sim.trace import ProgramTrace
 
@@ -95,6 +95,32 @@ class System:
 
             return run_analytical(self, trace, finalize=finalize)
         return self.engine.run(trace, crash_at_op=crash_at_op, finalize=finalize)
+
+    def stream(self) -> EngineStream:
+        """Open a streaming ingestion session (see
+        :class:`~repro.sim.engine.EngineStream`): feed ops incrementally
+        instead of materializing a trace.  A ``System`` is single-shot —
+        use either :meth:`run` or one stream, never both.  Analytical mode
+        has no op-level execution, so it cannot stream."""
+        if self.mode == "analytical":
+            raise ValueError(
+                "analytical mode has no streaming ingestion path; use a "
+                "discrete engine mode"
+            )
+        return self.engine.stream()
+
+    def run_stream(self, streams, chunk: int = 256,
+                   finalize: bool = True) -> RunResult:
+        """Execute per-core op iterables incrementally (chunked pulls on
+        engine backpressure).  Bit-identical to materializing the streams
+        into a trace and calling :meth:`run` — see
+        :meth:`repro.sim.engine.Engine.run_stream`."""
+        if self.mode == "analytical":
+            raise ValueError(
+                "analytical mode has no streaming ingestion path; use a "
+                "discrete engine mode"
+            )
+        return self.engine.run_stream(streams, chunk=chunk, finalize=finalize)
 
     @property
     def nvmm_media(self):

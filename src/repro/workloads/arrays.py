@@ -14,7 +14,9 @@ fraction lands near the paper's 23.8% (Table IV).
 
 from __future__ import annotations
 
-from repro.sim.trace import ThreadTrace, TraceOp
+from typing import Iterator
+
+from repro.sim.trace import TraceOp
 from repro.workloads.base import WORD, Workload
 
 #: Volatile (DRAM) stores emitted per persisting store so that the
@@ -50,15 +52,15 @@ class _ArrayWorkload(Workload):
         return lo + self.rng.randrange(max(1, shard))
 
     def _volatile_work(
-        self, trace: ThreadTrace, thread_id: int, op_index: int, p_stores: int
-    ) -> None:
+        self, thread_id: int, op_index: int, p_stores: int
+    ) -> Iterator[TraceOp]:
         """Thread-local bookkeeping between persists (volatile stores and a
         touch of compute), keeping %P-Stores near Table IV."""
         scratch = self._scratch[thread_id]
         for i in range(p_stores * _VOLATILE_STORES_PER_PSTORE):
             slot = scratch + ((op_index + i) % 64) * WORD
-            trace.append(TraceOp.store(slot, op_index + i))
-        trace.append(TraceOp.compute(self.spec.compute_per_op))
+            yield TraceOp.store(slot, op_index + i)
+        yield TraceOp.compute(self.spec.compute_per_op)
 
 
 class ArrayMutate(_ArrayWorkload):
@@ -68,16 +70,14 @@ class ArrayMutate(_ArrayWorkload):
     description = "modify in 1 million-element array"
     paper_p_store_pct = 23.8
 
-    def build_thread(self, thread_id: int) -> ThreadTrace:
-        trace = ThreadTrace()
+    def iter_ops(self, thread_id: int) -> Iterator[TraceOp]:
         for op in range(self.spec.ops):
             idx = self._pick_index(thread_id)
             addr = self._element_addr(idx)
-            trace.append(TraceOp.load(addr))
+            yield TraceOp.load(addr)
             new_value = (thread_id << 48) | (op << 16) | (idx & 0xFFFF)
-            trace.append(TraceOp.store(addr, new_value, tag=f"mut:{thread_id}:{op}"))
-            self._volatile_work(trace, thread_id, op, p_stores=1)
-        return trace
+            yield TraceOp.store(addr, new_value, tag=f"mut:{thread_id}:{op}")
+            yield from self._volatile_work(thread_id, op, p_stores=1)
 
 
 class ArraySwap(_ArrayWorkload):
@@ -89,21 +89,19 @@ class ArraySwap(_ArrayWorkload):
     description = "swap in 1 million-element array"
     paper_p_store_pct = 23.8
 
-    def build_thread(self, thread_id: int) -> ThreadTrace:
-        trace = ThreadTrace()
+    def iter_ops(self, thread_id: int) -> Iterator[TraceOp]:
         for op in range(self.spec.ops):
             i = self._pick_index(thread_id)
             j = self._pick_index(thread_id)
             if j == i:
                 j = (i + 1) % self.spec.elements if self.conflicting else i
             a, b = self._element_addr(i), self._element_addr(j)
-            trace.append(TraceOp.load(a))
-            trace.append(TraceOp.load(b))
+            yield TraceOp.load(a)
+            yield TraceOp.load(b)
             # Trace values are synthesised (a trace cannot observe runtime
             # values); the traffic pattern is what the simulation measures.
             va = (thread_id << 48) | (op << 16) | (j & 0xFFFF)
             vb = (thread_id << 48) | (op << 16) | (i & 0xFFFF)
-            trace.append(TraceOp.store(a, va, tag=f"swapA:{thread_id}:{op}"))
-            trace.append(TraceOp.store(b, vb, tag=f"swapB:{thread_id}:{op}"))
-            self._volatile_work(trace, thread_id, op, p_stores=2)
-        return trace
+            yield TraceOp.store(a, va, tag=f"swapA:{thread_id}:{op}")
+            yield TraceOp.store(b, vb, tag=f"swapB:{thread_id}:{op}")
+            yield from self._volatile_work(thread_id, op, p_stores=2)

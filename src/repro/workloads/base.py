@@ -21,10 +21,10 @@ import random
 import threading
 from collections import OrderedDict
 from dataclasses import astuple, dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.sim.config import MemConfig
-from repro.sim.trace import ProgramTrace, ThreadTrace
+from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
 from repro.workloads.alloc import PersistentHeap, VolatileHeap
 
 #: Width of one machine word in the traces (bytes).
@@ -73,12 +73,28 @@ class Workload:
     # ------------------------------------------------------------------
     # To implement
     # ------------------------------------------------------------------
-    def build_thread(self, thread_id: int) -> ThreadTrace:
+    def iter_ops(self, thread_id: int) -> Iterator[TraceOp]:
+        """Yield thread ``thread_id``'s operations lazily — the canonical
+        generation path.  :meth:`build_thread`/:meth:`build` materialize
+        it; the streaming engine
+        (:meth:`repro.sim.system.System.run_stream`) can consume it
+        incrementally without holding a whole trace in memory.
+
+        Contract: workloads keep *one* RNG and mutable model state shared
+        across threads, so generators must be consumed one thread at a
+        time in ascending thread order, each to exhaustion — exactly what
+        :meth:`build` does.  Interleaving two threads' generators yields
+        a different (still valid, but not trace-cache-equal) program.
+        """
         raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Common entry points
     # ------------------------------------------------------------------
+    def build_thread(self, thread_id: int) -> ThreadTrace:
+        """Materialize one thread's ops (built on :meth:`iter_ops`)."""
+        return ThreadTrace(self.iter_ops(thread_id))
+
     def build(self) -> ProgramTrace:
         threads = [self.build_thread(t) for t in range(self.spec.threads)]
         return ProgramTrace(threads)

@@ -13,9 +13,9 @@ deterministic pointer values.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.sim.trace import ThreadTrace, TraceOp
+from repro.sim.trace import TraceOp
 from repro.workloads.base import WORD, Workload
 
 #: node layout: key @0, value @8, left @16, right @24
@@ -86,56 +86,50 @@ class CTreeInsert(Workload):
                         break
                     parent = child
 
-    def build_thread(self, thread_id: int) -> ThreadTrace:
-        trace = ThreadTrace()
+    def iter_ops(self, thread_id: int) -> Iterator[TraceOp]:
         scratch = self._scratch[thread_id]
         for op in range(self.spec.ops):
             key = self.rng.randrange(1, 1 << 30)
 
             for i in range(_VOLATILE_STORES_PER_OP):
                 slot = scratch + ((op * 3 + i) % 64) * WORD
-                trace.append(TraceOp.store(slot, key + i))
-            trace.append(TraceOp.compute(self.spec.compute_per_op))
+                yield TraceOp.store(slot, key + i)
+            yield TraceOp.compute(self.spec.compute_per_op)
 
             # Walk from the root.
-            trace.append(TraceOp.load(self.root_slots[thread_id]))
+            yield TraceOp.load(self.root_slots[thread_id])
             parent: Optional[_Node] = None
             node = self._roots[thread_id]
             go_left = False
             while node is not None:
-                trace.append(TraceOp.load(node.addr + 0))       # key
+                yield TraceOp.load(node.addr + 0)       # key
                 parent = node
                 go_left = key < node.key
                 child_off = 16 if go_left else 24
-                trace.append(TraceOp.load(node.addr + child_off))
+                yield TraceOp.load(node.addr + child_off)
                 node = node.left if go_left else node.right
 
             # Allocate + initialise the new leaf (persisting stores).
             addr = self.pheap.alloc(_NODE_SIZE)
             value = key ^ 0xC7EE
-            trace.append(TraceOp.store(addr + 0, key, tag=f"key:{addr:x}"))
-            trace.append(TraceOp.store(addr + 8, value, tag=f"val:{addr:x}"))
-            trace.append(TraceOp.store(addr + 16, 0))
-            trace.append(TraceOp.store(addr + 24, 0))
+            yield TraceOp.store(addr + 0, key, tag=f"key:{addr:x}")
+            yield TraceOp.store(addr + 8, value, tag=f"val:{addr:x}")
+            yield TraceOp.store(addr + 16, 0)
+            yield TraceOp.store(addr + 24, 0)
 
             # Link it (the publish store).
             new_node = _Node(addr, key)
             self.model_nodes[addr] = (key, value)
             if parent is None:
-                trace.append(
-                    TraceOp.store(self.root_slots[thread_id], addr, tag="root")
-                )
+                yield TraceOp.store(self.root_slots[thread_id], addr, tag="root")
                 self._roots[thread_id] = new_node
             else:
                 child_off = 16 if go_left else 24
-                trace.append(
-                    TraceOp.store(parent.addr + child_off, addr, tag="link")
-                )
+                yield TraceOp.store(parent.addr + child_off, addr, tag="link")
                 if go_left:
                     parent.left = new_node
                 else:
                     parent.right = new_node
-        return trace
 
     # ------------------------------------------------------------------
     # Recovery checking

@@ -17,9 +17,9 @@ thread so the pre-generated trace has well-defined values.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, Iterator, List, Tuple
 
-from repro.sim.trace import ThreadTrace, TraceOp
+from repro.sim.trace import TraceOp
 from repro.workloads.base import WORD, Workload
 
 #: node layout: key @0, value @8, next @16
@@ -49,8 +49,7 @@ class HashmapInsert(Workload):
     def _bucket_addr(self, bucket: int) -> int:
         return self.bucket_base + bucket * WORD
 
-    def build_thread(self, thread_id: int) -> ThreadTrace:
-        trace = ThreadTrace()
+    def iter_ops(self, thread_id: int) -> Iterator[TraceOp]:
         lo = thread_id * self.buckets_per_thread
         scratch = self._scratch[thread_id]
         for op in range(self.spec.ops):
@@ -61,25 +60,24 @@ class HashmapInsert(Workload):
             # (1) hashing / bookkeeping: volatile traffic.
             for i in range(_VOLATILE_STORES_PER_OP):
                 slot = scratch + ((op * 7 + i) % 64) * WORD
-                trace.append(TraceOp.store(slot, key + i))
-            trace.append(TraceOp.compute(self.spec.compute_per_op))
+                yield TraceOp.store(slot, key + i)
+            yield TraceOp.compute(self.spec.compute_per_op)
 
             # (2) read the bucket head.
-            trace.append(TraceOp.load(baddr))
+            yield TraceOp.load(baddr)
             old_head = self.model_heads.get(bucket, 0)
 
             # (3) allocate + initialise the node (persisting stores).
             node = self.pheap.alloc(_NODE_SIZE)
             value = key ^ 0x5A5A5A5A
-            trace.append(TraceOp.store(node + 0, key, tag=f"key:{key}"))
-            trace.append(TraceOp.store(node + 8, value, tag=f"val:{key}"))
-            trace.append(TraceOp.store(node + 16, old_head, tag=f"next:{key}"))
+            yield TraceOp.store(node + 0, key, tag=f"key:{key}")
+            yield TraceOp.store(node + 8, value, tag=f"val:{key}")
+            yield TraceOp.store(node + 16, old_head, tag=f"next:{key}")
 
             # (4) publish.
-            trace.append(TraceOp.store(baddr, node, tag=f"head:{bucket}:{op}"))
+            yield TraceOp.store(baddr, node, tag=f"head:{bucket}:{op}")
             self.model_heads[bucket] = node
             self.model_nodes[node] = (key, value, old_head)
-        return trace
 
     # ------------------------------------------------------------------
     # Recovery checking

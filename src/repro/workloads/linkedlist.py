@@ -19,9 +19,9 @@ it reports.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, Iterator, List, Tuple
 
-from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
+from repro.sim.trace import ProgramTrace, TraceOp
 from repro.workloads.base import WORD, Workload
 
 #: node layout: value @0, next @8
@@ -76,16 +76,13 @@ class LinkedListAppend(Workload):
         self._head = node
         return ops
 
-    def build_thread(self, thread_id: int) -> ThreadTrace:
+    def iter_ops(self, thread_id: int) -> Iterator[TraceOp]:
         # The list is a single shared structure; the canonical use is
         # single-threaded (the paper's example), so thread 0 does the work.
-        trace = ThreadTrace()
         if thread_id != 0:
-            return trace
+            return
         for op in range(self.spec.ops):
-            for piece in self._append_ops(value=op + 1, barriers=self._barriers):
-                trace.append(piece)
-        return trace
+            yield from self._append_ops(value=op + 1, barriers=self._barriers)
 
     _barriers = False
 

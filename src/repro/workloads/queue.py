@@ -18,9 +18,9 @@ record with the correct sequence stamp.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, Iterator, List, Tuple
 
-from repro.sim.trace import ThreadTrace, TraceOp
+from repro.sim.trace import TraceOp
 from repro.workloads.base import WORD, Workload
 
 #: record layout: seq @0, payload @8 (two words per slot)
@@ -55,8 +55,7 @@ class QueueAppend(Workload):
         _, ring = self.rings[thread_id]
         return ring + (index % self.capacity) * _SLOT_WORDS * WORD
 
-    def build_thread(self, thread_id: int) -> ThreadTrace:
-        trace = ThreadTrace()
+    def iter_ops(self, thread_id: int) -> Iterator[TraceOp]:
         tail_slot, _ = self.rings[thread_id]
         scratch = self._scratch[thread_id]
         records = self.model.setdefault(thread_id, [])
@@ -65,22 +64,17 @@ class QueueAppend(Workload):
             seq = op + 1
 
             for i in range(_VOLATILE_STORES_PER_OP):
-                trace.append(
-                    TraceOp.store(scratch + ((op + i) % 32) * WORD, payload + i)
-                )
-            trace.append(TraceOp.compute(self.spec.compute_per_op))
+                yield TraceOp.store(scratch + ((op + i) % 32) * WORD, payload + i)
+            yield TraceOp.compute(self.spec.compute_per_op)
 
             # (1) payload into the slot...
             slot = self._slot_addr(thread_id, op)
-            trace.append(TraceOp.load(tail_slot))
-            trace.append(TraceOp.store(slot + 0, seq, tag=f"seq:{thread_id}:{op}"))
-            trace.append(
-                TraceOp.store(slot + 8, payload, tag=f"payload:{thread_id}:{op}")
-            )
+            yield TraceOp.load(tail_slot)
+            yield TraceOp.store(slot + 0, seq, tag=f"seq:{thread_id}:{op}")
+            yield TraceOp.store(slot + 8, payload, tag=f"payload:{thread_id}:{op}")
             # (2) ...then publish.
-            trace.append(TraceOp.store(tail_slot, seq, tag=f"tail:{thread_id}:{op}"))
+            yield TraceOp.store(tail_slot, seq, tag=f"tail:{thread_id}:{op}")
             records.append((seq, payload))
-        return trace
 
     # ------------------------------------------------------------------
     # Recovery checking

@@ -20,9 +20,9 @@ Trees are sharded per thread for deterministic trace values.
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, Generator, Iterator, List, Tuple
 
-from repro.sim.trace import ThreadTrace, TraceOp
+from repro.sim.trace import TraceOp
 from repro.workloads.base import WORD, Workload
 
 _FANOUT = 8
@@ -104,30 +104,33 @@ class RTreeInsert(Workload):
     # ------------------------------------------------------------------
     # Trace generation
     # ------------------------------------------------------------------
-    def _choose_child(self, trace: ThreadTrace, parent: _Node, point: int) -> _Node:
+    def _choose_child(
+        self, parent: _Node, point: int
+    ) -> Generator[TraceOp, None, _Node]:
         """Scan children (loading their bounding boxes) and pick the one
-        needing the least enlargement."""
-        trace.append(TraceOp.load(parent.addr + 16))
+        needing the least enlargement.  A generator: yields the load
+        traffic and *returns* the chosen child (consume via
+        ``child = yield from self._choose_child(...)``)."""
+        yield TraceOp.load(parent.addr + 16)
         best = None
         best_cost = None
         for i, child in enumerate(parent.children):
-            trace.append(TraceOp.load(child.addr + 0))
-            trace.append(TraceOp.load(child.addr + 8))
+            yield TraceOp.load(child.addr + 0)
+            yield TraceOp.load(child.addr + 8)
             cost = child.enlargement(point)
             if best_cost is None or cost < best_cost:
                 best, best_cost = child, cost
         return best
 
     def _emit_mbr_update(
-        self, trace: ThreadTrace, node: _Node, point: int, always: bool = False
-    ) -> None:
+        self, node: _Node, point: int, always: bool = False
+    ) -> Iterator[TraceOp]:
         changed = node.expand(point)
         if changed or always:
-            trace.append(TraceOp.store(node.addr + 0, node.lo, tag="mbr-lo"))
-            trace.append(TraceOp.store(node.addr + 8, node.hi, tag="mbr-hi"))
+            yield TraceOp.store(node.addr + 0, node.lo, tag="mbr-lo")
+            yield TraceOp.store(node.addr + 8, node.hi, tag="mbr-hi")
 
-    def build_thread(self, thread_id: int) -> ThreadTrace:
-        trace = ThreadTrace()
+    def iter_ops(self, thread_id: int) -> Iterator[TraceOp]:
         scratch = self._scratch[thread_id]
         root = self._roots[thread_id]
         for op in range(self.spec.ops):
@@ -135,14 +138,14 @@ class RTreeInsert(Workload):
 
             for i in range(_VOLATILE_STORES_PER_OP):
                 slot = scratch + ((op * 5 + i) % 64) * WORD
-                trace.append(TraceOp.store(slot, point + i))
-            trace.append(TraceOp.compute(self.spec.compute_per_op))
+                yield TraceOp.store(slot, point + i)
+            yield TraceOp.compute(self.spec.compute_per_op)
 
             # Descend root -> inner -> subinner -> leaf.
             path = [root]
             node = root
             for _ in range(_LEVELS):
-                node = self._choose_child(trace, node, point)
+                node = yield from self._choose_child(node, point)
                 path.append(node)
             leaf = node
             if len(leaf.entries) >= _FANOUT:
@@ -150,26 +153,25 @@ class RTreeInsert(Workload):
                 # allocate/append write pattern bounded.
                 leaf.entries.clear()
                 self.model_leaves[leaf.addr] = []
-                trace.append(TraceOp.store(leaf.addr + 16, 0, tag="reset"))
+                yield TraceOp.store(leaf.addr + 16, 0, tag="reset")
 
             # Append the entry, bump the count (persisting stores).
             entry_index = len(leaf.entries)
             value = (point << 8) | (thread_id & 0xFF)
-            trace.append(
-                TraceOp.store(leaf.addr + 24 + entry_index * WORD, value, tag="entry")
+            yield TraceOp.store(
+                leaf.addr + 24 + entry_index * WORD, value, tag="entry"
             )
             leaf.entries.append(value)
             self.model_leaves[leaf.addr].append(value)
-            trace.append(
-                TraceOp.store(leaf.addr + 16, len(leaf.entries), tag="count")
-            )
+            yield TraceOp.store(leaf.addr + 16, len(leaf.entries), tag="count")
 
             # Update MBRs along the path, leaf upward (the leaf's interval
             # is rewritten with every insert; upper levels only when the
             # point actually enlarges them).
             for depth, path_node in enumerate(reversed(path)):
-                self._emit_mbr_update(trace, path_node, point, always=(depth == 0))
-        return trace
+                yield from self._emit_mbr_update(
+                    path_node, point, always=(depth == 0)
+                )
 
     # ------------------------------------------------------------------
     # Recovery checking

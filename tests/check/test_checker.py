@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api import build_system
+from repro.api import RunOptions, build_system
 from repro.check.checker import (
     CHECK_SCHEMA,
     CheckUnit,
@@ -35,7 +35,7 @@ class TestEngineIntegration:
         trace = single_thread_trace(*ops)
         schedule = CrashSchedule(stop_at=2)
         system = build_system("bbb", config=small_config,
-                              crash_schedule=schedule)
+                              options=RunOptions(crash_schedule=schedule))
         result = system.run(trace)
         assert result.crashed
         assert result.crash_point is not None
@@ -47,7 +47,7 @@ class TestEngineIntegration:
         plain = build_system("bbb", config=small_config).run(trace)
         counted = CrashSchedule(stop_at=None)
         hooked = build_system("bbb", config=small_config,
-                              crash_schedule=counted).run(trace)
+                              options=RunOptions(crash_schedule=counted)).run(trace)
         assert not hooked.crashed
         assert plain.stats.nvmm_writes == hooked.stats.nvmm_writes
         assert counted.visits > 0
@@ -62,7 +62,7 @@ class TestEngineIntegration:
         trace = single_thread_trace(*ops)
         schedule = CrashSchedule(stop_at=3, sites=(SITE_POV,))
         system = build_system("bbb", config=small_config,
-                              crash_schedule=schedule)
+                              options=RunOptions(crash_schedule=schedule))
         result = system.run(trace)
         assert result.crashed
         check = check_exact_durability(

@@ -1,7 +1,7 @@
 """Per-site injector behaviour and end-to-end fault semantics on a live
 system."""
 
-from repro.api import build_system
+from repro.api import RunOptions, build_system
 from repro.core.recovery import (
     Outcome,
     check_exact_durability,
@@ -252,7 +252,7 @@ def test_battery_exhaustion_mid_drain_is_detected_inconsistent():
     ))
     injector = FaultInjector(plan)
     system = build_system("bbb", config=CFG, entries=32,
-                          fault_injector=injector)
+                          options=RunOptions(fault_injector=injector))
     result = system.run(trace, crash_at_op=trace.total_ops())
     contract = check_exact_durability(
         system.nvmm_media, result.committed_persists
@@ -273,7 +273,7 @@ def test_brownout_disabled_battery_loss_is_silent():
     ))
     injector = FaultInjector(plan)
     system = build_system("bbb", config=CFG, entries=32,
-                          fault_injector=injector)
+                          options=RunOptions(fault_injector=injector))
     result = system.run(trace, crash_at_op=trace.total_ops())
     contract = check_exact_durability(
         system.nvmm_media, result.committed_persists
@@ -290,7 +290,7 @@ def test_enabled_injector_with_empty_plan_is_bit_identical():
 
     def run(injector):
         system = build_system("bbb", config=CFG, entries=8,
-                              fault_injector=injector)
+                              options=RunOptions(fault_injector=injector))
         result = system.run(trace, crash_at_op=trace.total_ops())
         return result.stats.to_dict(), system.nvmm_media
 
@@ -314,8 +314,8 @@ def test_fault_events_reach_the_system_bus():
     injector = FaultInjector(plan)
     bus = EventBus()
     recorder = EventRecorder(bus)
-    system = build_system("bbb", config=CFG, entries=32, bus=bus,
-                          fault_injector=injector)
+    system = build_system("bbb", config=CFG, entries=32,
+                          options=RunOptions(bus=bus, fault_injector=injector))
     system.run(trace, crash_at_op=trace.total_ops())
     kinds = {e.kind for e in recorder.events}
     assert "fault_injected" in kinds

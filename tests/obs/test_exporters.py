@@ -6,7 +6,7 @@ import json
 import pytest
 
 from repro.analysis.experiments import default_sim_config
-from repro.api import build_system
+from repro.api import RunOptions, build_system
 from repro.obs.bus import EventBus, EventRecorder
 from repro.obs.events import (
     BbpbAlloc,
@@ -40,7 +40,8 @@ def observed_run():
     bus = EventBus()
     recorder = EventRecorder(bus)
     sampler = OccupancySampler(bus)
-    system = build_system("bbb", entries=8, config=cfg, bus=bus)
+    system = build_system("bbb", entries=8, config=cfg,
+                          options=RunOptions(bus=bus))
     seed_media_words(system.nvmm_media, initial_words)
     system.run(trace, finalize=True)
     return recorder.events, system.stats, sampler

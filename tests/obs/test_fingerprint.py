@@ -22,7 +22,7 @@ import pathlib
 import pytest
 
 from repro.analysis.experiments import default_sim_config
-from repro.api import build_system
+from repro.api import RunOptions, build_system
 from repro.obs.bus import EventBus, EventRecorder
 from repro.sim.config import ConsistencyModel
 from repro.sim.stats import CORE_FIELDS, SCALAR_FIELDS
@@ -66,7 +66,9 @@ def _run_combo(workload, scheme, kwargs, consistency, bus=None):
     if consistency == "relaxed":
         cfg = dataclasses.replace(cfg, consistency=ConsistencyModel.RELAXED)
     trace, initial_words = build_cached(workload, cfg.mem, SPEC)
-    extra = {"bus": bus} if bus is not None else {}
+    extra = (
+        {"options": RunOptions(bus=bus)} if bus is not None else {}
+    )
     system = build_system(scheme, config=cfg, **kwargs, **extra)
     seed_media_words(system.nvmm_media, initial_words)
     system.run(trace, finalize=False)

@@ -80,7 +80,7 @@ class TestRegistry:
 class TestRunRegistry:
     def _run(self, mode):
         from repro.analysis.experiments import default_sim_config
-        from repro.api import build_system
+        from repro.api import RunOptions, build_system
         from repro.core.registry import iter_schemes
         from repro.workloads.base import (WorkloadSpec, build_cached,
                                           seed_media_words)
@@ -90,7 +90,8 @@ class TestRunRegistry:
             "hashmap", cfg.mem, WorkloadSpec(threads=2, ops=20,
                                              elements=512, seed=2))
         scheme = next(i for i in iter_schemes() if i.has_persist_buffer)
-        system = build_system(scheme.name, config=cfg, entries=8, mode=mode)
+        system = build_system(scheme.name, config=cfg, entries=8,
+                              options=RunOptions(mode=mode))
         seed_media_words(system.nvmm_media, words)
         system.run(trace, finalize=False)
         return system

@@ -11,7 +11,7 @@ from hypothesis import strategies as st
 from repro.core.invariants import check_all
 from repro.core.recovery import check_exact_durability
 from repro.sim.config import ConsistencyModel, SystemConfig
-from repro.api import build_system
+from repro.api import RunOptions, build_system
 from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
 
 CFG = SystemConfig(num_cores=2).scaled_for_testing()
@@ -142,7 +142,8 @@ def test_relaxed_bbb_with_battery_sb_exact(threads, data):
         st.integers(min_value=1, max_value=trace.total_ops()), label="crash_at"
     )
     seed = data.draw(st.integers(min_value=0, max_value=99), label="seed")
-    system = build_system("bbb", config=cfg, entries=16, reorder_seed=seed)
+    system = build_system("bbb", config=cfg, entries=16,
+                          options=RunOptions(reorder_seed=seed))
     result = system.run(trace, crash_at_op=crash_at)
     check = check_exact_durability(system.nvmm_media, result.committed_persists)
     assert check, check.violations

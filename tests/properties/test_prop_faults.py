@@ -15,7 +15,7 @@ in test_prop_crash_consistency.py, so the strong form with
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import build_system
+from repro.api import RunOptions, build_system
 from repro.core.recovery import (
     Outcome,
     check_exact_durability,
@@ -63,7 +63,7 @@ def _classify(threads, data, plan):
     entries = data.draw(st.sampled_from([2, 8, 32]), label="entries")
     injector = FaultInjector(plan)
     system = build_system("bbb", config=CFG, entries=entries,
-                          fault_injector=injector)
+                          options=RunOptions(fault_injector=injector))
     result = system.run(trace, crash_at_op=crash_at)
     contract = check_exact_durability(
         system.nvmm_media, result.committed_persists

@@ -7,7 +7,7 @@ import pytest
 
 from repro.analysis.bench import fingerprint_run
 from repro.analysis.experiments import default_sim_config
-from repro.api import build_system
+from repro.api import RunOptions, build_system
 from repro.core.registry import CONTRACT_EPOCH, iter_schemes
 from repro.sim.trace import with_epochs
 from repro.workloads.base import (WORKLOAD_NAMES, WorkloadSpec, build_cached,
@@ -20,7 +20,7 @@ SCHEMES = [info for info in iter_schemes() if info.builtin]
 def _run(info, trace, initial_words, mode):
     kwargs = {"entries": 8} if info.has_persist_buffer else {}
     system = build_system(info.name, config=default_sim_config(),
-                          mode=mode, **kwargs)
+                          options=RunOptions(mode=mode), **kwargs)
     seed_media_words(system.nvmm_media, initial_words)
     result = system.run(trace, finalize=False)
     return system, result

@@ -5,7 +5,7 @@ import warnings
 
 import pytest
 
-from repro.api import SCHEMES, Scheme, build_system
+from repro.api import SCHEMES, RunOptions, Scheme, build_system
 from repro.core.bsp import BSP
 from repro.core.persistency import BBBScheme, BEP, EADR, NoPersistency, StrictPMEM
 from repro.obs.bus import NULL_BUS, EventBus
@@ -70,7 +70,8 @@ class TestBuildSystem:
 
     def test_bus_reaches_the_system(self, small_config):
         bus = EventBus()
-        system = build_system("bbb", config=small_config, bus=bus)
+        system = build_system("bbb", config=small_config,
+                              options=RunOptions(bus=bus))
         assert system.bus is bus
         assert system.hierarchy.bus is bus
 

@@ -9,7 +9,7 @@ from repro.analysis.analytical import (EXACT_FIELDS, TOLERANCE,
                                        validate_against_sim)
 from repro.analysis.bench import run_smoke
 from repro.analysis.experiments import default_sim_config
-from repro.api import build_system
+from repro.api import RunOptions, build_system
 from repro.core.registry import iter_schemes
 from repro.workloads.base import (WorkloadSpec, build_cached,
                                   seed_media_words)
@@ -67,7 +67,8 @@ def test_analytical_mode_rejects_crash_runs():
     cfg = default_sim_config()
     trace, _ = build_cached("hashmap", cfg.mem, SPEC)
     scheme = next(i for i in iter_schemes() if i.builtin)
-    system = build_system(scheme.name, config=cfg, mode="analytical")
+    system = build_system(scheme.name, config=cfg,
+                          options=RunOptions(mode="analytical"))
     with pytest.raises(ValueError, match="crash"):
         system.run(trace, crash_at_op=10)
 
@@ -75,4 +76,4 @@ def test_analytical_mode_rejects_crash_runs():
 def test_unknown_mode_rejected():
     scheme = next(i for i in iter_schemes() if i.builtin)
     with pytest.raises(ValueError, match="mode"):
-        build_system(scheme.name, mode="clairvoyant")
+        build_system(scheme.name, options=RunOptions(mode="clairvoyant"))

@@ -243,3 +243,45 @@ class TestTraceCommand:
 
         trace = load_trace(out_file)
         assert trace.num_threads == 2
+
+
+class TestTrafficCommand:
+    FAST_TRAFFIC = ["--requests", "30", "--entries", "16", "--tenants", "1",
+                    "--keys", "256"]
+
+    def test_smoke_gate(self, capsys):
+        assert main(["traffic", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "traffic smoke ok" in out
+        assert "p999" in out
+
+    def test_curve_in_one_command(self, capsys, tmp_path):
+        """The acceptance shape: one command, the default scheme trio,
+        a schema-valid report with one curve per scheme."""
+        out_file = tmp_path / "traffic.json"
+        rc = main(["traffic", "--loads", "1,4",
+                   "--out", str(out_file)] + self.FAST_TRAFFIC)
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("bbb", "eadr", "pmem"):
+            assert f"{name}:" in out
+        with open(out_file) as fh:
+            report = json.load(fh)
+        from repro.serve import validate_traffic_report
+
+        validate_traffic_report(report)
+        assert sorted(report["curves"]) == ["bbb", "eadr", "pmem"]
+        assert report["loads"] == [1.0, 4.0]
+
+    def test_serve_alias_and_closed_loop(self, capsys):
+        rc = main(["serve", "--arrival", "closed", "--clients", "4",
+                   "--loads", "1,2,4"] + self.FAST_TRAFFIC)
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Closed loop has no offered-load axis: the sweep collapses.
+        assert out.count("bbb:") == 1
+
+    def test_unknown_scheme_rejected(self, capsys):
+        rc = main(["traffic", "--schemes", "bogus"] + self.FAST_TRAFFIC)
+        assert rc == 2
+        assert "unknown" in capsys.readouterr().err.lower()

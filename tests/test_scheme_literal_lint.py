@@ -70,6 +70,17 @@ def test_no_scheme_name_literals_outside_registry():
     )
 
 
+def test_lint_walk_covers_the_serve_package():
+    # The serving frontend dispatches on registry constants, never name
+    # literals; make sure the walk actually visits it (a package rename
+    # must not silently drop it from the gate).
+    scanned = {p for p in SRC.rglob("*.py") if p != EXEMPT}
+    serve = sorted((SRC / "serve").glob("*.py"))
+    assert serve, "src/repro/serve has no modules to lint"
+    for path in serve:
+        assert path in scanned, f"{path} escaped the scheme-literal lint"
+
+
 def test_registry_is_where_the_names_live():
     # The exempt file must actually define every builtin canonical name,
     # so the lint cannot be "satisfied" by deleting the registry.  (Plugin
