@@ -26,6 +26,7 @@ from repro.core.persistency import BBBScheme
 from repro.core.registry import (
     BBB,
     CONTRACT_EXACT,
+    DEGRADED_WRITE_THROUGH,
     register_scheme,
     scheme_info,
 )
@@ -61,6 +62,9 @@ class WriteThroughBBB(BBBScheme):
     has_persist_buffer=True,
     battery_domain=True,
     accepted_kwargs=("drain_threshold",),
+    # Already write-through: serving it degraded is a no-op capability,
+    # which makes the plugin a handy degraded-mode exerciser.
+    degraded_mode=DEGRADED_WRITE_THROUGH,
     display="BBB (no coalescing)",
     doc="write-through BBB ablation: force-drain every persisting store",
     replace=True,
@@ -123,7 +127,28 @@ def main() -> int:
         print("error: plugin scheme silently corrupted under battery faults")
         return 1
 
-    print("custom scheme ran through build, check, and faults: OK")
+    # 4. The serving frontend honours the declared degraded-mode
+    #    capability: the plugin serves traffic degraded, while a scheme
+    #    without the capability refuses.
+    from repro.serve import TrafficSpec, run_traffic
+
+    traffic = TrafficSpec(requests=30, seed=7)
+    point = run_traffic(SCHEME_NAME, traffic, entries=8, degraded=True)
+    print(f"degraded serving: completed {point.completed}/{traffic.requests} "
+          f"(degraded={point.degraded})")
+    if point.completed != traffic.requests or not point.degraded:
+        print("error: degraded-mode serving did not complete the traffic")
+        return 1
+    try:
+        run_traffic("pmem", traffic, entries=8, degraded=True)
+    except ValueError as exc:
+        print(f"pmem correctly refused degraded serving: {exc}")
+    else:
+        print("error: pmem served degraded without declaring the capability")
+        return 1
+
+    print("custom scheme ran through build, check, faults, and degraded "
+          "serving: OK")
     return 0
 
 

@@ -11,8 +11,12 @@ Commands:
 * ``trace``   — generate a workload trace and save it to a file.
 * ``traffic`` (alias ``serve``) — request-driven serving: sweep offered
   load across schemes and report the throughput-vs-load curve with
-  p50/p99/p999 request latency per scheme (``repro.traffic/v1`` JSON
+  p50/p99/p999 request latency per scheme (``repro.traffic/v2`` JSON
   via ``--out``).
+* ``drill``   — crash-recovery drills: crash the traffic frontend at
+  seeded op visits, recover, and account for every request; reports
+  RPO/RTO per scheme (``repro.drill/v1``) and exits non-zero if a
+  battery-domain scheme loses an acked request.
 * ``bench``   — time the fixed perf smoke suite and write ``BENCH_<rev>.json``.
 * ``faults``  — seeded fault-injection campaign (scheme x workload x plan);
   exits non-zero if any battery-domain fault produced silent corruption.
@@ -37,6 +41,8 @@ Examples::
     python -m repro trace --workload rtree --out rtree.trace
     python -m repro faults --smoke
     python -m repro faults --workloads hashmap,ctree --out faults.json
+    python -m repro drill --smoke
+    python -m repro drill --schemes bbb,eadr --crashes 5 --out drill.json
     python -m repro check --smoke
     python -m repro check --scheme bbb --mutant bbb-delayed-alloc --cex-out cex.json
     python -m repro check --replay cex.json
@@ -484,6 +490,91 @@ def _traffic_smoke() -> int:
     return 0
 
 
+def cmd_drill(args) -> int:
+    # Imported here: the serving stack should not tax other commands.
+    from repro.serve.drill import run_drills, smoke_drill, write_report
+    from repro.serve.loadgen import TrafficSpec
+
+    def progress(done: int, total: int, label: str) -> None:
+        if sys.stderr.isatty():
+            print(f"\r  {done}/{total} {label:<32}", end="", file=sys.stderr,
+                  flush=True)
+            if done == total:
+                print(file=sys.stderr)
+
+    try:
+        if args.smoke:
+            report = smoke_drill(seed=args.seed, progress=progress)
+        else:
+            schemes = (
+                [canonical_name(s) for s in args.schemes.split(",")]
+                if args.schemes else list(SCHEMES)
+            )
+            loads = (
+                [float(x) for x in args.loads.split(",")]
+                if args.loads else [2.0]
+            )
+            spec = TrafficSpec(requests=args.requests, arrival=args.arrival,
+                               offered_load=loads[0], seed=args.seed + 42)
+            report = run_drills(
+                schemes, spec, loads, crashes=args.crashes, seed=args.seed,
+                entries=args.entries, mutants=tuple(
+                    m.strip() for m in args.mutants.split(",") if m.strip()
+                ) if args.mutants else (), progress=progress,
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rows = []
+    for group in ("per_scheme", "per_mutant"):
+        for name, block in report[group].items():
+            rows.append((
+                name, block["units"], block["acked_lost_total"],
+                block["acked_lost_bytes"], block["rto_cycles"]["p50"],
+                block["rto_cycles"]["p99"], block["contract_violations"],
+            ))
+    print(render_table(
+        ["scheme", "units", "acked-lost", "lost-bytes", "rto-p50", "rto-p99",
+         "contract-viol"],
+        rows,
+        title=f"crash-recovery drills ({len(report['units'])} units, "
+              f"seed {report['seed']})",
+    ))
+    if args.out:
+        print(f"wrote {write_report(report, args.out)}")
+
+    failures = []
+    domain = report["battery_domain"]
+    if domain["acked_lost"]:
+        failures.append(
+            f"battery-domain scheme lost {domain['acked_lost']} acked "
+            f"request(s) — RPO > 0 breaks the paper's contract"
+        )
+    for name, hit in domain["mutants_caught"].items():
+        if not hit:
+            failures.append(
+                f"mutant {name!r} escaped the drill: no acked loss and no "
+                f"contract violation at any crash point"
+            )
+    for unit in report["units"]:
+        rec = unit["recovery"]
+        if rec["restart_completed"] != rec["restart_requests"]:
+            failures.append(
+                f"{unit['mutant'] or unit['scheme']} @ visit "
+                f"{unit['crash_visit']}: restart served "
+                f"{rec['restart_completed']}/{rec['restart_requests']} "
+                f"unresolved requests"
+            )
+    for failure in failures:
+        print(f"drill FAILED: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    if args.smoke:
+        print("drill smoke ok")
+    return 0
+
+
 def cmd_faults(args) -> int:
     # Imported here: the fault-campaign stack (batch runner, recovery
     # checkers) should not tax the other commands' startup.
@@ -823,7 +914,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="bbPB entries")
     p_traffic.add_argument("--seed", type=int, default=42)
     p_traffic.add_argument("--out", default=None, metavar="PATH",
-                           help="write the repro.traffic/v1 report as JSON")
+                           help="write the repro.traffic/v2 report as JSON")
     p_traffic.add_argument("--smoke", action="store_true",
                            help="CI gate: tiny fixed sweep; exits non-zero "
                                 "on schema/percentile failure")
@@ -846,6 +937,42 @@ def build_parser() -> argparse.ArgumentParser:
                               "+ analytical tolerance check; exits non-zero "
                               "on any mismatch (no timing)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_drill = sub.add_parser(
+        "drill",
+        help="crash-recovery drills over the traffic frontend: seeded "
+             "mid-traffic crashes, per-request durability accounting, "
+             "RPO/RTO per scheme",
+    )
+    p_drill.add_argument("--smoke", action="store_true",
+                         help="CI gate: every scheme x 3 shared crash "
+                              "points + the bbb-delayed-alloc mutant; "
+                              "exits non-zero if a battery-domain scheme "
+                              "loses an acked request or the mutant "
+                              "escapes")
+    p_drill.add_argument("--schemes", default=None, metavar="A,B,...",
+                         help="comma-separated schemes (default: all)")
+    p_drill.add_argument("--loads", default=None, metavar="L1,L2,...",
+                         help="offered loads in requests/kilocycle "
+                              "(default: 2.0)")
+    p_drill.add_argument("--crashes", type=int, default=3,
+                         help="seeded crash points per load (shared across "
+                              "schemes)")
+    p_drill.add_argument("--requests", type=int, default=60,
+                         help="requests per drilled run")
+    p_drill.add_argument("--arrival", choices=["open", "closed"],
+                         default="open")
+    p_drill.add_argument("--mutants", default=None, metavar="A,B,...",
+                         help="deliberately broken variants to drill "
+                              "(see repro.check.mutants.MUTANTS)")
+    p_drill.add_argument("--entries", type=int, default=16,
+                         help="bbPB entries")
+    p_drill.add_argument("--seed", type=int, default=7,
+                         help="crash-point seed (traffic seed derives from "
+                              "it)")
+    p_drill.add_argument("--out", default=None, metavar="PATH",
+                         help="write the repro.drill/v1 report as JSON")
+    p_drill.set_defaults(func=cmd_drill)
 
     p_faults = sub.add_parser(
         "faults",

@@ -392,3 +392,97 @@ def classify_outcome(
     if detected:
         return Outcome.DETECTED_INCONSISTENT
     return Outcome.SILENT_CORRUPTION
+
+
+# ----------------------------------------------------------------------
+# Request-level durability taxonomy (crash-recovery drills)
+# ----------------------------------------------------------------------
+
+#: Classification of one client request against the post-crash durable
+#: image — the serving-layer analog of the contract checks above.  The
+#: axes are what the *client* observed (acked or not) crossed with what
+#: the *media* retained (the request's persisting effects durable or not):
+#:
+#: * ``acked-durable`` — the client saw a completion and every persisting
+#:   effect survived.  The only acceptable fate for an acked request
+#:   under a PoV==PoP scheme.
+#: * ``acked-lost`` — the client saw a completion but some persisting
+#:   effect did NOT survive the crash.  This is the RPO violation: data a
+#:   client was told is safe is gone.  Battery-domain schemes (bbb, eadr)
+#:   must never produce it.
+#: * ``unacked-lost`` — the client never saw a completion and the
+#:   request's effects are (at least partially) gone.  Expected: the
+#:   client will retry against the recovered service.
+#: * ``retried-duplicate`` — the client never saw a completion yet every
+#:   persisting effect IS durable: a retry after recovery would re-apply
+#:   an already-persisted update.  Not a durability loss, but the reason
+#:   real services need idempotent request ids.
+ACKED_DURABLE = "acked-durable"
+ACKED_LOST = "acked-lost"
+UNACKED_LOST = "unacked-lost"
+RETRIED_DUPLICATE = "retried-duplicate"
+REQUEST_OUTCOMES = (ACKED_DURABLE, ACKED_LOST, UNACKED_LOST,
+                    RETRIED_DUPLICATE)
+
+
+@dataclass(frozen=True)
+class RequestVerdict:
+    """One request's fate across a crash: client-visible acknowledgement
+    vs. media-level durability, plus the lost persisting stores (the RPO
+    evidence) when the two disagree."""
+
+    request_id: int
+    tenant: str
+    op: str
+    acked: bool
+    outcome: str
+    lost_stores: Tuple[Tuple[int, int, int], ...] = ()  # (addr, size, value)
+
+    @property
+    def lost_bytes(self) -> int:
+        return sum(size for _, size, _ in self.lost_stores)
+
+
+def classify_request(
+    acked: bool, durable: bool, persisted_effects: bool
+) -> str:
+    """Fold the 2x2 of (client acked, effects durable) into a request
+    outcome.  ``persisted_effects`` distinguishes a vacuously "durable"
+    request with no persisting stores at all (reads, never-dispatched
+    requests) from one whose stores genuinely all survived: only the
+    latter can be a ``retried-duplicate``."""
+    if acked:
+        return ACKED_DURABLE if durable else ACKED_LOST
+    if durable and persisted_effects:
+        return RETRIED_DUPLICATE
+    return UNACKED_LOST
+
+
+def lost_request_stores(
+    media: NVMMedia,
+    stores: Sequence[Tuple[int, int, int]],
+    request_id: int,
+    last_writer: Dict[int, int],
+) -> List[Tuple[int, int, int]]:
+    """The subset of a request's persisting stores provably lost by a
+    crash.
+
+    ``stores`` is the request's persisting footprint as ``(addr, size,
+    value)`` word stores; ``last_writer`` maps each address to the request
+    that issued the last *committed* write to it (commit order — under
+    TSO, per-address commit order equals per-core program order, and the
+    KV service routes every writer of an address to the same core).  Only
+    addresses where *this* request is the last committed writer are
+    checkable: anything later overwritten is unobservable, exactly like
+    the multi-written-byte skip in :func:`check_prefix_consistency`.  An
+    address this request wrote but never committed is not claimed by any
+    scheme and therefore not evidence of loss.
+    """
+    lost: List[Tuple[int, int, int]] = []
+    for addr, size, value in stores:
+        if last_writer.get(addr) != request_id:
+            continue
+        mask = (1 << (8 * size)) - 1
+        if media.read_word(addr, size) != (value & mask):
+            lost.append((addr, size, value))
+    return lost

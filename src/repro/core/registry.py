@@ -55,6 +55,9 @@ __all__ = [
     "CONTRACT_KINDS",
     "CONTRACT_PREFIX",
     "DEFAULT_SCHEME",
+    "DEGRADED_MODES",
+    "DEGRADED_NONE",
+    "DEGRADED_WRITE_THROUGH",
     "EADR",
     "NONE",
     "PMEM",
@@ -108,6 +111,18 @@ CONTRACT_KINDS = (
 POP_STORE_COMMIT = "store-commit"
 POP_FLUSH = "flush"
 _POP_LOCATIONS = (POP_STORE_COMMIT, POP_FLUSH)
+
+#: Degraded-mode capabilities.  A scheme whose durability depends on a
+#: battery can declare what it falls back to when battery health is in
+#: doubt (brown-out, failed self-test): ``DEGRADED_WRITE_THROUGH`` means
+#: the serving layer may keep running the scheme with every persisting
+#: store force-drained out of the battery domain as it arrives — slower,
+#: but durable without the battery.  ``DEGRADED_NONE`` (the default)
+#: means the scheme has no degraded fallback and the serving layer must
+#: refuse to degrade it.
+DEGRADED_NONE = ""
+DEGRADED_WRITE_THROUGH = "write-through"
+DEGRADED_MODES = (DEGRADED_NONE, DEGRADED_WRITE_THROUGH)
 
 
 # ----------------------------------------------------------------------
@@ -173,6 +188,12 @@ class SchemeInfo:
     #: leave this False so every persisting store executes in exact global
     #: order.
     stall_free_persists: bool = False
+    #: What the scheme degrades to when battery health is in doubt (one
+    #: of :data:`DEGRADED_MODES`).  ``DEGRADED_WRITE_THROUGH`` lets the
+    #: serving layer keep the scheme online with every persisting store
+    #: force-drained past the battery domain; ``DEGRADED_NONE`` means no
+    #: fallback exists and degraded serving must be refused.
+    degraded_mode: str = DEGRADED_NONE
     #: Alternate accepted names (e.g. the scheme object's instance name).
     aliases: Tuple[str, ...] = ()
     #: Scheme-specific keyword arguments the factory accepts.
@@ -241,6 +262,7 @@ def register_scheme(
     crash_consistent: bool = True,
     cache_local_persists: bool = True,
     stall_free_persists: bool = False,
+    degraded_mode: str = DEGRADED_NONE,
     aliases: Tuple[str, ...] = (),
     accepted_kwargs: Tuple[str, ...] = (),
     display: str = "",
@@ -270,6 +292,11 @@ def register_scheme(
             f"scheme {name!r}: unknown PoP location {pop!r}; "
             f"expected one of {', '.join(_POP_LOCATIONS)}"
         )
+    if degraded_mode not in DEGRADED_MODES:
+        raise ValueError(
+            f"scheme {name!r}: unknown degraded mode {degraded_mode!r}; "
+            f"expected one of {', '.join(repr(m) for m in DEGRADED_MODES)}"
+        )
 
     def decorator(factory: Callable) -> Callable:
         info = SchemeInfo(
@@ -285,6 +312,7 @@ def register_scheme(
             crash_consistent=crash_consistent,
             cache_local_persists=cache_local_persists,
             stall_free_persists=stall_free_persists,
+            degraded_mode=degraded_mode,
             aliases=tuple(aliases),
             accepted_kwargs=tuple(accepted_kwargs),
             display=display or name,
@@ -395,6 +423,7 @@ def scheme_for_class(cls: type) -> SchemeInfo:
     pop=POP_STORE_COMMIT,
     has_persist_buffer=True,
     battery_domain=True,
+    degraded_mode=DEGRADED_WRITE_THROUGH,
     accepted_kwargs=("drain_threshold",),
     display="BBB",
     doc="memory-side battery-backed persist buffer (the paper's design)",
@@ -416,6 +445,7 @@ def _build_bbb(cls, entries, drain_threshold=0.75):
     pop=POP_STORE_COMMIT,
     has_persist_buffer=True,
     battery_domain=True,
+    degraded_mode=DEGRADED_WRITE_THROUGH,
     accepted_kwargs=("coalesce_consecutive",),
     display="BBB (proc-side)",
     doc="processor-side bbPB (Section V-C baseline)",

@@ -44,8 +44,13 @@ from repro.obs.events import (
     DrainEnd,
     DrainStart,
     Event,
+    DegradedModeEntered,
     ForcedDrain,
+    RecoveryCompleted,
     RequestCompleted,
+    RequestRejected,
+    RequestRetried,
+    RequestTimeout,
     SbPush,
     SbRelease,
     StallBegin,
@@ -83,6 +88,11 @@ __all__ = [
     "WpqEnqueue",
     "WpqDrain",
     "RequestCompleted",
+    "RequestRejected",
+    "RequestTimeout",
+    "RequestRetried",
+    "DegradedModeEntered",
+    "RecoveryCompleted",
     "SbPush",
     "SbRelease",
     "StallBegin",

@@ -259,6 +259,76 @@ class RequestCompleted(Event):
     latency: int
 
 
+@dataclass(frozen=True)
+class RequestRejected(Event):
+    """Admission control shed a request: the target core's bounded queue
+    was full at arrival, so the client got an immediate typed rejection
+    instead of unbounded queueing delay."""
+
+    kind: ClassVar[str] = "request_rejected"
+    core: int
+    request_id: int
+    tenant: str
+    depth: int
+
+
+@dataclass(frozen=True)
+class RequestTimeout(Event):
+    """A request missed its deadline while queued: the core only reached
+    it ``waited`` cycles after issue, past ``deadline`` — the server
+    drops it without executing a single op (it was never lowered)."""
+
+    kind: ClassVar[str] = "request_timeout"
+    core: int
+    request_id: int
+    tenant: str
+    waited: int
+    deadline: int
+
+
+@dataclass(frozen=True)
+class RequestRetried(Event):
+    """A closed-loop client re-issued a shed or timed-out request after
+    an exponential-backoff-with-jitter delay; ``attempt`` counts retries
+    so far (1 = first retry) and ``retry_at`` is the re-issue cycle."""
+
+    kind: ClassVar[str] = "request_retried"
+    core: int
+    request_id: int
+    attempt: int
+    retry_at: int
+
+
+@dataclass(frozen=True)
+class DegradedModeEntered(Event):
+    """The serving layer put a scheme into its declared degraded mode
+    (battery health in doubt): ``mode`` is the registry capability (e.g.
+    write-through) the run is serving under."""
+
+    kind: ClassVar[str] = "degraded_mode_entered"
+    scheme: str
+    mode: str
+    reason: str
+
+
+# ----------------------------------------------------------------------
+# Crash-recovery drills (serve/drill.py)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RecoveryCompleted(Event):
+    """A crash-recovery drill finished: the durable image was
+    reconstructed, the KV chains repaired, and the stream restarted.
+    ``acked_lost`` is the RPO violation count; ``rto_cycles`` the modelled
+    recovery time (drain residue + repair scan + restart)."""
+
+    kind: ClassVar[str] = "recovery_completed"
+    scheme: str
+    crash_op: int
+    acked_lost: int
+    rto_cycles: int
+
+
 # ----------------------------------------------------------------------
 # Crash-consistency model checker (check/checker.py)
 # ----------------------------------------------------------------------
@@ -316,6 +386,11 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         FaultDetected,
         BatteryDepleted,
         RequestCompleted,
+        RequestRejected,
+        RequestTimeout,
+        RequestRetried,
+        DegradedModeEntered,
+        RecoveryCompleted,
         CheckStateExplored,
         CheckViolation,
     )

@@ -6,7 +6,7 @@ what latency does a client of a persistent key-value service observe
 under each persistency scheme, and how does it degrade as offered load
 approaches saturation?
 
-Three layers:
+Four layers:
 
 * :mod:`repro.serve.loadgen` — synthetic client sessions: Zipf-skewed
   keys, YCSB-style read/update/insert mixes, burst phases, multi-tenant
@@ -22,14 +22,35 @@ Three layers:
   core's clock.  :func:`~repro.serve.frontend.run_traffic` measures one
   (scheme, offered load) point; :func:`~repro.serve.frontend.
   traffic_curve` sweeps a load grid across schemes into the versioned
-  ``repro.traffic/v1`` report (:mod:`repro.serve.report`).
+  ``repro.traffic/v2`` report (:mod:`repro.serve.report`).  Overload
+  protection (bounded admission queues, per-request deadlines,
+  closed-loop retry with backoff) and battery-health-triggered degraded
+  serving live here too.
+* :mod:`repro.serve.drill` — crash-recovery drills: crash a traffic run
+  at a seeded op visit, drain/repair/restart, classify every request
+  (acked-durable / acked-lost / unacked-lost / retried-duplicate), and
+  report RPO/RTO per scheme in the versioned ``repro.drill/v1`` report.
 
 Everything is deterministic in ``TrafficSpec.seed``: two runs of the same
 spec against the same scheme produce identical traces, latencies, and
 reports.
 """
 
-from repro.serve.frontend import TrafficPoint, run_traffic, traffic_curve
+from repro.serve.drill import (
+    DRILL_SCHEMA,
+    DrillUnit,
+    count_crash_sites,
+    execute_drill_unit,
+    run_drills,
+    smoke_drill,
+    validate_drill_report,
+)
+from repro.serve.frontend import (
+    LoopStats,
+    TrafficPoint,
+    run_traffic,
+    traffic_curve,
+)
 from repro.serve.kvservice import KVService
 from repro.serve.loadgen import (
     Request,
@@ -45,16 +66,24 @@ from repro.serve.report import (
 )
 
 __all__ = [
+    "DRILL_SCHEMA",
+    "DrillUnit",
     "KVService",
+    "LoopStats",
     "Request",
     "TenantSpec",
     "TrafficPoint",
     "TrafficSpec",
     "TRAFFIC_SCHEMA_VERSION",
     "ZipfSampler",
+    "count_crash_sites",
+    "execute_drill_unit",
     "iter_requests",
     "render_curve",
+    "run_drills",
     "run_traffic",
+    "smoke_drill",
     "traffic_curve",
+    "validate_drill_report",
     "validate_traffic_report",
 ]

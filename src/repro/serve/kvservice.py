@@ -36,7 +36,7 @@ from repro.serve.loadgen import (
     TrafficSpec,
 )
 from repro.sim.config import MemConfig
-from repro.sim.trace import TraceOp
+from repro.sim.trace import OpKind, TraceOp
 from repro.workloads.alloc import PersistentHeap, VolatileHeap
 from repro.workloads.base import WORD
 
@@ -115,6 +115,16 @@ class KVService:
             self._tenant_index[tenant.name] = i
         self.requests_lowered = 0
         self.persisting_stores = 0
+        #: request id -> [(addr, size, value)] persisting footprint, in
+        #: lowering (= feed) order; None until enabled (the drill's
+        #: acked-durability classifier needs it, plain traffic does not).
+        self.persist_log: Optional[Dict[int, List[Tuple[int, int, int]]]] = \
+            None
+
+    def enable_persist_log(self) -> None:
+        """Record each request's persisting-store footprint as it lowers
+        (crash-recovery drills classify requests against it)."""
+        self.persist_log = {}
 
     # ------------------------------------------------------------------
     # Routing
@@ -173,6 +183,11 @@ class KVService:
             raise ValueError(f"unknown request op {request.op!r}")
 
         self.requests_lowered += 1
+        if self.persist_log is not None:
+            self.persist_log[rid] = [
+                (op.addr, op.size, op.value) for op in ops
+                if op.kind is OpKind.STORE and self.mem.is_persistent(op.addr)
+            ]
         return ops
 
     def _value_of(self, request: Request) -> int:
@@ -259,3 +274,57 @@ class KVService:
             return (not violations, violations)
 
         return checker
+
+    def recovery_scan(self, media) -> Dict[str, object]:
+        """The chain-walk repair pass a recovery procedure performs over
+        the durable image, as work counters.
+
+        Walks every bucket chain exactly as recovery would: one NVMM read
+        per bucket head, three per visited node (key/value/next).  A
+        reachable node that is dangling or half-initialised (pointer
+        persisted before node contents) ends its chain there and counts
+        one *repair* — the head/next rewrite that truncates the chain at
+        the last good link.  The scan is read-only (the drill classifies
+        requests against the same image afterwards); the counters price
+        the pass into RTO:
+
+        ``reads``   NVMM word reads performed,
+        ``nodes``   nodes visited,
+        ``repairs`` truncating writes a repair pass would issue,
+        ``broken``  human-readable descriptions of each truncation.
+        """
+        buckets = 0
+        nodes = 0
+        reads = 0
+        repairs = 0
+        broken: List[str] = []
+        for store in self._stores.values():
+            for b in range(store.buckets):
+                buckets += 1
+                baddr = store.bucket_addr(b)
+                node = media.read_word(baddr)
+                reads += 1
+                hops = 0
+                while node and hops <= len(store.nodes) + 1:
+                    nodes += 1
+                    reads += 3
+                    model = store.nodes.get(node)
+                    if (model is None
+                            or media.read_word(node + 0) != model[0]
+                            or media.read_word(node + 8) != model[1]):
+                        repairs += 1
+                        broken.append(
+                            f"tenant {store.name}: bucket 0x{baddr:x} chain "
+                            f"truncated at 0x{node:x} "
+                            f"({'dangling' if model is None else 'uninitialised'})"
+                        )
+                        break
+                    node = media.read_word(node + 16)
+                    hops += 1
+        return {
+            "buckets": buckets,
+            "nodes": nodes,
+            "reads": reads,
+            "repairs": repairs,
+            "broken": broken,
+        }

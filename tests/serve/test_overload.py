@@ -1,0 +1,150 @@
+"""Overload-protection tests: bounded admission queues, per-request
+deadlines, closed-loop retries, and degraded-mode serving."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import RunOptions
+from repro.core.registry import ADR, BBB, scheme_info
+from repro.fault.injector import FaultInjector
+from repro.fault.plan import SITE_BATTERY, FaultPlan, FaultSpec
+from repro.serve import TrafficSpec, run_traffic
+from repro.serve.frontend import OUTCOME_REJECTED, OUTCOME_TIMEOUT
+
+BASE = TrafficSpec(requests=60, seed=7)
+
+
+def test_default_spec_never_sheds_or_times_out():
+    point = run_traffic(BBB, BASE, entries=16)
+    assert point.completed == BASE.requests
+    assert point.shed == 0
+    assert point.timeouts == 0
+    assert point.retries == 0
+    assert point.shed_rate == 0.0
+    assert point.degraded is False
+
+
+def test_bounded_queues_shed_past_saturation():
+    """At 50x the sustainable load a 3-deep admission queue must shed,
+    and the observed depth must never exceed the bound."""
+    spec = dataclasses.replace(BASE, offered_load=50.0, queue_limit=3)
+    point = run_traffic(BBB, spec, entries=16)
+    assert point.shed > 0
+    assert point.max_queue_depth <= spec.queue_limit
+    assert point.shed_rate == round(point.shed / spec.requests, 6)
+    assert point.completed + point.shed + point.timeouts == spec.requests
+
+
+def test_unbounded_queues_grow_past_the_limit():
+    """The same overload without a limit queues deeper than the bounded
+    run ever did — the depth metric measures something real."""
+    bounded = run_traffic(
+        BBB, dataclasses.replace(BASE, offered_load=50.0, queue_limit=3),
+        entries=16)
+    unbounded = run_traffic(
+        BBB, dataclasses.replace(BASE, offered_load=50.0), entries=16)
+    assert unbounded.shed == 0
+    assert unbounded.max_queue_depth > bounded.max_queue_depth
+
+
+def test_deadlines_drop_stale_requests_before_lowering():
+    spec = dataclasses.replace(BASE, offered_load=50.0, deadline_cycles=300)
+    point = run_traffic(BBB, spec, entries=16)
+    assert point.timeouts > 0
+    assert point.completed + point.timeouts == spec.requests
+    # A timed-out request is never served: its latency never lands in
+    # the histogram.
+    assert point.latency["count"] == point.completed
+
+
+def test_overload_outcomes_land_in_the_recorder():
+    from repro.obs.latency import LatencyRecorder
+
+    recorder = LatencyRecorder()
+    recorder.count(OUTCOME_REJECTED)
+    recorder.count(OUTCOME_TIMEOUT, 2)
+    assert recorder.outcome(OUTCOME_REJECTED) == 1
+    assert recorder.outcome(OUTCOME_TIMEOUT) == 2
+    assert recorder.outcome("no-such") == 0
+    assert recorder.outcomes == {OUTCOME_REJECTED: 1, OUTCOME_TIMEOUT: 2}
+
+
+def test_closed_loop_terminates_under_pathological_overload():
+    """Deadline + bounded retries guarantee every request's lifetime is
+    bounded, so the reactor always terminates (the bug this PR fixes:
+    closed-loop clients used to block forever behind a saturated core)."""
+    spec = dataclasses.replace(
+        BASE, arrival="closed", clients=12, think_cycles=0,
+        queue_limit=1, deadline_cycles=100, max_retries=2,
+    )
+    point = run_traffic(BBB, spec, entries=16)
+    assert point.completed + point.shed + point.timeouts \
+        <= spec.requests + point.retries
+    assert point.completed > 0
+
+
+def test_closed_loop_retries_are_counted_and_bounded():
+    spec = dataclasses.replace(
+        BASE, arrival="closed", clients=12, think_cycles=0,
+        queue_limit=1, max_retries=3,
+    )
+    point = run_traffic(BBB, spec, entries=16)
+    if point.shed:
+        assert point.retries > 0
+    assert point.retries <= spec.max_retries * spec.requests
+
+
+def test_closed_loop_without_retries_still_terminates():
+    spec = dataclasses.replace(
+        BASE, arrival="closed", clients=12, think_cycles=0, queue_limit=1,
+    )
+    point = run_traffic(BBB, spec, entries=16)
+    assert point.completed + point.shed == spec.requests
+
+
+# ----------------------------------------------------------------------
+# Degraded-mode serving
+# ----------------------------------------------------------------------
+
+def _battery_suspect_options():
+    plan = FaultPlan(faults=(
+        FaultSpec(site=SITE_BATTERY, fault="exhaustion", nth=1, count=1,
+                  params=(("blocks", 0),)),
+    ), seed=1, label="failing-battery")
+    return RunOptions(fault_injector=FaultInjector(plan))
+
+
+def test_forced_degraded_mode_writes_through():
+    normal = run_traffic(BBB, BASE, entries=16, degraded=False)
+    degraded = run_traffic(BBB, BASE, entries=16, degraded=True)
+    assert degraded.degraded is True
+    assert degraded.completed == BASE.requests
+    # Write-through drains every persisting store out of the battery
+    # domain: strictly more NVMM traffic, never less.
+    assert degraded.nvmm_writes > normal.nvmm_writes
+
+
+def test_degraded_mode_refused_without_the_capability():
+    assert not scheme_info(ADR).degraded_mode
+    with pytest.raises(ValueError, match="no degraded mode"):
+        run_traffic(ADR, BASE, entries=16, degraded=True)
+
+
+def test_battery_health_auto_triggers_degraded_serving():
+    point = run_traffic(BBB, BASE, entries=16,
+                        options=_battery_suspect_options())
+    assert point.degraded is True
+
+
+def test_auto_degrade_skips_incapable_schemes():
+    point = run_traffic(ADR, BASE, entries=16,
+                        options=_battery_suspect_options())
+    assert point.degraded is False
+    assert point.completed == BASE.requests
+
+
+def test_degraded_false_overrides_the_health_signal():
+    point = run_traffic(BBB, BASE, entries=16, degraded=False,
+                        options=_battery_suspect_options())
+    assert point.degraded is False

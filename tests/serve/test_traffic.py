@@ -143,6 +143,14 @@ def test_curve_accepts_aliases():
     (lambda r: r["points"][0].update(completed=10 ** 9), "completed"),
     (lambda r: r["curves"][canonical_name(BBB)][0].update(
         offered_load=123.0), "matching point"),
+    (lambda r: r["points"][0].update(shed=-1), "shed"),
+    (lambda r: r["points"][0].update(shed_rate=2.0), "shed_rate"),
+    (lambda r: r["points"][0].update(degraded="yes"), "degraded"),
+    (lambda r: r["points"][0].pop("max_queue_depth"), "max_queue_depth"),
+    (lambda r: r["points"][0].update(shed=10 ** 9),
+     "requests"),
+    (lambda r: r["curves"][canonical_name(BBB)][0].pop("shed_rate"),
+     "shed_rate"),
 ])
 def test_validation_names_the_broken_field(mutate, fragment):
     report = _report()
@@ -156,6 +164,16 @@ def test_render_curve_mentions_every_scheme():
     for name in (canonical_name(BBB), canonical_name(EADR)):
         assert f"{name}:" in text
     assert "p999" in text
+
+
+def test_render_curve_annotates_the_saturation_knee():
+    """Past saturation achieved load falls behind offered load; the
+    render must mark the first such row per scheme."""
+    report = traffic_curve((BBB,), SPEC, (0.05, 50.0), entries=16)
+    text = render_curve(report)
+    assert text.count("<- knee") == 1
+    relaxed = traffic_curve((BBB,), SPEC, (0.05,), entries=16)
+    assert "<- knee" not in render_curve(relaxed)
 
 
 def test_curve_rejects_empty_inputs():

@@ -285,3 +285,37 @@ class TestTrafficCommand:
         rc = main(["traffic", "--schemes", "bogus"] + self.FAST_TRAFFIC)
         assert rc == 2
         assert "unknown" in capsys.readouterr().err.lower()
+
+
+class TestDrillCommand:
+    def test_smoke_gate(self, capsys):
+        assert main(["drill", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "drill smoke ok" in out
+        assert "acked-lost" in out
+        assert "bbb-delayed-alloc" in out
+
+    def test_custom_drill_writes_report(self, capsys, tmp_path):
+        out_file = tmp_path / "drill.json"
+        rc = main(["drill", "--schemes", "bbb,eadr", "--crashes", "2",
+                   "--requests", "30", "--entries", "8",
+                   "--out", str(out_file)])
+        assert rc == 0
+        with open(out_file) as fh:
+            report = json.load(fh)
+        from repro.serve import validate_drill_report
+
+        validate_drill_report(report)
+        assert sorted(report["per_scheme"]) == ["bbb", "eadr"]
+        assert report["battery_domain"]["acked_lost"] == 0
+
+    def test_unknown_scheme_rejected(self, capsys):
+        rc = main(["drill", "--schemes", "bogus"])
+        assert rc == 2
+        assert "unknown" in capsys.readouterr().err.lower()
+
+    def test_unknown_mutant_rejected(self, capsys):
+        rc = main(["drill", "--schemes", "bbb", "--mutants", "bogus",
+                   "--requests", "20"])
+        assert rc == 2
+        assert "unknown mutant" in capsys.readouterr().err

@@ -68,12 +68,16 @@ class TestExamplesRun:
 
     def test_custom_scheme(self, capsys):
         # The pluggability proof: a scheme registered from outside
-        # src/repro runs through build, the crash checker, and a fault
-        # campaign.  (Its registration is idempotent, so running the
-        # example twice in one process is safe.)
+        # src/repro runs through build, the crash checker, a fault
+        # campaign, and degraded-mode serving.  (Its registration is
+        # idempotent, so running the example twice in one process is
+        # safe.)
         with pytest.raises(SystemExit) as exc:
             run_example("custom_scheme.py")
         assert exc.value.code == 0
         out = capsys.readouterr().out
         assert "registered scheme 'bbb-nocoalesce'" in out
-        assert "custom scheme ran through build, check, and faults: OK" in out
+        assert "degraded serving: completed 30/30" in out
+        assert "correctly refused degraded serving" in out
+        assert ("custom scheme ran through build, check, faults, and "
+                "degraded serving: OK") in out
