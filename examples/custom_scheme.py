@@ -27,6 +27,7 @@ from repro.core.registry import (
     BBB,
     CONTRACT_EXACT,
     DEGRADED_WRITE_THROUGH,
+    MODEL_STRICT,
     register_scheme,
     scheme_info,
 )
@@ -65,6 +66,10 @@ class WriteThroughBBB(BBBScheme):
     # Already write-through: serving it degraded is a no-op capability,
     # which makes the plugin a handy degraded-mode exerciser.
     degraded_mode=DEGRADED_WRITE_THROUGH,
+    # Draining early never weakens ordering: the ablation still persists
+    # stores in visibility order, so it inherits BBB's strict model and
+    # the litmus battery gates it below with zero core edits.
+    persistency_model=MODEL_STRICT,
     display="BBB (no coalescing)",
     doc="write-through BBB ablation: force-drain every persisting store",
     replace=True,
@@ -127,7 +132,26 @@ def main() -> int:
         print("error: plugin scheme silently corrupted under battery faults")
         return 1
 
-    # 4. The serving frontend honours the declared degraded-mode
+    # 4. The litmus battery gates the plugin against the persistency
+    #    model its registration declared (jobs=1 for the same in-process
+    #    plugin reason as the campaign above).
+    from repro.litmus.corpus import smoke_corpus
+    from repro.litmus.runner import battery_failures, run_battery
+
+    battery = run_battery(
+        schemes=[SCHEME_NAME], tests=smoke_corpus(),
+        include_mutants=False, minimize=False, jobs=1,
+    )
+    failures = battery_failures(battery)
+    rollup = battery["schemes"][0]
+    print(f"litmus battery: {len(battery['cells'])} cells under declared "
+          f"model {rollup['declared_model']!r}, "
+          f"conformant={rollup['conformant']}")
+    if failures:
+        print(f"error: {failures[0]}")
+        return 1
+
+    # 5. The serving frontend honours the declared degraded-mode
     #    capability: the plugin serves traffic degraded, while a scheme
     #    without the capability refuses.
     from repro.serve import TrafficSpec, run_traffic

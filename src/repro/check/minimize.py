@@ -275,17 +275,13 @@ def write_counterexample(cex: Counterexample, path: str) -> str:
 def replay_artifact(path: str, config=None) -> Dict[str, Any]:
     """Re-execute a counterexample artifact: rebuild the system, run the
     recorded ops, crash at the recorded micro-step, and re-check.
-    Returns ``{"reproduced", "site", "violations", "artifact"}``."""
-    import json
-
+    Returns ``{"reproduced", "site", "violations", "artifact"}``.
+    Raises :class:`repro.ioutil.ArtifactError` on a missing/truncated
+    file or a schema/kind mismatch, *before* touching the payload."""
     from repro.analysis.experiments import default_sim_config
+    from repro.ioutil import load_versioned_json
 
-    with open(path) as fh:
-        artifact = json.load(fh)
-    if artifact.get("schema") != CHECK_SCHEMA or artifact.get("kind") != "counterexample":
-        raise ValueError(
-            f"{path}: not a {CHECK_SCHEMA} counterexample artifact"
-        )
+    artifact = load_versioned_json(path, CHECK_SCHEMA, kind="counterexample")
     unit = CheckUnit(
         scheme=artifact["scheme"],
         workload=artifact["workload"],

@@ -688,8 +688,13 @@ def cmd_check(args) -> int:
 
     if args.replay:
         from repro.check.minimize import replay_artifact
+        from repro.ioutil import ArtifactError
 
-        out = replay_artifact(args.replay)
+        try:
+            out = replay_artifact(args.replay)
+        except ArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         status = "REPRODUCED" if out["reproduced"] else "did NOT reproduce"
         print(f"{args.replay}: {status} at {out['site']}")
         for v in out["violations"][:5]:
@@ -782,6 +787,101 @@ def cmd_check(args) -> int:
     if args.out:
         print(f"wrote {atomic_write_json(args.out, report)}")
     return 1 if report["num_violations"] else 0
+
+
+def cmd_litmus(args) -> int:
+    # Imported here: the litmus battery rides on the model-checker stack
+    # and should not tax the other commands' startup.
+    from repro.analysis.batch import BatchPolicy, decide_jobs
+    from repro.ioutil import atomic_write_json
+    from repro.litmus.corpus import corpus
+    from repro.litmus.runner import (
+        battery_failures,
+        publish_litmus_report,
+        render_matrix,
+        replay_counterexample,
+        run_battery,
+        smoke_battery,
+    )
+
+    try:
+        jobs = decide_jobs(args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int) -> None:
+        if sys.stderr.isatty():
+            print(f"\r  {done}/{total} cells", end="", file=sys.stderr,
+                  flush=True)
+            if done == total:
+                print(file=sys.stderr)
+
+    if args.replay:
+        from repro.ioutil import ArtifactError
+
+        try:
+            out = replay_counterexample(args.replay)
+        except ArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        status = "REPRODUCED" if out["reproduced"] else "did NOT reproduce"
+        art = out["artifact"]
+        target = art["mutant"] or art["scheme"]
+        print(f"{args.replay}: {status} — {target} observing "
+              f"{tuple(out['state'])} (forbidden under {art['model']!r}) "
+              f"on the reduced test")
+        return 0 if out["reproduced"] else 1
+
+    if args.smoke:
+        report, failures = smoke_battery(jobs=jobs, progress=progress)
+        print(render_matrix(report))
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        if args.out:
+            print(f"wrote {atomic_write_json(args.out, report)}")
+        return 1 if failures else 0
+
+    schemes = None
+    if args.schemes:
+        try:
+            schemes = [canonical_name(s) for s in args.schemes.split(",")]
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    tests = None
+    if args.tests:
+        try:
+            tests = corpus(args.tests.split(","))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    policy = BatchPolicy(
+        timeout=args.timeout, retries=args.retries,
+        checkpoint=args.checkpoint, on_error="raise", seed=args.seed,
+    )
+    report = run_battery(
+        schemes=schemes, tests=tests, entries=args.entries,
+        include_mutants=not args.no_mutants, jobs=jobs, policy=policy,
+        progress=progress, minimize=not args.no_minimize,
+        cex_dir=args.cex_dir,
+    )
+    publish_litmus_report(report)
+    print(render_matrix(report))
+    failures = battery_failures(report)
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    for cex in report["counterexamples"]:
+        target = cex["mutant"] or cex["scheme"]
+        ops = sum(len(p) for p in cex["test"]["programs"])
+        where = f" -> {cex['path']}" if "path" in cex else ""
+        print(f"counterexample: {target} on {cex['original_test']} "
+              f"minimized to {ops} ops, forbidden state "
+              f"{tuple(cex['forbidden_state'])}{where}")
+    if args.out:
+        print(f"wrote {atomic_write_json(args.out, report)}")
+    return 1 if failures else 0
 
 
 def cmd_trace(args) -> int:
@@ -1063,6 +1163,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--out", default=None, metavar="PATH",
                          help="write the JSON report atomically to PATH")
     p_check.set_defaults(func=cmd_check)
+
+    p_litmus = sub.add_parser(
+        "litmus",
+        help="persistency litmus battery: run the corpus against every "
+             "registered scheme and gate each against its declared "
+             "persistency model",
+    )
+    p_litmus.add_argument("--smoke", action="store_true",
+                          help="CI gate: smoke corpus, all schemes plus "
+                               "mutants; non-zero exit on any conformance "
+                               "failure or uncaught mutant")
+    p_litmus.add_argument("--replay", default=None, metavar="PATH",
+                          help="replay a litmus counterexample artifact "
+                               "and exit")
+    p_litmus.add_argument("--schemes", default=None,
+                          help="comma-separated scheme subset "
+                               "(default: every registered scheme)")
+    p_litmus.add_argument("--tests", default=None,
+                          help="comma-separated corpus-test subset "
+                               "(default: the full corpus)")
+    p_litmus.add_argument("--no-mutants", action="store_true",
+                          help="skip the checker mutants")
+    p_litmus.add_argument("--no-minimize", action="store_true",
+                          help="skip ddmin counterexample minimization")
+    p_litmus.add_argument("--cex-dir", default=None, metavar="DIR",
+                          help="write minimized counterexample artifacts "
+                               "into DIR")
+    p_litmus.add_argument("--entries", type=int, default=8,
+                          help="persist-buffer entries")
+    p_litmus.add_argument("--seed", type=int, default=11,
+                          help="batch retry/backoff seed")
+    p_litmus.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default: REPRO_JOBS or "
+                               "cores); plugin schemes need --jobs 1")
+    p_litmus.add_argument("--timeout", type=float, default=None,
+                          help="seconds per cell before retry")
+    p_litmus.add_argument("--retries", type=int, default=1,
+                          help="retries per cell (timeouts & crashes)")
+    p_litmus.add_argument("--checkpoint", default=None, metavar="PATH",
+                          help="JSONL checkpoint; rerun with the same path "
+                               "to resume an interrupted battery")
+    p_litmus.add_argument("--out", default=None, metavar="PATH",
+                          help="write the JSON agreement-matrix report "
+                               "atomically to PATH")
+    p_litmus.set_defaults(func=cmd_litmus)
 
     return parser
 

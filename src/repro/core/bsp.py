@@ -140,6 +140,15 @@ class BSP(PersistencyScheme):
     ) -> int:
         return self._drain_through(holder, block_addr, now)
 
+    def on_explicit_flush(self, core: int, block_addr: int, now: int) -> int:
+        """An explicit flush bypasses the ordered buffer, so any older
+        buffered stores must reach media first — drain through the flushed
+        block to keep the strict-persistency illusion intact."""
+        owner = self.bbpb_owner_of(block_addr)
+        if owner is None:
+            return 0
+        return self._drain_through(owner, block_addr, now)
+
     def on_llc_eviction(self, block: CacheBlock, now: int) -> bool:
         """Eviction of a block with unpersisted older stores must not let
         the writeback persist out of order: drain first, then drop the

@@ -128,6 +128,15 @@ class PersistencyScheme:
         return False
 
     # -- explicit persistency instructions -------------------------------
+    def on_explicit_flush(self, core: int, block_addr: int, now: int) -> int:
+        """An explicit FLUSH op is about to push ``block_addr`` to the WPQ.
+
+        A scheme holding *older* unpersisted stores for the same core must
+        not let the flushed line overtake them (that would persist out of
+        visibility order); it can drain through here first.  Returns extra
+        stall cycles imposed on the flushing core."""
+        return 0
+
     def wants_auto_flush(self) -> bool:
         """Whether the scheme itself issues flush+fence per persisting store
         (StrictPMEM).  Programmer-inserted FLUSH/FENCE trace ops are always

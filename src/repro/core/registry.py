@@ -59,7 +59,12 @@ __all__ = [
     "DEGRADED_NONE",
     "DEGRADED_WRITE_THROUGH",
     "EADR",
+    "MODEL_EPOCH",
+    "MODEL_PX86_TSO",
+    "MODEL_STRICT",
+    "MODEL_UNDECLARED",
     "NONE",
+    "PERSISTENCY_MODELS",
     "PMEM",
     "PMEM_STRICT",
     "POP_FLUSH",
@@ -123,6 +128,35 @@ _POP_LOCATIONS = (POP_STORE_COMMIT, POP_FLUSH)
 DEGRADED_NONE = ""
 DEGRADED_WRITE_THROUGH = "write-through"
 DEGRADED_MODES = (DEGRADED_NONE, DEGRADED_WRITE_THROUGH)
+
+#: Formal persistency-model classes (the semantics classes of the litmus
+#: battery, :mod:`repro.litmus`).  A scheme *declares* the model its
+#: observable crash behaviors must stay inside; the battery enforces the
+#: declaration:
+#:
+#: ``MODEL_STRICT``
+#:     strict persistency — persists happen in visibility (TSO) order,
+#:     possibly lagging behind it: every post-crash durable state is the
+#:     image of a prefix of some TSO interleaving of the per-core store
+#:     sequences.  BBB's PoV == PoP claim, eADR, strict PMEM, and BSP's
+#:     "illusion of strict persistency" all sit here.
+#: ``MODEL_PX86_TSO``
+#:     Px86-TSO (Khyzha & Lahav) — persist order is constrained only by
+#:     per-cache-line coherence order and explicit ``flush ; fence``
+#:     chains; unflushed stores persist in any order.  The ADR platform
+#:     ("none": durability via writebacks plus honoured clwb/sfence).
+#: ``MODEL_EPOCH``
+#:     epoch persistency — per core, every store of epoch N is durable
+#:     before any store of epoch N+1 persists; within an epoch stores
+#:     reorder and coalesce freely (any subset may be durable).  BEP.
+#: ``MODEL_UNDECLARED``
+#:     the scheme makes no claim; the litmus battery still reports where
+#:     its behaviors sit, but nothing is enforced.
+MODEL_STRICT = "strict"
+MODEL_PX86_TSO = "px86-tso"
+MODEL_EPOCH = "epoch"
+MODEL_UNDECLARED = ""
+PERSISTENCY_MODELS = (MODEL_STRICT, MODEL_PX86_TSO, MODEL_EPOCH)
 
 
 # ----------------------------------------------------------------------
@@ -194,6 +228,13 @@ class SchemeInfo:
     #: force-drained past the battery domain; ``DEGRADED_NONE`` means no
     #: fallback exists and degraded serving must be refused.
     degraded_mode: str = DEGRADED_NONE
+    #: The formal persistency-model class the scheme's observable crash
+    #: behaviors must stay inside (one of :data:`PERSISTENCY_MODELS`, or
+    #: :data:`MODEL_UNDECLARED` for no claim).  The litmus battery
+    #: (``repro litmus``) enforces this declaration: a scheme observing a
+    #: post-crash durable state its declared model forbids is a hard
+    #: conformance failure.
+    persistency_model: str = MODEL_UNDECLARED
     #: Alternate accepted names (e.g. the scheme object's instance name).
     aliases: Tuple[str, ...] = ()
     #: Scheme-specific keyword arguments the factory accepts.
@@ -263,6 +304,7 @@ def register_scheme(
     cache_local_persists: bool = True,
     stall_free_persists: bool = False,
     degraded_mode: str = DEGRADED_NONE,
+    persistency_model: str = MODEL_UNDECLARED,
     aliases: Tuple[str, ...] = (),
     accepted_kwargs: Tuple[str, ...] = (),
     display: str = "",
@@ -297,6 +339,12 @@ def register_scheme(
             f"scheme {name!r}: unknown degraded mode {degraded_mode!r}; "
             f"expected one of {', '.join(repr(m) for m in DEGRADED_MODES)}"
         )
+    if persistency_model not in PERSISTENCY_MODELS + (MODEL_UNDECLARED,):
+        raise ValueError(
+            f"scheme {name!r}: unknown persistency model "
+            f"{persistency_model!r}; expected one of "
+            f"{', '.join(PERSISTENCY_MODELS)} (or '' for undeclared)"
+        )
 
     def decorator(factory: Callable) -> Callable:
         info = SchemeInfo(
@@ -313,6 +361,7 @@ def register_scheme(
             cache_local_persists=cache_local_persists,
             stall_free_persists=stall_free_persists,
             degraded_mode=degraded_mode,
+            persistency_model=persistency_model,
             aliases=tuple(aliases),
             accepted_kwargs=tuple(accepted_kwargs),
             display=display or name,
@@ -425,6 +474,7 @@ def scheme_for_class(cls: type) -> SchemeInfo:
     battery_domain=True,
     degraded_mode=DEGRADED_WRITE_THROUGH,
     accepted_kwargs=("drain_threshold",),
+    persistency_model=MODEL_STRICT,
     display="BBB",
     doc="memory-side battery-backed persist buffer (the paper's design)",
     legacy_factory="bbb",
@@ -447,6 +497,7 @@ def _build_bbb(cls, entries, drain_threshold=0.75):
     battery_domain=True,
     degraded_mode=DEGRADED_WRITE_THROUGH,
     accepted_kwargs=("coalesce_consecutive",),
+    persistency_model=MODEL_STRICT,
     display="BBB (proc-side)",
     doc="processor-side bbPB (Section V-C baseline)",
     legacy_factory="bbb_processor_side",
@@ -468,6 +519,7 @@ def _build_bbb_proc(cls, entries, coalesce_consecutive=True):
     battery_domain=True,
     comparison_baseline=True,
     stall_free_persists=True,
+    persistency_model=MODEL_STRICT,
     display="Optimal (eADR)",
     doc='whole-hierarchy battery, the "Optimal" line of Fig. 7',
     legacy_factory="eadr",
@@ -484,6 +536,7 @@ def _build_eadr(cls, entries):
     pop=POP_FLUSH,
     aliases=(PMEM_STRICT, ADR),
     instance_name=PMEM_STRICT,
+    persistency_model=MODEL_STRICT,
     display="PMEM (strict)",
     doc="strict persistency via hardware clwb+sfence; PoP at the WPQ",
     legacy_factory="pmem_strict",
@@ -499,6 +552,7 @@ def _build_pmem(cls, entries):
     contract=CONTRACT_PREFIX,
     pop=POP_STORE_COMMIT,
     has_persist_buffer=True,
+    persistency_model=MODEL_STRICT,
     display="BSP",
     doc="bulk strict persistency (MICRO'15), volatile ordered buffers",
     legacy_factory="bsp",
@@ -514,6 +568,7 @@ def _build_bsp(cls, entries):
     contract=CONTRACT_EPOCH,
     pop=POP_STORE_COMMIT,
     has_persist_buffer=True,
+    persistency_model=MODEL_EPOCH,
     display="BEP",
     doc="buffered epoch persistency, volatile buffers (DPO/HOPS-style)",
     legacy_factory="bep",
@@ -530,6 +585,7 @@ def _build_bep(cls, entries):
     pop=POP_STORE_COMMIT,
     crash_consistent=False,
     stall_free_persists=True,
+    persistency_model=MODEL_PX86_TSO,
     display="no persistency",
     doc="volatile caches, no ordering control (the motivating baseline)",
     legacy_factory="no_persistency",

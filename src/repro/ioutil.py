@@ -46,3 +46,61 @@ def atomic_write_json(
     return atomic_write_text(
         path, json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
     )
+
+
+class ArtifactError(ValueError):
+    """A report/counterexample artifact could not be loaded: the file is
+    missing, truncated, not JSON, or carries the wrong schema/kind.
+
+    Replay paths raise this *before* touching any payload field, so the
+    CLI can print one clear diagnostic instead of a deserialization
+    traceback from deep inside a replayer.  A :class:`ValueError`
+    subclass: callers predating the envelope validation caught
+    ``ValueError`` and keep working."""
+
+
+def load_versioned_json(
+    path: str, expected_schema: str, *, kind: str | None = None
+) -> Any:
+    """Load a versioned JSON artifact, validating its envelope first.
+
+    Checks — in order, each with a diagnostic naming the file — that the
+    file exists and parses as JSON (a truncated atomic write surfaces
+    here), that it is a JSON object carrying a ``schema`` field equal to
+    ``expected_schema``, and (when ``kind`` is given) that its ``kind``
+    field matches.  Returns the decoded object; raises
+    :class:`ArtifactError` otherwise."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise ArtifactError(f"cannot read artifact {path!r}: {exc}") from exc
+    try:
+        obj = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        detail = "file is empty" if not raw.strip() else str(exc)
+        raise ArtifactError(
+            f"artifact {path!r} is not valid JSON ({detail}); the file may "
+            f"be truncated — re-generate it rather than replaying"
+        ) from exc
+    if not isinstance(obj, dict):
+        raise ArtifactError(
+            f"artifact {path!r} is JSON but not an object "
+            f"(got {type(obj).__name__}); expected a versioned report with "
+            f"a 'schema' field"
+        )
+    schema = obj.get("schema")
+    if schema != expected_schema:
+        have = repr(schema) if schema is not None else "no 'schema' field"
+        raise ArtifactError(
+            f"artifact {path!r} has {have}; expected schema "
+            f"{expected_schema!r} — it was written by a different tool or "
+            f"version and cannot be replayed here"
+        )
+    if kind is not None and obj.get("kind") != kind:
+        have_kind = obj.get("kind")
+        have = repr(have_kind) if have_kind is not None else "no 'kind' field"
+        raise ArtifactError(
+            f"artifact {path!r} has {have}; expected kind {kind!r}"
+        )
+    return obj

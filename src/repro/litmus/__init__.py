@@ -1,0 +1,52 @@
+"""Persistency litmus battery: formal-semantics conformance for schemes.
+
+The battery turns the micro-step crash checker (:mod:`repro.check`) into
+a semantics-comparison instrument: a hand-written corpus of canonical
+litmus shapes (:mod:`repro.litmus.corpus`) written in a small DSL
+(:mod:`repro.litmus.dsl`) runs against every registered scheme, and each
+cell's observed post-crash durable states are classified against the
+complete allowed sets of three formal persistency models
+(:mod:`repro.litmus.models` — strict, Px86-TSO, epoch).  A scheme's
+registry declaration (:attr:`SchemeInfo.persistency_model`) makes the
+matrix a conformance gate: observing a state the declared model forbids
+is a hard failure, minimized into a replayable counterexample
+(:mod:`repro.litmus.runner`).  CLI: ``repro litmus`` (``--smoke`` in CI).
+"""
+
+from repro.litmus.dsl import (
+    LITMUS_SCHEMA,
+    LitmusOp,
+    LitmusTest,
+    compute,
+    epoch_boundary,
+    fence,
+    fl,
+    ld,
+    lower,
+    observe_state,
+    st,
+)
+from repro.litmus.models import (
+    allowed_states,
+    epoch_states,
+    px86_states,
+    strict_states,
+)
+
+__all__ = [
+    "LITMUS_SCHEMA",
+    "LitmusOp",
+    "LitmusTest",
+    "allowed_states",
+    "compute",
+    "epoch_boundary",
+    "epoch_states",
+    "fence",
+    "fl",
+    "ld",
+    "lower",
+    "observe_state",
+    "px86_states",
+    "st",
+    "strict_states",
+]

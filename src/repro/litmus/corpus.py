@@ -1,0 +1,412 @@
+"""The hand-written litmus corpus: canonical persistency shapes.
+
+Families:
+
+``prefix``
+    single-core persist-order shapes — the baseline strict-vs-relaxed
+    separators (a later store durable without an earlier one).
+``mp`` / ``publish``
+    message-passing / publish-after-init: a ``flush ; fence`` chain
+    making data durable before a flag/pointer store.
+``elision``
+    flush- or fence-elision shapes: drop one link of the chain and the
+    relaxed models start allowing reorderings strict forbids.
+``sb``
+    store-buffering / 2+2W multi-core shapes.
+``epoch``
+    epoch-boundary and intra-epoch coalescing shapes (BEP vocabulary),
+    including the capacity-pressure shape that separates epoch from
+    strict behavior observably.
+``evict``
+    cache-eviction windows: conflict-group stores force an L1 eviction
+    so the oldest line reaches the LLC while newer lines are still
+    volatile — the shape that catches a scheme "forgetting" a cache
+    level on crash.
+``coherence``
+    cross-core same-line shapes: multi-writer final values, cross-core
+    flushes, and the stale-snapshot clobber shape that catches delayed
+    bbPB allocation.
+
+The ``expect`` tables are hand-written *exemplars* (spot checks); the
+complete allowed sets come from :mod:`repro.litmus.models` and the test
+suite asserts exemplar/enumerator agreement for every test here.
+
+Timing note: ``compute`` padding in the coherence shapes pins the
+cross-core commit order the shape needs (the engine is deterministic,
+so the padding makes the intended interleaving *the* interleaving).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.registry import MODEL_EPOCH, MODEL_PX86_TSO, MODEL_STRICT
+from repro.litmus.dsl import (
+    LitmusTest,
+    compute,
+    epoch_boundary,
+    fence,
+    fl,
+    ld,
+    st,
+)
+
+__all__ = ["CORPUS", "corpus", "corpus_test", "smoke_corpus"]
+
+
+def _build_corpus() -> List[LitmusTest]:
+    tests: List[LitmusTest] = []
+    add = tests.append
+
+    # -- prefix ---------------------------------------------------------
+    add(LitmusTest(
+        name="prefix-pair", family="prefix", smoke=True,
+        doc="two stores, one core: strict allows only prefixes; the "
+            "relaxed models allow the younger store alone",
+        locations=("x", "y"),
+        programs=((st("x", 1), st("y", 1)),),
+        expect={
+            MODEL_STRICT: {"allowed": ((0, 0), (1, 0), (1, 1)),
+                           "forbidden": ((0, 1),)},
+            MODEL_PX86_TSO: {"allowed": ((0, 1),)},
+            MODEL_EPOCH: {"allowed": ((0, 1),)},
+        },
+    ))
+    add(LitmusTest(
+        name="prefix-triple", family="prefix",
+        doc="three stores, one core: only the four prefixes are strict",
+        locations=("x", "y", "z"),
+        programs=((st("x", 1), st("y", 1), st("z", 1)),),
+        expect={
+            MODEL_STRICT: {"allowed": ((1, 1, 0),),
+                           "forbidden": ((0, 0, 1), (1, 0, 1), (0, 1, 0))},
+            MODEL_PX86_TSO: {"allowed": ((0, 0, 1), (1, 0, 1))},
+        },
+    ))
+    add(LitmusTest(
+        name="compute-mix", family="prefix",
+        doc="prefix shape with compute gaps widening the crash windows",
+        locations=("x", "y", "z"),
+        programs=((st("x", 1), compute(50), st("y", 1), compute(30),
+                   st("z", 1)),),
+        expect={
+            MODEL_STRICT: {"allowed": ((1, 0, 0), (1, 1, 1)),
+                           "forbidden": ((0, 1, 1),)},
+        },
+    ))
+
+    # -- mp / publish ---------------------------------------------------
+    add(LitmusTest(
+        name="mp-flush-fence", family="mp", smoke=True,
+        doc="message passing with the full persist chain: flag durable "
+            "implies data durable under px86-tso and strict; epoch "
+            "ignores the chain inside one epoch",
+        locations=("x", "y"),
+        programs=((st("x", 1), fl("x"), fence(), st("y", 1)),),
+        expect={
+            MODEL_STRICT: {"forbidden": ((0, 1),)},
+            MODEL_PX86_TSO: {"allowed": ((1, 0), (1, 1)),
+                             "forbidden": ((0, 1),)},
+            MODEL_EPOCH: {"allowed": ((0, 1),)},
+        },
+    ))
+    add(LitmusTest(
+        name="publish-after-init", family="publish",
+        doc="init data, persist it, then publish the pointer: the "
+            "canonical persistent-programming idiom",
+        locations=("data", "ptr"),
+        programs=((st("data", 1), fl("data"), fence(), st("ptr", 1)),),
+        expect={
+            MODEL_STRICT: {"forbidden": ((0, 1),)},
+            MODEL_PX86_TSO: {"forbidden": ((0, 1),)},
+        },
+    ))
+    add(LitmusTest(
+        name="load-mix", family="mp",
+        doc="publish chain with a reader core: loads never change the "
+            "durable state but exercise the coherence path",
+        locations=("data", "ptr"),
+        programs=(
+            (st("data", 1), fl("data"), fence(), st("ptr", 1)),
+            (ld("ptr"), ld("data")),
+        ),
+        expect={
+            MODEL_PX86_TSO: {"forbidden": ((0, 1),)},
+        },
+    ))
+
+    # -- elision --------------------------------------------------------
+    add(LitmusTest(
+        name="mp-flush-nofence", family="elision",
+        doc="flush without fence: px86-tso no longer orders the flag "
+            "after the data persist",
+        locations=("x", "y"),
+        programs=((st("x", 1), fl("x"), st("y", 1)),),
+        expect={
+            MODEL_STRICT: {"forbidden": ((0, 1),)},
+            MODEL_PX86_TSO: {"allowed": ((0, 1),)},
+        },
+    ))
+    add(LitmusTest(
+        name="mp-fence-noflush", family="elision",
+        doc="fence without flush: nothing outstanding, so the fence "
+            "orders nothing under px86-tso",
+        locations=("x", "y"),
+        programs=((st("x", 1), fence(), st("y", 1)),),
+        expect={
+            MODEL_STRICT: {"forbidden": ((0, 1),)},
+            MODEL_PX86_TSO: {"allowed": ((0, 1),)},
+        },
+    ))
+    add(LitmusTest(
+        name="flush-newer", family="elision", smoke=True,
+        doc="flush the younger line only: px86-tso allows it to persist "
+            "before the older store; strict schemes must drain the older "
+            "stores first (the BSP ordered-buffer bypass hazard)",
+        locations=("x", "y"),
+        programs=((st("x", 1), st("y", 1), fl("y"), fence()),),
+        expect={
+            MODEL_STRICT: {"forbidden": ((0, 1),)},
+            MODEL_PX86_TSO: {"allowed": ((0, 1),)},
+        },
+    ))
+    add(LitmusTest(
+        name="fence-chain", family="elision",
+        doc="two full flush;fence links: px86-tso collapses to strict "
+            "on fully-chained programs",
+        locations=("x", "y", "z"),
+        programs=((st("x", 1), fl("x"), fence(), st("y", 1), fl("y"),
+                   fence(), st("z", 1)),),
+        expect={
+            MODEL_STRICT: {"forbidden": ((0, 1, 1), (1, 0, 1))},
+            MODEL_PX86_TSO: {"allowed": ((1, 1, 0),),
+                             "forbidden": ((0, 1, 1), (1, 0, 1))},
+        },
+    ))
+    add(LitmusTest(
+        name="wpq-pair", family="prefix",
+        doc="flush both lines, no fence: flushes race in the WPQ, so "
+            "px86-tso allows either order",
+        locations=("x", "y"),
+        programs=((st("x", 1), fl("x"), st("y", 1), fl("y")),),
+        expect={
+            MODEL_STRICT: {"forbidden": ((0, 1),)},
+            MODEL_PX86_TSO: {"allowed": ((0, 1), (1, 0))},
+        },
+    ))
+
+    # -- sb / 2+2W ------------------------------------------------------
+    add(LitmusTest(
+        name="sb-persist", family="sb",
+        doc="store buffering, one store per core: every combination is "
+            "an interleaving prefix, so all models agree",
+        locations=("x", "y"),
+        programs=((st("x", 1),), (st("y", 1),)),
+        expect={
+            MODEL_STRICT: {"allowed": ((0, 0), (1, 0), (0, 1), (1, 1))},
+        },
+    ))
+    add(LitmusTest(
+        name="sb-independent", family="sb",
+        doc="two independent two-store cores: strict forbids exactly "
+            "the per-core suffixes",
+        locations=("x", "y", "a", "b"),
+        programs=((st("x", 1), st("y", 1)), (st("a", 1), st("b", 1))),
+        expect={
+            MODEL_STRICT: {"allowed": ((1, 0, 1, 0), (1, 1, 1, 1)),
+                           "forbidden": ((0, 1, 0, 0), (1, 0, 0, 1))},
+            MODEL_PX86_TSO: {"allowed": ((0, 1, 0, 1),)},
+        },
+    ))
+    add(LitmusTest(
+        name="2+2w-flush-fence", family="sb",
+        doc="2+2W with full persist chains: each core's second store "
+            "witnesses the other location's first value durable",
+        locations=("x", "y"),
+        programs=(
+            (st("x", 1), fl("x"), fence(), st("y", 2)),
+            (st("y", 1), fl("y"), fence(), st("x", 2)),
+        ),
+        expect={
+            MODEL_STRICT: {"allowed": ((1, 2), (2, 1)),
+                           "forbidden": ((0, 2),)},
+            MODEL_PX86_TSO: {"forbidden": ((0, 2),)},
+        },
+    ))
+
+    # -- epoch ----------------------------------------------------------
+    add(LitmusTest(
+        name="epoch-pair", family="epoch", smoke=True,
+        doc="one epoch boundary: the younger store durable alone is "
+            "forbidden by epoch (and strict) but allowed by px86-tso",
+        locations=("x", "y"),
+        programs=((st("x", 1), epoch_boundary(), st("y", 1)),),
+        expect={
+            MODEL_STRICT: {"forbidden": ((0, 1),)},
+            MODEL_PX86_TSO: {"allowed": ((0, 1),)},
+            MODEL_EPOCH: {"allowed": ((1, 0),), "forbidden": ((0, 1),)},
+        },
+    ))
+    add(LitmusTest(
+        name="epoch-intra", family="epoch",
+        doc="two stores inside one epoch, one after the boundary: epoch "
+            "allows intra-epoch reorder (y alone) that strict forbids",
+        locations=("x", "y", "z"),
+        programs=((st("x", 1), st("y", 1), epoch_boundary(), st("z", 1)),),
+        expect={
+            MODEL_STRICT: {"forbidden": ((0, 1, 0),)},
+            MODEL_EPOCH: {"allowed": ((0, 1, 0),),
+                          "forbidden": ((0, 0, 1), (1, 0, 1))},
+        },
+    ))
+    add(LitmusTest(
+        name="epoch-capacity", family="epoch", smoke=True,
+        doc="capacity pressure: the coalesced rewrite of x drains first "
+            "under a FIFO epoch buffer, so x=2 alone is observable — "
+            "epoch-allowed, strict-forbidden",
+        locations=("x", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8"),
+        programs=((st("x", 1), st("b1", 1), st("x", 2), st("b2", 1),
+                   st("b3", 1), st("b4", 1), st("b5", 1), st("b6", 1),
+                   st("b7", 1), st("b8", 1)),),
+        expect={
+            MODEL_STRICT: {
+                "forbidden": ((2, 0, 0, 0, 0, 0, 0, 0, 0),)},
+            MODEL_EPOCH: {
+                "allowed": ((2, 0, 0, 0, 0, 0, 0, 0, 0),)},
+        },
+    ))
+    add(LitmusTest(
+        name="epoch-race", family="epoch",
+        doc="cross-core epochs over a shared location: the final x may "
+            "come from either core, but a post-boundary store still "
+            "implies its own core's earlier epoch persisted",
+        locations=("x", "y", "z"),
+        programs=(
+            (st("x", 1), epoch_boundary(), st("y", 1)),
+            (st("x", 2), epoch_boundary(), st("z", 1)),
+        ),
+        expect={
+            MODEL_EPOCH: {"allowed": ((2, 1, 0),),
+                          "forbidden": ((0, 1, 0),)},
+        },
+    ))
+    add(LitmusTest(
+        name="epoch-flush-mix", family="epoch",
+        doc="flush;fence then an epoch boundary: all three models "
+            "forbid the flag persisting alone, each for its own reason",
+        locations=("x", "y"),
+        programs=((st("x", 1), fl("x"), fence(), epoch_boundary(),
+                   st("y", 1)),),
+        expect={
+            MODEL_STRICT: {"forbidden": ((0, 1),)},
+            MODEL_PX86_TSO: {"forbidden": ((0, 1),)},
+            MODEL_EPOCH: {"forbidden": ((0, 1),)},
+        },
+    ))
+
+    # -- evict ----------------------------------------------------------
+    add(LitmusTest(
+        name="evict-window", family="evict", smoke=True,
+        doc="L1 conflict evicts the oldest conflict line to the LLC "
+            "while newer lines (and an older independent line) stay in "
+            "L1: a scheme that forgets L1 on crash persists the evicted "
+            "line without its program-order predecessor",
+        locations=("a", "k0", "k1", "k2"),
+        conflict_groups=(("k0", "k1", "k2"),),
+        programs=((st("a", 1), st("k0", 1), st("k1", 1), st("k2", 1)),),
+        expect={
+            MODEL_STRICT: {"allowed": ((1, 1, 0, 0),),
+                           "forbidden": ((0, 1, 0, 0),)},
+            MODEL_PX86_TSO: {"allowed": ((0, 1, 0, 0),)},
+        },
+    ))
+    add(LitmusTest(
+        name="evict-deep", family="evict",
+        doc="deeper conflict chain: two lines evicted to the LLC, newer "
+            "half of the set still volatile",
+        locations=("a", "k0", "k1", "k2", "k3"),
+        conflict_groups=(("k0", "k1", "k2", "k3"),),
+        programs=((st("a", 1), st("k0", 1), st("k1", 1), st("k2", 1),
+                   st("k3", 1)),),
+        expect={
+            MODEL_STRICT: {"forbidden": ((0, 1, 1, 0, 0),)},
+        },
+    ))
+
+    # -- coherence ------------------------------------------------------
+    add(LitmusTest(
+        name="mw-final", family="coherence",
+        doc="multi-writer: the final value may be either write or "
+            "neither, under every model",
+        locations=("x",),
+        programs=((st("x", 1),), (st("x", 2),)),
+        expect={
+            MODEL_STRICT: {"allowed": ((0,), (1,), (2,))},
+            MODEL_EPOCH: {"allowed": ((0,), (1,), (2,))},
+        },
+    ))
+    add(LitmusTest(
+        name="flush-remote", family="coherence",
+        doc="one core flushes a line another core writes: the flush "
+            "snapshot may predate the remote store, so nothing is "
+            "forbidden — exercises the cross-core flush path",
+        locations=("x", "y"),
+        programs=((st("x", 1),), (fl("x"), fence(), st("y", 1))),
+        expect={
+            MODEL_STRICT: {"allowed": ((0, 0), (1, 0), (0, 1), (1, 1))},
+            MODEL_PX86_TSO: {"allowed": ((0, 1),)},
+        },
+    ))
+    add(LitmusTest(
+        name="stale-clobber", family="coherence", smoke=True,
+        doc="same-line cross-core handoff: c1 writes word x, loses the "
+            "line to c0's write of word w, then stores u.  A scheme that "
+            "snapshots the line at store time but allocates it into the "
+            "persist buffer *later* drains a stale image of w over c0's "
+            "durable value — while c0's younger store v is already "
+            "durable, which no interleaving prefix explains",
+        locations=("x", "w", "u", "v", "t"),
+        same_block=(("x", "w"),),
+        programs=(
+            (compute(40), st("w", 1), st("v", 1), st("t", 1)),
+            (st("x", 1), compute(160), st("u", 1)),
+        ),
+        expect={
+            MODEL_STRICT: {"allowed": ((1, 1, 0, 0, 0),),
+                           "forbidden": ((1, 0, 0, 1, 0),)},
+            MODEL_PX86_TSO: {"allowed": ((1, 0, 0, 1, 0),)},
+        },
+    ))
+    return tests
+
+
+#: The corpus, in definition order.
+CORPUS: List[LitmusTest] = _build_corpus()
+
+_BY_NAME: Dict[str, LitmusTest] = {t.name: t for t in CORPUS}
+if len(_BY_NAME) != len(CORPUS):
+    raise AssertionError("duplicate litmus test names in the corpus")
+
+
+def corpus(names: Optional[List[str]] = None) -> List[LitmusTest]:
+    """The full corpus, or the named subset (order preserved)."""
+    if names is None:
+        return list(CORPUS)
+    unknown = [n for n in names if n not in _BY_NAME]
+    if unknown:
+        raise ValueError(
+            f"unknown litmus tests: {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(t.name for t in CORPUS)}"
+        )
+    want = set(names)
+    return [t for t in CORPUS if t.name in want]
+
+
+def corpus_test(name: str) -> LitmusTest:
+    """Look up one corpus test by name."""
+    return corpus([name])[0]
+
+
+def smoke_corpus() -> List[LitmusTest]:
+    """The CI smoke subset (covers both checker mutants' teeth)."""
+    return [t for t in CORPUS if t.smoke]

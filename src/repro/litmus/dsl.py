@@ -1,0 +1,409 @@
+"""The litmus-test DSL: declarative persistency litmus shapes.
+
+A :class:`LitmusTest` is the declarative unit of the battery
+(:mod:`repro.litmus`): per-core programs over a handful of *named durable
+locations*, written in the same op vocabulary the simulator executes
+(:mod:`repro.sim.trace` — store / load / flush / fence / epoch /
+compute), plus an ``expect`` table of hand-written exemplar post-crash
+states per formal persistency model.  The test itself never mentions
+addresses or cache geometry: :func:`lower` assigns concrete NVMM
+addresses from a :class:`~repro.sim.config.SystemConfig` at run time, so
+one corpus runs unchanged under any geometry.
+
+Two placement annotations give tests access to microarchitectural
+shapes that plain location lists cannot express:
+
+``same_block``
+    groups of locations packed into one cache block (distinct word
+    offsets) — coherence/clobber shapes need two cores writing
+    different words of the same line.
+
+``conflict_groups``
+    groups of locations mapped to the *same L1 and LLC set* (stride =
+    ``lcm(l1_sets, llc_sets) * block_size``) so a program can force
+    cache evictions with a handful of stores.
+
+States are tuples of ints aligned with ``test.locations`` (initial
+value 0 everywhere; every store writes a nonzero value that is unique
+per location, so a durable state identifies exactly which stores
+persisted).  The expected-outcome exemplars in ``expect`` are
+spot-checks; the *complete* allowed sets come from the model
+enumerators in :mod:`repro.litmus.models` and the two are
+cross-validated in the test suite.
+
+Tests serialize to versioned JSON (``repro.litmus/v1``, kind
+``"test"``) via :meth:`LitmusTest.to_payload` /
+:meth:`LitmusTest.from_payload`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.registry import PERSISTENCY_MODELS
+from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
+
+__all__ = [
+    "LITMUS_SCHEMA",
+    "LitmusOp",
+    "LitmusTest",
+    "compute",
+    "epoch_boundary",
+    "fence",
+    "fl",
+    "ld",
+    "lower",
+    "observe_state",
+    "st",
+]
+
+#: Versioned schema identifier shared by serialized tests, the agreement
+#: matrix report, and litmus counterexample artifacts.
+LITMUS_SCHEMA = "repro.litmus/v1"
+
+#: Litmus op kinds (string-identical to :class:`repro.sim.trace.OpKind`
+#: values so lowering is a direct mapping).
+_KINDS = ("store", "load", "flush", "fence", "epoch", "compute")
+_LOC_KINDS = ("store", "load", "flush")
+
+
+@dataclass(frozen=True)
+class LitmusOp:
+    """One program step: ``kind`` plus (where relevant) a named location,
+    a store value, or a compute-delay cycle count."""
+
+    kind: str
+    loc: Optional[str] = None
+    value: int = 0
+    cycles: int = 0
+
+    def to_payload(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind}
+        if self.loc is not None:
+            out["loc"] = self.loc
+        if self.value:
+            out["value"] = self.value
+        if self.cycles:
+            out["cycles"] = self.cycles
+        return out
+
+    @staticmethod
+    def from_payload(payload: Mapping[str, Any]) -> "LitmusOp":
+        return LitmusOp(
+            kind=payload["kind"],
+            loc=payload.get("loc"),
+            value=int(payload.get("value", 0)),
+            cycles=int(payload.get("cycles", 0)),
+        )
+
+
+def st(loc: str, value: int) -> LitmusOp:
+    """Store ``value`` (nonzero, unique per location) to ``loc``."""
+    return LitmusOp("store", loc=loc, value=value)
+
+
+def ld(loc: str) -> LitmusOp:
+    """Load ``loc`` (no effect on durable states; exercises coherence)."""
+    return LitmusOp("load", loc=loc)
+
+
+def fl(loc: str) -> LitmusOp:
+    """Flush (clwb) the cache line holding ``loc``."""
+    return LitmusOp("flush", loc=loc)
+
+
+def fence() -> LitmusOp:
+    """Persist fence (sfence): waits for this core's outstanding flushes."""
+    return LitmusOp("fence")
+
+
+def epoch_boundary() -> LitmusOp:
+    """Epoch boundary (BEP vocabulary)."""
+    return LitmusOp("epoch")
+
+
+def compute(cycles: int) -> LitmusOp:
+    """Burn ``cycles`` without memory traffic — pins cross-core timing."""
+    return LitmusOp("compute", cycles=cycles)
+
+
+State = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A declarative persistency litmus test (see module docstring)."""
+
+    name: str
+    locations: Tuple[str, ...]
+    programs: Tuple[Tuple[LitmusOp, ...], ...]
+    #: family tag for grouping in reports (``prefix``, ``mp``, ``sb``,
+    #: ``elision``, ``epoch``, ``evict``, ``coherence``, ``publish``).
+    family: str = ""
+    doc: str = ""
+    #: exemplar outcomes: model -> {"allowed": [state, ...],
+    #: "forbidden": [state, ...]} — spot-checks, not complete sets.
+    expect: Mapping[str, Mapping[str, Tuple[State, ...]]] = field(
+        default_factory=dict
+    )
+    #: groups of locations sharing one cache block (word offsets).
+    same_block: Tuple[Tuple[str, ...], ...] = ()
+    #: groups of locations mapped to the same L1+LLC set (evictions).
+    conflict_groups: Tuple[Tuple[str, ...], ...] = ()
+    #: member of the CI smoke subset.
+    smoke: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation ----------------------------------------------------
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("litmus test needs a name")
+        if len(set(self.locations)) != len(self.locations):
+            raise ValueError(f"{self.name}: duplicate locations")
+        if not self.programs:
+            raise ValueError(f"{self.name}: needs at least one program")
+        declared = set(self.locations)
+        grouped: set = set()
+        for groups, label in ((self.same_block, "same_block"),
+                              (self.conflict_groups, "conflict_groups")):
+            for group in groups:
+                if len(group) < 2:
+                    raise ValueError(
+                        f"{self.name}: {label} group {group} needs >= 2 "
+                        f"members"
+                    )
+                for loc in group:
+                    if loc not in declared:
+                        raise ValueError(
+                            f"{self.name}: {label} member {loc!r} is not a "
+                            f"declared location"
+                        )
+                    if loc in grouped:
+                        raise ValueError(
+                            f"{self.name}: location {loc!r} appears in two "
+                            f"placement groups"
+                        )
+                    grouped.add(loc)
+        seen_values: Dict[str, set] = {}
+        for ci, prog in enumerate(self.programs):
+            for op in prog:
+                if op.kind not in _KINDS:
+                    raise ValueError(
+                        f"{self.name}: core {ci}: unknown op kind "
+                        f"{op.kind!r}"
+                    )
+                if op.kind in _LOC_KINDS:
+                    if op.loc not in declared:
+                        raise ValueError(
+                            f"{self.name}: core {ci}: {op.kind} references "
+                            f"undeclared location {op.loc!r}"
+                        )
+                if op.kind == "store":
+                    if op.value <= 0:
+                        raise ValueError(
+                            f"{self.name}: core {ci}: store to {op.loc!r} "
+                            f"must write a positive value (0 is the initial "
+                            f"state)"
+                        )
+                    vals = seen_values.setdefault(op.loc, set())
+                    if op.value in vals:
+                        raise ValueError(
+                            f"{self.name}: store value {op.value} to "
+                            f"{op.loc!r} is not unique — durable states "
+                            f"could not identify which store persisted"
+                        )
+                    vals.add(op.value)
+                if op.kind == "compute" and op.cycles <= 0:
+                    raise ValueError(
+                        f"{self.name}: core {ci}: compute needs positive "
+                        f"cycles"
+                    )
+        for model in self.expect:
+            if model not in PERSISTENCY_MODELS:
+                raise ValueError(
+                    f"{self.name}: expect table references unknown model "
+                    f"{model!r}"
+                )
+            for key in self.expect[model]:
+                if key not in ("allowed", "forbidden"):
+                    raise ValueError(
+                        f"{self.name}: expect[{model!r}] key {key!r} must "
+                        f"be 'allowed' or 'forbidden'"
+                    )
+                for state in self.expect[model][key]:
+                    if len(state) != len(self.locations):
+                        raise ValueError(
+                            f"{self.name}: expect[{model!r}][{key!r}] state "
+                            f"{state} does not match the {len(self.locations)}"
+                            f"-location layout"
+                        )
+
+    # -- serialization -------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": LITMUS_SCHEMA,
+            "kind": "test",
+            "name": self.name,
+            "family": self.family,
+            "doc": self.doc,
+            "locations": list(self.locations),
+            "programs": [
+                [op.to_payload() for op in prog] for prog in self.programs
+            ],
+            "expect": {
+                model: {
+                    key: [list(state) for state in states]
+                    for key, states in table.items()
+                }
+                for model, table in self.expect.items()
+            },
+            "same_block": [list(g) for g in self.same_block],
+            "conflict_groups": [list(g) for g in self.conflict_groups],
+            "smoke": self.smoke,
+        }
+
+    @staticmethod
+    def from_payload(payload: Mapping[str, Any]) -> "LitmusTest":
+        if payload.get("schema") != LITMUS_SCHEMA:
+            raise ValueError(
+                f"litmus test payload has schema "
+                f"{payload.get('schema')!r}; expected {LITMUS_SCHEMA!r}"
+            )
+        if payload.get("kind") != "test":
+            raise ValueError(
+                f"litmus payload kind {payload.get('kind')!r} is not 'test'"
+            )
+        return LitmusTest(
+            name=payload["name"],
+            family=payload.get("family", ""),
+            doc=payload.get("doc", ""),
+            locations=tuple(payload["locations"]),
+            programs=tuple(
+                tuple(LitmusOp.from_payload(op) for op in prog)
+                for prog in payload["programs"]
+            ),
+            expect={
+                model: {
+                    key: tuple(tuple(int(v) for v in state)
+                               for state in states)
+                    for key, states in table.items()
+                }
+                for model, table in payload.get("expect", {}).items()
+            },
+            same_block=tuple(
+                tuple(g) for g in payload.get("same_block", [])
+            ),
+            conflict_groups=tuple(
+                tuple(g) for g in payload.get("conflict_groups", [])
+            ),
+            smoke=bool(payload.get("smoke", False)),
+        )
+
+    def without_expectations(
+        self, programs: Tuple[Tuple[LitmusOp, ...], ...]
+    ) -> "LitmusTest":
+        """A reduced variant used by ddmin: same locations and placement,
+        new (smaller) programs, no exemplar table (the enumerators
+        recompute complete allowed sets for the reduced programs)."""
+        return replace(self, programs=programs, expect={})
+
+
+# ----------------------------------------------------------------------
+# Lowering: named locations -> concrete NVMM addresses -> ProgramTrace
+# ----------------------------------------------------------------------
+
+def assign_addresses(test: LitmusTest, config) -> Dict[str, int]:
+    """Map each named location to a concrete persistent address.
+
+    Plain locations get consecutive blocks starting one block above
+    ``persistent_base`` (distinct L1 sets for small tests, so they never
+    evict each other).  ``same_block`` groups share one such block at
+    8-byte word offsets.  ``conflict_groups`` land in a dedicated region
+    with stride ``lcm(l1_sets, llc_sets) * block_size``: every member of
+    a group maps to the same L1 set *and* the same LLC set, so assoc-many
+    stores force an eviction.
+    """
+    block = config.block_size
+    l1_sets = config.l1d.size_bytes // (config.l1d.assoc * block)
+    llc_sets = config.llc.size_bytes // (config.llc.assoc * block)
+    stride = (l1_sets * llc_sets // math.gcd(l1_sets, llc_sets)) * block
+    base = config.mem.persistent_base
+    # conflict groups get their own aligned region so group members hit
+    # set 0 while plain locations stay in sets 1..l1_sets-1.
+    conflict_base = base + stride * 8
+
+    addrs: Dict[str, int] = {}
+    next_block = 1
+    in_group = {loc for g in test.same_block for loc in g}
+    in_group.update(loc for g in test.conflict_groups for loc in g)
+    for group in test.same_block:
+        baddr = base + next_block * block
+        next_block += 1
+        for word, loc in enumerate(group):
+            off = word * 8
+            if off >= block:
+                raise ValueError(
+                    f"{test.name}: same_block group {group} does not fit "
+                    f"in a {block}-byte block"
+                )
+            addrs[loc] = baddr + off
+    for loc in test.locations:
+        if loc in in_group:
+            continue
+        addrs[loc] = base + next_block * block
+        next_block += 1
+    if next_block > l1_sets:
+        raise ValueError(
+            f"{test.name}: too many plain locations for {l1_sets} L1 sets"
+        )
+    for gi, group in enumerate(test.conflict_groups):
+        for k, loc in enumerate(group):
+            addr = conflict_base + gi * block + k * stride
+            if not config.mem.is_persistent(addr):
+                raise ValueError(
+                    f"{test.name}: conflict group {gi} member {loc!r} falls "
+                    f"outside the persistent region"
+                )
+            addrs[loc] = addr
+    return addrs
+
+
+def lower(
+    test: LitmusTest, config
+) -> Tuple[ProgramTrace, Dict[str, int]]:
+    """Lower a litmus test to a runnable :class:`ProgramTrace` plus the
+    location -> address map used to observe durable states afterwards."""
+    addrs = assign_addresses(test, config)
+    if len(test.programs) > config.num_cores:
+        raise ValueError(
+            f"{test.name}: {len(test.programs)} programs but only "
+            f"{config.num_cores} cores"
+        )
+    threads: List[ThreadTrace] = []
+    for prog in test.programs:
+        ops: List[TraceOp] = []
+        for op in prog:
+            if op.kind == "store":
+                ops.append(TraceOp.store(addrs[op.loc], op.value))
+            elif op.kind == "load":
+                ops.append(TraceOp.load(addrs[op.loc]))
+            elif op.kind == "flush":
+                ops.append(TraceOp.flush(addrs[op.loc]))
+            elif op.kind == "fence":
+                ops.append(TraceOp.fence())
+            elif op.kind == "epoch":
+                ops.append(TraceOp.epoch())
+            else:
+                ops.append(TraceOp.compute(op.cycles))
+        threads.append(ThreadTrace(ops))
+    return ProgramTrace(threads), addrs
+
+
+def observe_state(media, test: LitmusTest, addrs: Mapping[str, int]) -> State:
+    """Read the durable value of every location off the NVMM media image
+    (unwritten words read as the initial value 0)."""
+    return tuple(media.read_word(addrs[loc], 8) for loc in test.locations)

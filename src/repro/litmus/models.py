@@ -1,0 +1,274 @@
+"""Formal persistency models: complete allowed-state enumerators.
+
+Each enumerator computes, for one :class:`~repro.litmus.dsl.LitmusTest`,
+the *complete* set of post-crash durable states (tuples aligned with
+``test.locations``, initial value 0) the model allows.  The battery
+classifies a scheme's observed states against these sets; the
+hand-written ``expect`` exemplars in the corpus are spot-checks
+cross-validated against them in the test suite.
+
+``strict``
+    strict persistency — persists follow visibility (TSO) order,
+    possibly lagging: every allowed state is the memory image of a
+    prefix of some interleaving of the per-core store sequences.
+
+``px86-tso``
+    Px86-TSO (Khyzha & Lahav, "Taming x86-TSO Persistency") — persists
+    are ordered only per cache line (coherence order) and by explicit
+    ``flush ; fence`` chains: a fence commits only once the stores its
+    core flushed are durable, so any store *after* the fence witnesses
+    the flushed data.  Unflushed lines persist in any order, each as a
+    prefix of its own per-line write order.
+
+``epoch``
+    epoch persistency — per core, every store of epoch N is durable
+    before any store of epoch N+1 persists; within the cut epoch stores
+    reorder and coalesce freely (any persisted value per location is one
+    of that epoch's writes, or none).  Cross-core persist order is
+    unconstrained: a location's final value may come from any core's
+    last persisted write to it.
+
+Model-relation facts the test suite asserts over the corpus: strict is
+contained in both px86-tso and epoch; px86-tso and epoch are
+*incomparable* (a flush;fence chain inside one epoch is forbidden by
+px86-tso but invisible to epoch; an intra-epoch reorder is forbidden by
+strict-like px86 per-line order but allowed by epoch).
+
+Everything here is pure combinatorics on the DSL — no simulator state —
+so the enumerators are exact and fast for litmus-sized tests (a handful
+of stores over 2-4 cores).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.registry import (
+    MODEL_EPOCH,
+    MODEL_PX86_TSO,
+    MODEL_STRICT,
+)
+from repro.litmus.dsl import LitmusTest, State
+
+__all__ = [
+    "allowed_states",
+    "epoch_states",
+    "px86_states",
+    "strict_states",
+]
+
+
+def _store_programs(test: LitmusTest) -> List[List[Tuple[int, int]]]:
+    """Per-core (location-index, value) store sequences."""
+    idx = {loc: i for i, loc in enumerate(test.locations)}
+    return [
+        [(idx[op.loc], op.value) for op in prog if op.kind == "store"]
+        for prog in test.programs
+    ]
+
+
+def strict_states(test: LitmusTest) -> FrozenSet[State]:
+    """All memory images of prefixes of TSO interleavings of the per-core
+    store sequences (loads/flushes/fences/epochs never change the image)."""
+    progs = _store_programs(test)
+    init: State = tuple(0 for _ in test.locations)
+    start = (tuple(0 for _ in progs), init)
+    seen = {start}
+    states = {init}
+    stack = [start]
+    while stack:
+        pos, mem = stack.pop()
+        for core, prog in enumerate(progs):
+            if pos[core] >= len(prog):
+                continue
+            loc, value = prog[pos[core]]
+            nmem = list(mem)
+            nmem[loc] = value
+            node = (
+                tuple(p + 1 if c == core else p for c, p in enumerate(pos)),
+                tuple(nmem),
+            )
+            if node not in seen:
+                seen.add(node)
+                states.add(node[1])
+                stack.append(node)
+    return frozenset(states)
+
+
+def _blocks_of(test: LitmusTest) -> List[Tuple[int, ...]]:
+    """Persist units (cache lines): each ``same_block`` group is one
+    unit; every other location is its own.  Returned as tuples of
+    location indices; conflict groups share cache *sets*, not lines."""
+    idx = {loc: i for i, loc in enumerate(test.locations)}
+    blocks: List[Tuple[int, ...]] = []
+    grouped = set()
+    for group in test.same_block:
+        blocks.append(tuple(idx[loc] for loc in group))
+        grouped.update(group)
+    for loc in test.locations:
+        if loc not in grouped:
+            blocks.append((idx[loc],))
+    return blocks
+
+
+def px86_states(test: LitmusTest) -> FrozenSet[State]:
+    """Explicit-state search over the Px86-TSO persist machine.
+
+    A node is ``(positions, per-line commit lists, per-line persisted
+    prefix lengths, per-core outstanding flush snapshots)``.  Executing
+    a store appends to its line's commit list; a flush snapshots
+    ``(line, commit-length-now)`` into the core's outstanding set; a
+    fence commits only when every outstanding snapshot is persisted
+    (and then clears the set); an autonomous persist step extends any
+    line's persisted prefix by one.  The durable state of a node is the
+    per-line replay of the persisted prefixes — collected at *every*
+    node, so crash-anywhere is built in.
+    """
+    blocks = _blocks_of(test)
+    block_of = {
+        li: bi for bi, members in enumerate(blocks) for li in members
+    }
+    idx = {loc: i for i, loc in enumerate(test.locations)}
+    progs = [tuple(op for op in prog if op.kind != "compute")
+             for prog in test.programs]
+
+    def durable(commits, plens) -> State:
+        mem = [0] * len(test.locations)
+        for bi, commit in enumerate(commits):
+            for li, value in commit[: plens[bi]]:
+                mem[li] = value
+        return tuple(mem)
+
+    start = (
+        tuple(0 for _ in progs),
+        tuple(() for _ in blocks),
+        tuple(0 for _ in blocks),
+        tuple(frozenset() for _ in progs),
+    )
+    seen = {start}
+    states = {durable(start[1], start[2])}
+    stack = [start]
+    while stack:
+        pos, commits, plens, outst = stack.pop()
+
+        def visit(node) -> None:
+            if node not in seen:
+                seen.add(node)
+                states.add(durable(node[1], node[2]))
+                stack.append(node)
+
+        # autonomous persist: any line's prefix grows by one.
+        for bi in range(len(blocks)):
+            if plens[bi] < len(commits[bi]):
+                nplens = tuple(
+                    p + 1 if b == bi else p for b, p in enumerate(plens)
+                )
+                visit((pos, commits, nplens, outst))
+        # program steps.
+        for core, prog in enumerate(progs):
+            if pos[core] >= len(prog):
+                continue
+            op = prog[pos[core]]
+            npos = tuple(
+                p + 1 if c == core else p for c, p in enumerate(pos)
+            )
+            if op.kind == "store":
+                bi = block_of[idx[op.loc]]
+                ncommits = tuple(
+                    c + ((idx[op.loc], op.value),) if b == bi else c
+                    for b, c in enumerate(commits)
+                )
+                visit((npos, ncommits, plens, outst))
+            elif op.kind == "flush":
+                bi = block_of[idx[op.loc]]
+                snap = (bi, len(commits[bi]))
+                noutst = tuple(
+                    o | {snap} if c == core else o
+                    for c, o in enumerate(outst)
+                )
+                visit((npos, commits, plens, noutst))
+            elif op.kind == "fence":
+                if all(plens[bi] >= ln for bi, ln in outst[core]):
+                    noutst = tuple(
+                        frozenset() if c == core else o
+                        for c, o in enumerate(outst)
+                    )
+                    visit((npos, commits, plens, noutst))
+                # else: the fence cannot commit yet; a persist step will
+                # unblock it on another branch.
+            else:  # load / epoch: no persist effect under Px86-TSO.
+                visit((npos, commits, plens, outst))
+    return frozenset(states)
+
+
+def epoch_states(test: LitmusTest) -> FrozenSet[State]:
+    """Combinatorial enumeration of the epoch-persistency outcomes.
+
+    Per core: pick a cut epoch ``K`` — epochs before ``K`` are fully
+    durable (last value per location), epoch ``K`` contributes an
+    arbitrary per-location choice among that epoch's writes (or none),
+    later epochs contribute nothing.  Cross-core, a location's final
+    value may be *any* core's last persisted write to it (or 0 if no
+    core persisted one) — persist order between cores is unconstrained.
+    """
+    idx = {loc: i for i, loc in enumerate(test.locations)}
+    per_core: List[List[Dict[int, int]]] = []
+    for prog in test.programs:
+        epochs: List[List[Tuple[int, int]]] = [[]]
+        for op in prog:
+            if op.kind == "epoch":
+                epochs.append([])
+            elif op.kind == "store":
+                epochs[-1].append((idx[op.loc], op.value))
+        outcomes = set()
+        for cut in range(len(epochs) + 1):
+            base: Dict[int, int] = {}
+            for stores in epochs[:cut]:
+                for li, value in stores:
+                    base[li] = value
+            if cut == len(epochs):
+                outcomes.add(tuple(sorted(base.items())))
+                continue
+            # the cut epoch: per location, any of its writes or none.
+            cut_writes: Dict[int, List[int]] = {}
+            for li, value in epochs[cut]:
+                cut_writes.setdefault(li, []).append(value)
+            items = sorted(cut_writes.items())
+            choice_lists = [[None] + values for _, values in items]
+            for choices in itertools.product(*choice_lists):
+                out = dict(base)
+                for (li, _), value in zip(items, choices):
+                    if value is not None:
+                        out[li] = value
+                outcomes.add(tuple(sorted(out.items())))
+        per_core.append([dict(o) for o in outcomes])
+
+    states = set()
+    for combo in itertools.product(*per_core):
+        choice_lists = []
+        for li in range(len(test.locations)):
+            values = sorted({core[li] for core in combo if li in core})
+            choice_lists.append(values or [0])
+        for values in itertools.product(*choice_lists):
+            states.add(tuple(values))
+    return frozenset(states)
+
+
+_ENUMERATORS = {
+    MODEL_STRICT: strict_states,
+    MODEL_PX86_TSO: px86_states,
+    MODEL_EPOCH: epoch_states,
+}
+
+
+def allowed_states(test: LitmusTest, model: str) -> FrozenSet[State]:
+    """The complete allowed-state set of ``test`` under ``model``."""
+    try:
+        enumerate_states = _ENUMERATORS[model]
+    except KeyError:
+        raise ValueError(
+            f"unknown persistency model {model!r}; expected one of "
+            f"{', '.join(sorted(_ENUMERATORS))}"
+        ) from None
+    return enumerate_states(test)

@@ -1,0 +1,566 @@
+"""The litmus battery runner: corpus x every registered scheme.
+
+For each (scheme, test) cell the runner lowers the test to a
+:class:`~repro.sim.trace.ProgramTrace`, runs one *counting* pass under an
+unbounded :class:`~repro.check.schedule.CrashSchedule` to learn how many
+micro-step crash points ``T`` the run exposes, then re-executes the trace
+on a fresh system with ``stop_at=k`` for every ``k in 1..T`` (plus the
+crash-free completed run) and reads the durable image of the test's
+locations off the NVMM media.  The resulting observed-state set is
+classified against each formal model's complete allowed set
+(:mod:`repro.litmus.models`):
+
+``allowed``
+    observed == allowed (the scheme realizes the model exactly);
+``allowed-but-unreachable``
+    observed is a strict subset (the scheme is stronger than — or just
+    does not exercise — part of the model);
+``forbidden-but-observed``
+    some observed state is outside the allowed set: under the scheme's
+    *declared* model (:attr:`SchemeInfo.persistency_model`) this is a
+    hard conformance failure.
+
+Schemes are taken from the registry (zero scheme-name literals); the
+checker mutants (:mod:`repro.check.mutants`) run under their base
+scheme's declaration and are *expected* to produce forbidden cells — an
+uncaught mutant is itself a battery failure.  Forbidden cells are
+minimized through the shared ddmin path into replayable
+``repro.litmus/v1`` counterexample artifacts (the allowed set is
+recomputed for every reduced candidate, so minimization is sound).
+
+Cells fan out through the hardened batch runner
+(:func:`repro.analysis.batch.run_tasks` — per-cell timeouts, retry,
+checkpoint/resume); :func:`run_cell` is a module-level picklable worker.
+Plugin schemes registered only in the driving process need ``jobs=1``
+(worker subprocesses would not have them imported).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.check.schedule import CrashSchedule
+from repro.core.registry import (
+    MODEL_UNDECLARED,
+    PERSISTENCY_MODELS,
+    iter_schemes,
+    scheme_info,
+)
+from repro.litmus.dsl import (
+    LITMUS_SCHEMA,
+    LitmusOp,
+    LitmusTest,
+    State,
+    lower,
+    observe_state,
+)
+from repro.litmus.models import allowed_states
+from repro.obs.bus import NULL_BUS
+from repro.obs.events import LitmusCellChecked, LitmusViolation
+
+__all__ = [
+    "CLASS_ALLOWED",
+    "CLASS_FORBIDDEN",
+    "CLASS_UNREACHABLE",
+    "classify_states",
+    "minimize_cell",
+    "publish_litmus_report",
+    "render_matrix",
+    "replay_counterexample",
+    "run_battery",
+    "run_cell",
+    "smoke_battery",
+    "write_counterexample",
+]
+
+CLASS_ALLOWED = "allowed"
+CLASS_UNREACHABLE = "allowed-but-unreachable"
+CLASS_FORBIDDEN = "forbidden-but-observed"
+
+#: ddmin oracle-call budget per minimized cell.
+MINIMIZE_BUDGET = 200
+
+
+def _default_config():
+    from repro.analysis.experiments import default_sim_config
+
+    return default_sim_config()
+
+
+def _build_system(
+    scheme: str, mutant: Optional[str], entries: int, config, schedule
+):
+    if mutant is not None:
+        from repro.check.mutants import build_mutant_system
+
+        return build_mutant_system(
+            mutant, entries=entries, config=config, crash_schedule=schedule
+        )
+    from repro.api import RunOptions, build_system
+
+    return build_system(
+        scheme, entries=entries, config=config,
+        options=RunOptions(crash_schedule=schedule),
+    )
+
+
+# ----------------------------------------------------------------------
+# The per-cell worker (module-level: picklable for the batch runner)
+# ----------------------------------------------------------------------
+
+def run_cell(
+    scheme: str,
+    mutant: Optional[str],
+    entries: int,
+    payload: Mapping[str, Any],
+) -> Dict[str, Any]:
+    """Sweep every micro-step crash point of one (scheme, test) cell and
+    return the observed durable states with first-seen provenance."""
+    test = LitmusTest.from_payload(payload)
+    config = _default_config()
+    trace, addrs = lower(test, config)
+
+    observed: Dict[State, Dict[str, Any]] = {}
+
+    # Counting run: learn how many micro-step crash points the trace
+    # exposes.  Only crash points contribute observed states — a clean
+    # run's media image is *not* the durable state for schemes whose
+    # battery covers volatile structures (the final crash point, firing
+    # after the last op, yields the full-store image via crash_drain).
+    schedule = CrashSchedule(stop_at=None)
+    system = _build_system(scheme, mutant, entries, config, schedule)
+    system.run(trace)
+    total = schedule.visits
+
+    for k in range(1, total + 1):
+        schedule = CrashSchedule(stop_at=k)
+        system = _build_system(scheme, mutant, entries, config, schedule)
+        result = system.run(trace)
+        state = observe_state(system.nvmm_media, test, addrs)
+        if state not in observed:
+            site = result.crash_point.site if result.crash_point else ""
+            observed[state] = {"stop_at": k, "site": site}
+
+    return {
+        "scheme": scheme,
+        "mutant": mutant,
+        "test": test.name,
+        "points": total,
+        "observed": [
+            {"state": list(state), **prov}
+            for state, prov in sorted(observed.items())
+        ],
+    }
+
+
+def classify_states(observed, allowed) -> Tuple[str, List[State]]:
+    """Classify an observed-state set against a complete allowed set;
+    returns ``(classification, sorted forbidden states)``."""
+    observed = frozenset(observed)
+    forbidden = sorted(observed - frozenset(allowed))
+    if forbidden:
+        return CLASS_FORBIDDEN, forbidden
+    if observed == frozenset(allowed):
+        return CLASS_ALLOWED, []
+    return CLASS_UNREACHABLE, []
+
+
+def _classify_cell(cell: Dict[str, Any], test: LitmusTest) -> None:
+    """Attach per-model classifications to a worker cell (in place)."""
+    observed = {tuple(rec["state"]) for rec in cell["observed"]}
+    models: Dict[str, Any] = {}
+    for model in PERSISTENCY_MODELS:
+        allowed = allowed_states(test, model)
+        classification, forbidden = classify_states(observed, allowed)
+        models[model] = {
+            "classification": classification,
+            "allowed_states": len(allowed),
+            "observed_states": len(observed),
+            "forbidden": [list(state) for state in forbidden],
+        }
+    cell["models"] = models
+
+
+# ----------------------------------------------------------------------
+# The battery
+# ----------------------------------------------------------------------
+
+def _targets(
+    schemes: Optional[Sequence[str]], include_mutants: bool
+) -> List[Tuple[str, Optional[str], str]]:
+    """(scheme, mutant, declared model) rows, registry-dispatched."""
+    if schemes is None:
+        names = [info.name for info in iter_schemes()]
+    else:
+        names = list(schemes)
+    rows: List[Tuple[str, Optional[str], str]] = [
+        (name, None, scheme_info(name).persistency_model) for name in names
+    ]
+    if include_mutants:
+        from repro.check.mutants import MUTANTS
+
+        for mutant_name in sorted(MUTANTS):
+            base = MUTANTS[mutant_name][0]
+            if schemes is not None and base not in names:
+                continue
+            rows.append(
+                (base, mutant_name, scheme_info(base).persistency_model)
+            )
+    return rows
+
+
+def run_battery(
+    schemes: Optional[Sequence[str]] = None,
+    tests: Optional[Sequence[LitmusTest]] = None,
+    entries: int = 8,
+    include_mutants: bool = True,
+    jobs: Optional[int] = None,
+    policy=None,
+    progress=None,
+    bus=NULL_BUS,
+    minimize: bool = True,
+    cex_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run ``tests`` (default: the full corpus) against ``schemes``
+    (default: every registered scheme) plus the checker mutants, and
+    fold the classified cells into a ``repro.litmus/v1`` report.
+
+    The report's ``conformance`` section holds the gate results: honest
+    schemes observing a state their declared model forbids are failures;
+    mutants are failures only when *no* cell catches them.  Forbidden
+    cells under a target's declared model are ddmin-minimized into
+    replayable counterexample artifacts (inline in the report; also
+    written to ``cex_dir`` when given).
+    """
+    from repro.analysis.batch import run_tasks
+    from repro.litmus.corpus import corpus
+
+    test_list = list(tests) if tests is not None else corpus()
+    by_name = {t.name: t for t in test_list}
+    targets = _targets(schemes, include_mutants)
+
+    tasks = [
+        (run_cell, (scheme, mutant, entries, test.to_payload()), {})
+        for scheme, mutant, _ in targets
+        for test in test_list
+    ]
+    results = run_tasks(tasks, jobs=jobs, progress=progress, policy=policy)
+
+    cells: List[Dict[str, Any]] = []
+    for cell in results:
+        if cell is None:
+            continue
+        _classify_cell(cell, by_name[cell["test"]])
+        cells.append(cell)
+
+    schemes_out: List[Dict[str, Any]] = []
+    failures: List[Dict[str, Any]] = []
+    mutants_caught: Dict[str, bool] = {}
+    counterexamples: List[Dict[str, Any]] = []
+    for scheme, mutant, declared in targets:
+        target_cells = [
+            c for c in cells
+            if c["scheme"] == scheme and c["mutant"] == mutant
+        ]
+        forbidden_cells = [
+            c for c in target_cells
+            if declared != MODEL_UNDECLARED
+            and c["models"][declared]["classification"] == CLASS_FORBIDDEN
+        ]
+        label = mutant or scheme
+        if bus.enabled:
+            for c in target_cells:
+                cls = (c["models"][declared]["classification"]
+                       if declared != MODEL_UNDECLARED else "")
+                bus.emit(LitmusCellChecked(
+                    cycle=0, scheme=label, test=c["test"],
+                    points=c["points"],
+                    observed_states=len(c["observed"]),
+                    classification=cls,
+                ))
+            for c in forbidden_cells:
+                for state in c["models"][declared]["forbidden"]:
+                    bus.emit(LitmusViolation(
+                        cycle=0, scheme=label, test=c["test"],
+                        model=declared, state=repr(tuple(state)),
+                    ))
+        row = {
+            "scheme": scheme,
+            "mutant": mutant,
+            "declared_model": declared,
+            "forbidden_cells": [c["test"] for c in forbidden_cells],
+        }
+        if mutant is not None:
+            caught = bool(forbidden_cells)
+            mutants_caught[mutant] = caught
+            row["caught"] = caught
+        elif declared != MODEL_UNDECLARED:
+            row["conformant"] = not forbidden_cells
+            for c in forbidden_cells:
+                for state in c["models"][declared]["forbidden"]:
+                    failures.append({
+                        "scheme": scheme,
+                        "test": c["test"],
+                        "model": declared,
+                        "state": state,
+                    })
+        schemes_out.append(row)
+
+        if minimize and forbidden_cells and declared != MODEL_UNDECLARED:
+            cell = forbidden_cells[0]
+            artifact = minimize_cell(
+                scheme, mutant, entries, by_name[cell["test"]], declared
+            )
+            if cex_dir is not None:
+                import os
+
+                from repro.ioutil import atomic_write_json
+
+                path = os.path.join(cex_dir, f"litmus-cex-{label}.json")
+                atomic_write_json(path, artifact)
+                artifact = dict(artifact, path=path)
+            counterexamples.append(artifact)
+
+    return {
+        "schema": LITMUS_SCHEMA,
+        "kind": "report",
+        "entries": entries,
+        "models": list(PERSISTENCY_MODELS),
+        "tests": [t.name for t in test_list],
+        "cells": cells,
+        "schemes": schemes_out,
+        "conformance": {
+            "failures": failures,
+            "mutants_caught": mutants_caught,
+        },
+        "counterexamples": counterexamples,
+    }
+
+
+# ----------------------------------------------------------------------
+# ddmin minimization + replayable artifacts
+# ----------------------------------------------------------------------
+
+def _flatten(test: LitmusTest) -> List[Tuple[int, LitmusOp]]:
+    """Round-robin flatten of the per-core programs (mirrors the checker's
+    trace flattening, so ddmin chunks interleave cores)."""
+    flat: List[Tuple[int, LitmusOp]] = []
+    longest = max(len(p) for p in test.programs)
+    for i in range(longest):
+        for core, prog in enumerate(test.programs):
+            if i < len(prog):
+                flat.append((core, prog[i]))
+    return flat
+
+
+def _rebuild(
+    ops: Sequence[Tuple[int, LitmusOp]], num_cores: int
+) -> Tuple[Tuple[LitmusOp, ...], ...]:
+    programs: List[List[LitmusOp]] = [[] for _ in range(num_cores)]
+    for core, op in ops:
+        programs[core].append(op)
+    return tuple(tuple(p) for p in programs)
+
+
+def minimize_cell(
+    scheme: str,
+    mutant: Optional[str],
+    entries: int,
+    test: LitmusTest,
+    model: str,
+    budget: int = MINIMIZE_BUDGET,
+) -> Dict[str, Any]:
+    """ddmin a forbidden cell to a 1-minimal program set and return the
+    replayable ``repro.litmus/v1`` counterexample artifact.
+
+    Soundness: the oracle recomputes the *complete* allowed set for every
+    reduced candidate (removing ops changes what the model allows), so a
+    candidate only counts as failing if it observes a state forbidden for
+    its own reduced programs."""
+    from repro.check.minimize import _ddmin
+
+    num_cores = len(test.programs)
+
+    def oracle(ops):
+        try:
+            candidate = test.without_expectations(_rebuild(ops, num_cores))
+        except ValueError:
+            return None
+        allowed = allowed_states(candidate, model)
+        cell = run_cell(scheme, mutant, entries, candidate.to_payload())
+        for rec in cell["observed"]:
+            state = tuple(rec["state"])
+            if state not in allowed:
+                return (state, rec["stop_at"], rec["site"], cell["points"])
+        return None
+
+    minimal, info, tests_run = _ddmin(_flatten(test), oracle, budget)
+    state, stop_at, site, points = info
+    reduced = test.without_expectations(_rebuild(minimal, num_cores))
+    return {
+        "schema": LITMUS_SCHEMA,
+        "kind": "counterexample",
+        "scheme": scheme,
+        "mutant": mutant,
+        "model": model,
+        "entries": entries,
+        "test": reduced.to_payload(),
+        "original_test": test.name,
+        "forbidden_state": list(state),
+        "stop_at": stop_at,
+        "site": site,
+        "points": points,
+        "tests_run": tests_run,
+    }
+
+
+def write_counterexample(artifact: Dict[str, Any], path: str) -> str:
+    """Atomically write a litmus counterexample artifact."""
+    from repro.ioutil import atomic_write_json
+
+    return atomic_write_json(path, artifact)
+
+
+def replay_counterexample(path: str) -> Dict[str, Any]:
+    """Re-run a litmus counterexample artifact and re-check the forbidden
+    observation.  Validates the artifact envelope (schema version, kind)
+    before touching the payload — raises
+    :class:`repro.ioutil.ArtifactError` with a clear diagnostic on a
+    truncated file or a schema mismatch.
+
+    Returns ``{"reproduced", "state", "observed", "artifact"}``."""
+    from repro.ioutil import load_versioned_json
+
+    artifact = load_versioned_json(path, LITMUS_SCHEMA, kind="counterexample")
+    test = LitmusTest.from_payload(artifact["test"])
+    model = artifact["model"]
+    allowed = allowed_states(test, model)
+    cell = run_cell(
+        artifact["scheme"], artifact["mutant"], artifact["entries"],
+        test.to_payload(),
+    )
+    state = tuple(artifact["forbidden_state"])
+    observed = {tuple(rec["state"]) for rec in cell["observed"]}
+    reproduced = state in observed and state not in allowed
+    return {
+        "reproduced": reproduced,
+        "state": list(state),
+        "observed": sorted(list(s) for s in observed),
+        "artifact": artifact,
+    }
+
+
+# ----------------------------------------------------------------------
+# Rendering, obs projection, and the CI smoke gate
+# ----------------------------------------------------------------------
+
+def _cell_summary(report: Dict[str, Any], scheme: str,
+                  mutant: Optional[str], model: str) -> str:
+    counts = {CLASS_ALLOWED: 0, CLASS_UNREACHABLE: 0, CLASS_FORBIDDEN: 0}
+    for cell in report["cells"]:
+        if cell["scheme"] == scheme and cell["mutant"] == mutant:
+            counts[cell["models"][model]["classification"]] += 1
+    if counts[CLASS_FORBIDDEN]:
+        return f"FORBIDDEN:{counts[CLASS_FORBIDDEN]}"
+    return f"ok {counts[CLASS_ALLOWED]}eq/{counts[CLASS_UNREACHABLE]}sub"
+
+
+def render_matrix(report: Dict[str, Any]) -> str:
+    """ASCII agreement matrix: one row per target, one column per model.
+
+    A cell reads ``ok Aeq/Usub``: over the corpus, ``A`` tests where the
+    scheme's observed states equal the model's allowed set exactly and
+    ``U`` where they are a strict subset (allowed-but-unreachable) — or
+    ``FORBIDDEN:n`` when ``n`` tests observed a state the model forbids.
+    The verdict column applies the *declared* model only."""
+    from repro.analysis.tables import render_table
+
+    rows = []
+    for row in report["schemes"]:
+        scheme, mutant = row["scheme"], row["mutant"]
+        label = mutant or scheme
+        declared = row["declared_model"] or "(undeclared)"
+        if mutant is not None:
+            verdict = ("caught (expected)" if row["caught"]
+                       else "UNCAUGHT MUTANT")
+        elif row["declared_model"]:
+            verdict = ("conformant" if row["conformant"]
+                       else "VIOLATES DECLARATION")
+        else:
+            verdict = "not gated"
+        rows.append(tuple(
+            [label, declared]
+            + [_cell_summary(report, scheme, mutant, m)
+               for m in report["models"]]
+            + [verdict]
+        ))
+    return render_table(
+        ["target", "declared"] + list(report["models"]) + ["verdict"],
+        rows,
+    )
+
+
+def publish_litmus_report(report: Dict[str, Any], registry=None):
+    """Project battery counts onto the metrics registry (created when not
+    supplied); typed per-cell events are emitted during the run via the
+    ``bus`` argument of :func:`run_battery`.  Returns the registry."""
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = registry if registry is not None else MetricsRegistry()
+    reg.counter(
+        "litmus.cells", "litmus (scheme x test) cells checked",
+    ).inc(len(report["cells"]))
+    reg.counter(
+        "litmus.points", "micro-step crash points swept by the battery",
+    ).inc(sum(cell["points"] for cell in report["cells"]))
+    reg.counter(
+        "litmus.conformance_failures",
+        "honest schemes observing a state their declared model forbids",
+    ).inc(len(report["conformance"]["failures"]))
+    reg.counter(
+        "litmus.mutants_uncaught",
+        "checker mutants the battery failed to flag",
+    ).inc(sum(
+        0 if caught else 1
+        for caught in report["conformance"]["mutants_caught"].values()
+    ))
+    return reg
+
+
+def battery_failures(report: Dict[str, Any]) -> List[str]:
+    """Human-readable gate failures: honest-scheme conformance breaks and
+    uncaught mutants.  Empty means the battery passes."""
+    out: List[str] = []
+    for failure in report["conformance"]["failures"]:
+        out.append(
+            f"{failure['scheme']}: test {failure['test']!r} observed "
+            f"{tuple(failure['state'])}, forbidden under its declared "
+            f"{failure['model']!r} model"
+        )
+    for mutant, caught in sorted(
+        report["conformance"]["mutants_caught"].items()
+    ):
+        if not caught:
+            out.append(
+                f"mutant {mutant!r} produced no forbidden-but-observed "
+                f"cell — the battery has lost its teeth"
+            )
+    return out
+
+
+def smoke_battery(
+    jobs: Optional[int] = None,
+    progress=None,
+    policy=None,
+    bus=NULL_BUS,
+) -> Tuple[Dict[str, Any], List[str]]:
+    """The CI gate: the smoke corpus against every registered scheme plus
+    both mutants.  Returns ``(report, failures)``; failures non-empty on
+    any honest conformance break or uncaught mutant."""
+    from repro.litmus.corpus import smoke_corpus
+
+    report = run_battery(
+        tests=smoke_corpus(), jobs=jobs, progress=progress, policy=policy,
+        bus=bus,
+    )
+    return report, battery_failures(report)

@@ -428,6 +428,10 @@ class MemoryHierarchy:
         baddr = self._baddr(block_addr)
         if not self.config.mem.is_nvmm(baddr):
             return now
+        # Let the scheme persist older buffered stores first: a flushed
+        # line must not overtake them into the WPQ (ordered-buffer schemes
+        # like BSP would otherwise persist out of visibility order).
+        now += self.scheme.on_explicit_flush(core, baddr, now)
         data: Optional[BlockData] = None
         # The newest copy lives in the owner's L1 (if M), else the LLC.
         # Lines are marked clean only *after* the WPQ accepts the data: a

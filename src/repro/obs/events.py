@@ -364,6 +364,33 @@ class CheckViolation(Event):
     violation: str
 
 
+@dataclass(frozen=True)
+class LitmusCellChecked(Event):
+    """The litmus battery finished one (scheme x test) cell: every
+    micro-step crash point swept, observed durable states classified
+    against the scheme's declared persistency model (``classification``
+    is empty when the scheme declares none)."""
+
+    kind: ClassVar[str] = "litmus_cell_checked"
+    scheme: str
+    test: str
+    points: int
+    observed_states: int
+    classification: str
+
+
+@dataclass(frozen=True)
+class LitmusViolation(Event):
+    """A litmus cell observed a durable state its model forbids — a
+    persistency-semantics conformance failure (or a caught mutant)."""
+
+    kind: ClassVar[str] = "litmus_violation"
+    scheme: str
+    test: str
+    model: str
+    state: str
+
+
 #: kind-string -> event class, the JSONL round-trip registry.
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.kind: cls
@@ -393,6 +420,8 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         RecoveryCompleted,
         CheckStateExplored,
         CheckViolation,
+        LitmusCellChecked,
+        LitmusViolation,
     )
 }
 

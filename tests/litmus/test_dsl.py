@@ -1,0 +1,182 @@
+"""Litmus DSL: validation, serialization, and lowering geometry."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import default_sim_config
+from repro.litmus.corpus import CORPUS, corpus_test
+from repro.litmus.dsl import (
+    LITMUS_SCHEMA,
+    LitmusOp,
+    LitmusTest,
+    assign_addresses,
+    compute,
+    fence,
+    fl,
+    lower,
+    observe_state,
+    st,
+)
+
+CFG = default_sim_config()
+
+
+def make(**overrides):
+    base = dict(
+        name="t",
+        locations=("x", "y"),
+        programs=((st("x", 1), st("y", 1)),),
+    )
+    base.update(overrides)
+    return LitmusTest(**base)
+
+
+class TestValidation:
+    def test_minimal_test_is_valid(self):
+        make()
+
+    def test_needs_a_name(self):
+        with pytest.raises(ValueError, match="needs a name"):
+            make(name="")
+
+    def test_duplicate_locations_rejected(self):
+        with pytest.raises(ValueError, match="duplicate locations"):
+            make(locations=("x", "x"))
+
+    def test_needs_at_least_one_program(self):
+        with pytest.raises(ValueError, match="at least one program"):
+            make(programs=())
+
+    def test_unknown_op_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown op kind"):
+            make(programs=((LitmusOp("prefetch", loc="x"),),))
+
+    def test_undeclared_location_rejected(self):
+        with pytest.raises(ValueError, match="undeclared location"):
+            make(programs=((st("z", 1),),))
+
+    def test_store_value_must_be_positive(self):
+        # 0 is the initial state, so a 0-store would be invisible.
+        with pytest.raises(ValueError, match="positive value"):
+            make(programs=((LitmusOp("store", loc="x", value=0),),))
+
+    def test_store_values_unique_per_location(self):
+        with pytest.raises(ValueError, match="not unique"):
+            make(programs=((st("x", 1), st("x", 1)),))
+
+    def test_same_value_on_different_locations_is_fine(self):
+        make(programs=((st("x", 1), st("y", 1)),))
+
+    def test_compute_needs_positive_cycles(self):
+        with pytest.raises(ValueError, match="positive"):
+            make(programs=((compute(0),),))
+
+    def test_expect_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            make(expect={"vibes": {"allowed": ((0, 0),)}})
+
+    def test_expect_bad_key_rejected(self):
+        with pytest.raises(ValueError, match="'allowed' or 'forbidden'"):
+            make(expect={"strict": {"maybe": ((0, 0),)}})
+
+    def test_expect_state_width_must_match_locations(self):
+        with pytest.raises(ValueError, match="layout"):
+            make(expect={"strict": {"allowed": ((0, 0, 0),)}})
+
+    def test_placement_group_needs_two_members(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            make(same_block=(("x",),))
+
+    def test_placement_member_must_be_declared(self):
+        with pytest.raises(ValueError, match="not a declared location"):
+            make(conflict_groups=(("x", "z"),))
+
+    def test_location_in_two_placement_groups_rejected(self):
+        with pytest.raises(ValueError, match="two placement groups"):
+            make(same_block=(("x", "y"),), conflict_groups=(("x", "y"),))
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("test", CORPUS, ids=lambda t: t.name)
+    def test_corpus_round_trips_through_json(self, test):
+        payload = json.loads(json.dumps(test.to_payload()))
+        assert payload["schema"] == LITMUS_SCHEMA
+        assert payload["kind"] == "test"
+        assert LitmusTest.from_payload(payload) == test
+
+    def test_wrong_schema_rejected(self):
+        payload = make().to_payload()
+        payload["schema"] = "repro.litmus/v999"
+        with pytest.raises(ValueError, match="schema"):
+            LitmusTest.from_payload(payload)
+
+    def test_wrong_kind_rejected(self):
+        payload = make().to_payload()
+        payload["kind"] = "report"
+        with pytest.raises(ValueError, match="not 'test'"):
+            LitmusTest.from_payload(payload)
+
+    def test_without_expectations_drops_the_exemplars(self):
+        test = corpus_test("prefix-pair")
+        reduced = test.without_expectations(((st("y", 1),),))
+        assert reduced.expect == {}
+        assert reduced.locations == test.locations
+        assert reduced.programs == ((st("y", 1),),)
+
+
+class TestLowering:
+    def test_plain_locations_get_distinct_persistent_blocks(self):
+        test = make(locations=("x", "y", "z"),
+                    programs=((st("x", 1), st("y", 1), st("z", 1)),))
+        addrs = assign_addresses(test, CFG)
+        blocks = {addr // CFG.block_size for addr in addrs.values()}
+        assert len(blocks) == 3
+        for addr in addrs.values():
+            assert CFG.mem.is_persistent(addr)
+
+    def test_same_block_group_shares_one_block(self):
+        test = make(locations=("x", "w"),
+                    programs=((st("x", 1), st("w", 1)),),
+                    same_block=(("x", "w"),))
+        addrs = assign_addresses(test, CFG)
+        assert addrs["x"] // CFG.block_size == addrs["w"] // CFG.block_size
+        assert addrs["x"] != addrs["w"]
+
+    def test_conflict_group_members_share_l1_and_llc_set(self):
+        test = make(locations=("k0", "k1", "k2"),
+                    programs=((st("k0", 1), st("k1", 1), st("k2", 1)),),
+                    conflict_groups=(("k0", "k1", "k2"),))
+        addrs = assign_addresses(test, CFG)
+        l1_sets = CFG.l1d.size_bytes // (CFG.l1d.assoc * CFG.block_size)
+        llc_sets = CFG.llc.size_bytes // (CFG.llc.assoc * CFG.block_size)
+        l1 = {(a // CFG.block_size) % l1_sets for a in addrs.values()}
+        llc = {(a // CFG.block_size) % llc_sets for a in addrs.values()}
+        assert len(l1) == 1 and len(llc) == 1
+        assert len(set(addrs.values())) == 3
+
+    def test_lower_produces_one_thread_per_program(self):
+        test = corpus_test("mp-flush-fence")
+        trace, addrs = lower(test, CFG)
+        assert len(trace.threads) == len(test.programs)
+        for prog, thread in zip(test.programs, trace.threads):
+            assert len(thread.ops) == len(prog)
+        assert set(addrs) == set(test.locations)
+
+    def test_observe_state_reads_in_location_order(self):
+        test = make()
+        addrs = assign_addresses(test, CFG)
+
+        class FakeMedia:
+            def read_word(self, addr, width):
+                assert width == 8
+                return 7 if addr == addrs["y"] else 0
+
+        assert observe_state(FakeMedia(), test, addrs) == (0, 7)
+
+    def test_too_many_programs_for_the_cores_rejected(self):
+        test = make(programs=tuple(
+            (st("x", k + 1),) for k in range(CFG.num_cores + 1)
+        ))
+        with pytest.raises(ValueError, match="cores"):
+            lower(test, CFG)

@@ -1,0 +1,120 @@
+"""Model enumerators: units, corpus exemplar agreement, and the
+model-relation facts the battery's classification logic relies on."""
+
+import pytest
+
+from repro.core.registry import (
+    MODEL_EPOCH,
+    MODEL_PX86_TSO,
+    MODEL_STRICT,
+    PERSISTENCY_MODELS,
+)
+from repro.litmus.corpus import CORPUS
+from repro.litmus.dsl import LitmusTest, epoch_boundary, fence, fl, st
+from repro.litmus.models import (
+    allowed_states,
+    epoch_states,
+    px86_states,
+    strict_states,
+)
+
+
+def make(programs, locations=("x", "y")):
+    return LitmusTest(name="t", locations=locations, programs=programs)
+
+
+class TestStrict:
+    def test_single_core_allows_only_prefixes(self):
+        test = make(((st("x", 1), st("y", 2)),))
+        assert strict_states(test) == {(0, 0), (1, 0), (1, 2)}
+
+    def test_two_cores_interleave(self):
+        test = make(((st("x", 1),), (st("y", 2),)))
+        assert strict_states(test) == {(0, 0), (1, 0), (0, 2), (1, 2)}
+
+    def test_non_store_ops_never_change_the_image(self):
+        bare = make(((st("x", 1), st("y", 2)),))
+        decorated = make(((st("x", 1), fl("x"), fence(), st("y", 2),
+                           epoch_boundary()),))
+        assert strict_states(decorated) == strict_states(bare)
+
+
+class TestPx86:
+    def test_unflushed_lines_persist_in_any_order(self):
+        test = make(((st("x", 1), st("y", 2)),))
+        assert (0, 2) in px86_states(test)
+
+    def test_per_line_order_is_kept(self):
+        # Two stores to the same location: the newer value cannot be
+        # durable without the older one having been overwritten in line
+        # order, so the observable set is the per-line prefixes.
+        test = make(((st("x", 1), st("x", 2)),), locations=("x",))
+        assert px86_states(test) == {(0,), (1,), (2,)}
+
+    def test_fence_orders_flushed_line_before_later_stores(self):
+        test = make(((st("x", 1), fl("x"), fence(), st("y", 2)),))
+        assert (0, 2) not in px86_states(test)
+
+    def test_flush_without_fence_orders_nothing(self):
+        test = make(((st("x", 1), fl("x"), st("y", 2)),))
+        assert (0, 2) in px86_states(test)
+
+
+class TestEpoch:
+    def test_epoch_boundary_orders_cross_epoch_stores(self):
+        test = make(((st("x", 1), epoch_boundary(), st("y", 2)),))
+        states = epoch_states(test)
+        assert (0, 2) not in states
+        assert {(0, 0), (1, 0), (1, 2)} <= states
+
+    def test_intra_epoch_stores_reorder_freely(self):
+        test = make(((st("x", 1), st("y", 2)),))
+        assert (0, 2) in epoch_states(test)
+
+    def test_same_location_across_epochs_steps_through_values(self):
+        test = make(((st("x", 1), epoch_boundary(), st("x", 2)),),
+                    locations=("x",))
+        assert epoch_states(test) == {(0,), (1,), (2,)}
+
+
+class TestModelRelations:
+    @pytest.mark.parametrize("test", CORPUS, ids=lambda t: t.name)
+    def test_strict_contained_in_both_relaxed_models(self, test):
+        strict = strict_states(test)
+        assert strict <= px86_states(test)
+        assert strict <= epoch_states(test)
+
+    def test_px86_and_epoch_are_incomparable(self):
+        # flush;fence inside one epoch: px86 forbids the younger store
+        # alone, epoch (which never sees flushes) allows it.
+        chained = make(((st("x", 1), fl("x"), fence(), st("y", 2)),))
+        assert (0, 2) in epoch_states(chained)
+        assert (0, 2) not in px86_states(chained)
+        # an epoch boundary with no flushes: epoch forbids the younger
+        # store alone, px86 (which ignores epoch ops) allows it.
+        bounded = make(((st("x", 1), epoch_boundary(), st("y", 2)),))
+        assert (0, 2) in px86_states(bounded)
+        assert (0, 2) not in epoch_states(bounded)
+
+
+class TestExemplarAgreement:
+    @pytest.mark.parametrize("test", CORPUS, ids=lambda t: t.name)
+    def test_hand_written_exemplars_match_the_enumerators(self, test):
+        assert test.expect, f"{test.name} has no exemplar table"
+        for model, table in test.expect.items():
+            allowed = allowed_states(test, model)
+            for state in table.get("allowed", ()):
+                assert state in allowed, (test.name, model, state)
+            for state in table.get("forbidden", ()):
+                assert state not in allowed, (test.name, model, state)
+
+
+class TestDispatch:
+    def test_every_registry_model_has_an_enumerator(self):
+        test = make(((st("x", 1),),))
+        for model in PERSISTENCY_MODELS:
+            assert allowed_states(test, model)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown persistency model"):
+            allowed_states(make(((st("x", 1),),)), "vibes")

@@ -1,0 +1,80 @@
+"""Litmus DSL properties: random valid tests survive the JSON wire
+format byte-for-byte, and the model enumerators keep their containment
+invariant on arbitrary programs (not just the curated corpus)."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.litmus.dsl import LITMUS_SCHEMA, LitmusOp, LitmusTest
+from repro.litmus.models import epoch_states, px86_states, strict_states
+
+LOCATIONS = ("x", "y", "z", "w")
+
+
+@hst.composite
+def litmus_tests(draw):
+    """Arbitrary *valid* litmus tests: op skeletons are drawn freely and
+    store values assigned afterwards (unique positive per location, as
+    the DSL requires)."""
+    n_locs = draw(hst.integers(min_value=1, max_value=4))
+    locations = LOCATIONS[:n_locs]
+    n_cores = draw(hst.integers(min_value=1, max_value=3))
+    counters = {loc: 0 for loc in locations}
+
+    def make_op(skeleton):
+        kind, loc_idx, cycles = skeleton
+        loc = locations[loc_idx % n_locs]
+        if kind == "store":
+            counters[loc] += 1
+            return LitmusOp("store", loc=loc, value=counters[loc])
+        if kind in ("load", "flush"):
+            return LitmusOp(kind, loc=loc)
+        if kind == "compute":
+            return LitmusOp("compute", cycles=cycles)
+        return LitmusOp(kind)
+
+    skeleton = hst.tuples(
+        hst.sampled_from(
+            ["store", "store", "load", "flush", "fence", "epoch", "compute"]
+        ),
+        hst.integers(min_value=0, max_value=3),
+        hst.integers(min_value=1, max_value=100),
+    )
+    programs = tuple(
+        tuple(make_op(s) for s in draw(
+            hst.lists(skeleton, min_size=0, max_size=6)
+        ))
+        for _ in range(n_cores)
+    )
+    same_block = ()
+    if n_locs >= 2 and draw(hst.booleans()):
+        same_block = (locations[:2],)
+    return LitmusTest(
+        name=draw(hst.sampled_from(["alpha", "beta", "gamma"])),
+        locations=locations,
+        programs=programs,
+        family="prop",
+        same_block=same_block,
+        smoke=draw(hst.booleans()),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(test=litmus_tests())
+def test_round_trips_through_the_json_wire_format(test):
+    payload = test.to_payload()
+    wire = json.dumps(payload)
+    assert LitmusTest.from_payload(json.loads(wire)) == test
+    assert json.loads(wire)["schema"] == LITMUS_SCHEMA
+
+
+@settings(max_examples=40, deadline=None)
+@given(test=litmus_tests())
+def test_strict_states_stay_inside_both_relaxed_models(test):
+    strict = strict_states(test)
+    init = tuple(0 for _ in test.locations)
+    assert init in strict
+    assert strict <= px86_states(test)
+    assert strict <= epoch_states(test)

@@ -230,6 +230,77 @@ class TestCheckCommand:
         assert rc == 2
         assert "unknown" in capsys.readouterr().err
 
+    def test_replay_rejects_wrong_schema_artifact(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/v9", "kind": "counterexample"}')
+        rc = main(["check", "--replay", str(bad)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "other/v9" in err and "repro.crashcheck/v1" in err
+
+    def test_replay_rejects_truncated_artifact(self, capsys, tmp_path):
+        bad = tmp_path / "cut.json"
+        bad.write_text('{"schema": "repro.crashcheck/v1", "ki')
+        rc = main(["check", "--replay", str(bad)])
+        assert rc == 2
+        assert "truncated" in capsys.readouterr().err
+
+
+class TestLitmusCommand:
+    ARGS = ["litmus", "--schemes", "bbb", "--tests", "prefix-pair",
+            "--jobs", "1"]
+
+    def test_conformant_scheme_reports_and_exits_zero(self, capsys, tmp_path):
+        out_file = tmp_path / "litmus.json"
+        rc = main(self.ARGS + ["--no-mutants", "--out", str(out_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "conformant" in out
+        with open(out_file) as fh:
+            report = json.load(fh)
+        assert report["schema"] == "repro.litmus/v1"
+        assert report["kind"] == "report"
+        assert report["tests"] == ["prefix-pair"]
+        assert report["conformance"]["failures"] == []
+
+    def test_mutants_caught_minimized_and_replayable(self, capsys, tmp_path):
+        rc = main(self.ARGS + ["--cex-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        # caught mutants are the expected outcome, not a gate failure.
+        assert rc == 0
+        assert "caught (expected)" in out
+        assert "minimized to" in out
+        cexes = sorted(tmp_path.glob("litmus-cex-*.json"))
+        assert cexes
+        rc = main(["litmus", "--replay", str(cexes[0])])
+        assert rc == 0
+        assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_replay_rejects_wrong_schema_artifact(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/v9"}')
+        rc = main(["litmus", "--replay", str(bad)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "other/v9" in err and "repro.litmus/v1" in err
+
+    def test_replay_rejects_truncated_artifact(self, capsys, tmp_path):
+        bad = tmp_path / "cut.json"
+        bad.write_text('{"schema": "repro.litmus/v1", "ki')
+        rc = main(["litmus", "--replay", str(bad)])
+        assert rc == 2
+        assert "truncated" in capsys.readouterr().err
+
+    def test_unknown_scheme_rejected(self, capsys):
+        rc = main(["litmus", "--schemes", "bogus", "--jobs", "1"])
+        assert rc == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_unknown_test_rejected(self, capsys):
+        rc = main(["litmus", "--tests", "not-a-shape", "--jobs", "1"])
+        assert rc == 2
+        assert "not-a-shape" in capsys.readouterr().err
+
 
 class TestTraceCommand:
     def test_trace_writes_file(self, capsys, tmp_path):

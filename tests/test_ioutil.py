@@ -5,7 +5,12 @@ import os
 
 import pytest
 
-from repro.ioutil import atomic_write_json, atomic_write_text
+from repro.ioutil import (
+    ArtifactError,
+    atomic_write_json,
+    atomic_write_text,
+    load_versioned_json,
+)
 
 
 def test_atomic_write_creates_file_and_no_temp_residue(tmp_path):
@@ -43,3 +48,70 @@ def test_atomic_write_text_roundtrip(tmp_path):
     assert returned == path
     with open(path) as fh:
         assert fh.read() == "hello\n"
+
+
+class TestLoadVersionedJson:
+    """Envelope validation for versioned replay artifacts."""
+
+    SCHEMA = "repro.test/v1"
+
+    def write(self, tmp_path, text, name="artifact.json"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_valid_artifact_round_trips(self, tmp_path):
+        path = str(tmp_path / "a.json")
+        atomic_write_json(path, {"schema": self.SCHEMA, "kind": "report",
+                                 "payload": [1, 2]})
+        obj = load_versioned_json(path, self.SCHEMA, kind="report")
+        assert obj["payload"] == [1, 2]
+
+    def test_kind_is_optional(self, tmp_path):
+        path = self.write(tmp_path, '{"schema": "repro.test/v1"}')
+        assert load_versioned_json(path, self.SCHEMA) == {
+            "schema": self.SCHEMA
+        }
+
+    def test_missing_file_names_the_path(self, tmp_path):
+        path = str(tmp_path / "nope.json")
+        with pytest.raises(ArtifactError, match="cannot read"):
+            load_versioned_json(path, self.SCHEMA)
+
+    def test_truncated_json_suggests_regeneration(self, tmp_path):
+        path = self.write(tmp_path, '{"schema": "repro.te')
+        with pytest.raises(ArtifactError, match="truncated"):
+            load_versioned_json(path, self.SCHEMA)
+
+    def test_empty_file_called_out_explicitly(self, tmp_path):
+        path = self.write(tmp_path, "")
+        with pytest.raises(ArtifactError, match="file is empty"):
+            load_versioned_json(path, self.SCHEMA)
+
+    def test_non_object_json_rejected(self, tmp_path):
+        path = self.write(tmp_path, "[1, 2, 3]")
+        with pytest.raises(ArtifactError, match="not an object"):
+            load_versioned_json(path, self.SCHEMA)
+
+    def test_wrong_schema_names_both_versions(self, tmp_path):
+        path = self.write(tmp_path, '{"schema": "other/v9"}')
+        with pytest.raises(ArtifactError, match="other/v9.*repro.test/v1"):
+            load_versioned_json(path, self.SCHEMA)
+
+    def test_missing_schema_field_called_out(self, tmp_path):
+        path = self.write(tmp_path, '{"kind": "report"}')
+        with pytest.raises(ArtifactError, match="no 'schema' field"):
+            load_versioned_json(path, self.SCHEMA)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = self.write(
+            tmp_path, '{"schema": "repro.test/v1", "kind": "report"}'
+        )
+        with pytest.raises(ArtifactError, match="expected kind"):
+            load_versioned_json(path, self.SCHEMA, kind="counterexample")
+
+    def test_every_diagnostic_names_the_file(self, tmp_path):
+        for text in ("", "[1]", '{"schema": "other"}', '{"x'):
+            path = self.write(tmp_path, text)
+            with pytest.raises(ArtifactError, match="artifact.json"):
+                load_versioned_json(path, self.SCHEMA)

@@ -17,6 +17,8 @@ from repro.core.recovery import CONTRACT_DOCS, SCHEME_CONTRACTS, claimed_persist
 from repro.core.registry import (
     CONTRACT_EXACT,
     CONTRACT_KINDS,
+    MODEL_UNDECLARED,
+    PERSISTENCY_MODELS,
     POP_FLUSH,
     POP_STORE_COMMIT,
     SchemeInfo,
@@ -184,3 +186,42 @@ class TestRegistration:
         for mutant_name, (base, cls) in MUTANTS.items():
             assert scheme_info(base).name == base
             assert issubclass(cls, scheme_info(base).cls)
+
+
+class TestPersistencyModelCapability:
+    def test_every_builtin_declares_a_model(self):
+        # The litmus battery only gates declared schemes; an undeclared
+        # builtin would silently opt out of the conformance gate.
+        for info in builtin_infos():
+            assert info.persistency_model in PERSISTENCY_MODELS, info.name
+
+    def test_undeclared_is_the_default_for_plugins(self):
+        name = "temp-undeclared-scheme"
+        register_scheme(
+            name, cls=NoPersistency, contract=CONTRACT_EXACT, replace=True,
+            doc="throwaway scheme for the persistency-model default test",
+        )(lambda cls, entries: cls())
+        try:
+            assert scheme_info(name).persistency_model == MODEL_UNDECLARED
+        finally:
+            unregister_scheme(name)
+
+    def test_declared_model_is_kept_on_the_info(self):
+        name = "temp-declared-scheme"
+        register_scheme(
+            name, cls=NoPersistency, contract=CONTRACT_EXACT, replace=True,
+            persistency_model=PERSISTENCY_MODELS[0],
+            doc="throwaway scheme for the persistency-model plumbing test",
+        )(lambda cls, entries: cls())
+        try:
+            info = scheme_info(name)
+            assert info.persistency_model == PERSISTENCY_MODELS[0]
+        finally:
+            unregister_scheme(name)
+
+    def test_invalid_model_rejected_at_registration(self):
+        with pytest.raises(ValueError, match="persistency model"):
+            register_scheme(
+                "temp-bad-model", cls=NoPersistency, contract=CONTRACT_EXACT,
+                persistency_model="vibes",
+            )(lambda cls, entries: cls())

@@ -81,6 +81,18 @@ def test_lint_walk_covers_the_serve_package():
         assert path in scanned, f"{path} escaped the scheme-literal lint"
 
 
+def test_lint_walk_covers_the_litmus_package():
+    # The litmus battery dispatches over iter_schemes() and registry
+    # capabilities only — a scheme-name literal there would hardcode the
+    # very matrix rows the battery is meant to derive.  Keep the package
+    # inside the walk.
+    scanned = {p for p in SRC.rglob("*.py") if p != EXEMPT}
+    litmus = sorted((SRC / "litmus").glob("*.py"))
+    assert litmus, "src/repro/litmus has no modules to lint"
+    for path in litmus:
+        assert path in scanned, f"{path} escaped the scheme-literal lint"
+
+
 def test_registry_is_where_the_names_live():
     # The exempt file must actually define every builtin canonical name,
     # so the lint cannot be "satisfied" by deleting the registry.  (Plugin
