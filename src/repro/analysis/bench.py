@@ -31,6 +31,12 @@ Suites:
 * ``analytical``       — the closed-form model (:mod:`repro.analysis.
                          analytical`) against the discrete results of the
                          same grid: relative errors and the tolerance gate.
+* ``opt``              — the persist optimizer (:mod:`repro.opt`):
+                         naive-instrumented vs pipeline-optimized rows per
+                         (workload x scheme), carrying the elision
+                         percentage and the cycle / NVMM-write / fence-
+                         stall deltas; ``ops_per_sec`` covers the whole
+                         instrument + optimize + audit + measure cycle.
 
 The headline ``columnar_speedup`` is taken over *engine-bound* cells —
 those whose batched-path telemetry shows a private-op fraction of at least
@@ -346,6 +352,38 @@ def bench_traffic() -> Dict[str, Any]:
     })
 
 
+#: Optimizer-suite shape: a small (workload x scheme) grid spanning the
+#: contract classes (full battery domain / flush+fence buffering / none).
+OPT_WORKLOADS: Tuple[str, ...] = ("hashmap", "ctree", "swapNC")
+OPT_SCHEMES: Tuple[str, ...] = (BBB, EADR, ADR)
+OPT_SPEC = WorkloadSpec(threads=2, ops=6, elements=128, seed=42)
+
+
+def bench_opt() -> Dict[str, Any]:
+    """Naive-instrumented vs persist-optimized through the full pipeline:
+    each row instruments a workload's IR program, runs the pass pipeline,
+    audits every removal, and measures both programs on the simulator.
+    ``ops`` counts simulated trace ops across both variants, so
+    ``ops_per_sec`` tracks the end-to-end optimize-and-verify cost; the
+    per-row elision and cycle/NVMM/stall deltas ride along in ``extra``
+    so a bench archive records the optimization payoff per scheme."""
+    from repro.opt import compare_cell
+
+    rows: List[Dict[str, Any]] = []
+    total_ops = 0
+    t0 = time.perf_counter()
+    for scheme in OPT_SCHEMES:
+        for workload in OPT_WORKLOADS:
+            row = compare_cell(workload, scheme, OPT_SPEC, entries=8)
+            total_ops += row["ops_naive"] + row["ops_optimized"]
+            rows.append(row)
+    wall = time.perf_counter() - t0
+    return _suite_result(wall, total_ops, {
+        "rows": rows,
+        "all_verified": all(r["audit_ok"] and r["image_ok"] for r in rows),
+    })
+
+
 #: ``--mode`` values accepted by ``repro bench`` -> engine_tso modes.
 BENCH_MODES = ("all", "object", "columnar", "analytical")
 
@@ -379,6 +417,7 @@ def run_bench(jobs: Optional[int] = None, mode: str = "all") -> Dict[str, Any]:
         "trace_build": bench_trace_build(),
         "batch_fig7": bench_batch_fig7(jobs),
         "traffic": bench_traffic(),
+        "opt": bench_opt(),
     }
     return {
         "revision": repo_revision(),

@@ -209,7 +209,12 @@ def minimize_counterexample(
     config = unit.config or default_sim_config()
     spec = unit.spec or WorkloadSpec()
     workload = make_workload(unit.workload, config.mem, spec)
-    trace = workload.build()
+    if unit.program is not None:
+        from repro.opt.ir import Program
+
+        trace = Program.from_payload(unit.program).to_trace()
+    else:
+        trace = workload.build()
     seed_words = dict(workload.initial_words)
     flat = flatten_trace(trace)
     num_threads = trace.num_threads

@@ -23,6 +23,11 @@ Commands:
 * ``check``   — crash-consistency model checker: exhaustive micro-step
   crash-state exploration with differential oracles and ddmin
   counterexample minimization; exits non-zero on any violation.
+* ``opt``     — persist optimizer: flush elision, fence weakening, and
+  persist coalescing over the unified program IR, gated on each
+  scheme's declared ordering contract; every removal is audited and
+  the optimized program is re-verified against the crash checker and
+  litmus models (``repro.optreport/v1`` JSON via ``--out``).
 
 ``run`` and ``compare`` accept ``--events PATH`` (JSONL event log) and
 ``--trace-out PATH`` (Chrome ``trace_event`` file for chrome://tracing or
@@ -46,6 +51,10 @@ Examples::
     python -m repro check --smoke
     python -m repro check --scheme bbb --mutant bbb-delayed-alloc --cex-out cex.json
     python -m repro check --replay cex.json
+    python -m repro opt --smoke
+    python -m repro opt --workload hashmap --scheme bbb --save-program opt.trace
+    python -m repro opt --compare --schemes bbb,pmem --out optreport.json
+    python -m repro opt --replay optreport.json
 """
 
 from __future__ import annotations
@@ -884,6 +893,147 @@ def cmd_litmus(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_opt(args) -> int:
+    # Imported here: the optimizer stack (IR, passes, verifier) rides on
+    # the checker and litmus layers and should not tax other commands.
+    from repro.analysis.batch import decide_jobs
+    from repro.opt import (
+        opt_compare,
+        render_compare_table,
+        replay_report,
+        run_pipeline,
+        smoke_opt,
+        verify_workload_cell,
+        write_report,
+    )
+
+    try:
+        jobs = decide_jobs(args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int) -> None:
+        if sys.stderr.isatty():
+            print(f"\r  {done}/{total} cells", end="", file=sys.stderr,
+                  flush=True)
+            if done == total:
+                print(file=sys.stderr)
+
+    if args.replay:
+        from repro.ioutil import ArtifactError
+
+        try:
+            out = replay_report(args.replay, jobs=jobs)
+        except ArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        status = ("REPRODUCED" if out["reproduced"]
+                  else "did NOT reproduce")
+        print(f"{args.replay}: {status} "
+              f"({len(out['artifact']['rows'])} cells)")
+        for line in out["mismatches"][:10]:
+            print(f"  {line}", file=sys.stderr)
+        return 0 if out["reproduced"] else 1
+
+    if args.smoke:
+        out = smoke_opt(jobs=jobs, progress=progress)
+        print(render_table(
+            ["workload", "scheme", "elided", "audit", "image"],
+            [
+                (c["workload"], c["scheme"],
+                 f"{c['flush_fence_elision_pct']:.1f}%",
+                 "ok" if c["audit_ok"] else "FAIL",
+                 "ok" if c["image_ok"] else "FAIL")
+                for c in out["grid"]
+            ],
+            title="persist-optimizer smoke: elision grid "
+                  "(audited, images compared)",
+        ))
+        caught = ", ".join(s for s, c in out["mutant"]["caught"].items()
+                           if c)
+        print(f"mutant {out['mutant']['pass']}: caught under [{caught}]; "
+              f"{len(out['checker_cells'])} checker cells, "
+              f"{len(out['litmus_cells'])} litmus cells re-gated")
+        for failure in out["failures"]:
+            print(f"error: {failure}", file=sys.stderr)
+        if args.out:
+            from repro.ioutil import atomic_write_json
+
+            print(f"wrote {atomic_write_json(args.out, out)}")
+        return 0 if out["ok"] else 1
+
+    schemes = None
+    if args.schemes:
+        try:
+            schemes = [canonical_name(s) for s in args.schemes.split(",")]
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    workloads = None
+    if args.workloads:
+        workloads = [w.strip() for w in args.workloads.split(",")]
+        unknown = [w for w in workloads if w not in WORKLOAD_NAMES]
+        if unknown:
+            print(f"error: unknown workloads {unknown}", file=sys.stderr)
+            return 2
+
+    if args.compare:
+        report = opt_compare(
+            workloads=workloads, schemes=schemes, spec=_spec(args),
+            entries=args.entries, jobs=jobs, progress=progress,
+        )
+        print(render_compare_table(report))
+        bad = [r for r in report["rows"]
+               if not (r["audit_ok"] and r["image_ok"])]
+        for r in bad:
+            print(f"error: {r['workload']} x {r['scheme']} failed "
+                  f"verification", file=sys.stderr)
+        if args.out:
+            print(f"wrote {write_report(report, args.out)}")
+        return 1 if bad else 0
+
+    # Single cell: optimize one workload under one scheme, verified.
+    try:
+        args.scheme = canonical_name(args.scheme)
+    except ValueError:
+        print(f"error: unknown scheme {args.scheme!r}", file=sys.stderr)
+        return 2
+    cell = verify_workload_cell(
+        args.workload, args.scheme, spec=_spec(args), entries=args.entries,
+    )
+    print(render_table(
+        ["metric", "value"],
+        [
+            ("passes", " -> ".join(cell["passes"])),
+            ("ops (naive instrumented)", cell["ops_naive"]),
+            ("ops (optimized)", cell["ops_optimized"]),
+            ("flush+fence elided", f"{cell['flush_fence_elision_pct']}%"),
+            ("checker points (naive/opt)",
+             f"{cell['checker_points']['naive']}/"
+             f"{cell['checker_points']['optimized']}"),
+            ("verified", "ok" if cell["ok"] else "FAIL"),
+        ],
+        title=f"persist optimizer: {args.workload} under {args.scheme}",
+    ))
+    for failure in cell["failures"]:
+        print(f"error: {failure}", file=sys.stderr)
+    if args.save_program:
+        from repro.opt import instrument_naive
+        from repro.sim.tracefile import save_program
+        from repro.workloads.base import make_workload
+
+        cfg = default_sim_config()
+        wl = make_workload(args.workload, cfg.mem, _spec(args))
+        result = run_pipeline(
+            instrument_naive(wl.build_program()), args.scheme,
+            block_size=cfg.block_size,
+        )
+        count = save_program(result.optimized, args.save_program)
+        print(f"wrote {count:,} optimized ops to {args.save_program}")
+    return 0 if cell["ok"] else 1
+
+
 def cmd_trace(args) -> int:
     config = default_sim_config()
     spec = _spec(args)
@@ -1208,6 +1358,55 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the JSON agreement-matrix report "
                                "atomically to PATH")
     p_litmus.set_defaults(func=cmd_litmus)
+
+    p_opt = sub.add_parser(
+        "opt",
+        help="persist optimizer: run the flush-elision / fence-weakening "
+             "/ persist-coalescing pass pipeline over a workload's IR "
+             "program, audited per removal and re-verified against the "
+             "crash checker and litmus models",
+    )
+    p_opt.add_argument("--smoke", action="store_true",
+                       help="CI gate: elision grid over every workload x "
+                            "scheme (audited, durable images compared), "
+                            "checker + litmus re-verification, and the "
+                            "opt-drop-epoch-fence mutant; non-zero exit "
+                            "on any failure")
+    p_opt.add_argument("--compare", action="store_true",
+                       help="fig7-style grid: naive instrumentation vs "
+                            "optimized, cycles / NVMM writes / fence "
+                            "stalls per (workload, scheme)")
+    p_opt.add_argument("--replay", default=None, metavar="PATH",
+                       help="replay a repro.optreport/v1 compare artifact "
+                            "and exit")
+    p_opt.add_argument("--workload", default="hashmap",
+                       help="workload for the single-cell mode")
+    p_opt.add_argument("--scheme", default=DEFAULT_SCHEME,
+                       help="scheme for the single-cell mode")
+    p_opt.add_argument("--workloads", default=None,
+                       help="comma-separated workload subset for --compare "
+                            "(default: all)")
+    p_opt.add_argument("--schemes", default=None,
+                       help="comma-separated scheme subset for --compare "
+                            "(default: every registered scheme)")
+    p_opt.add_argument("--threads", type=int, default=2)
+    p_opt.add_argument("--ops", type=int, default=6,
+                       help="workload operations per thread")
+    p_opt.add_argument("--elements", type=int, default=128,
+                       help="workload element count")
+    p_opt.add_argument("--seed", type=int, default=11,
+                       help="workload seed")
+    p_opt.add_argument("--entries", type=int, default=8,
+                       help="persist-buffer entries")
+    p_opt.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or "
+                            "cores); plugin schemes need --jobs 1")
+    p_opt.add_argument("--save-program", default=None, metavar="PATH",
+                       help="write the optimized IR program (provenance "
+                            "preserved) as a trace file")
+    p_opt.add_argument("--out", default=None, metavar="PATH",
+                       help="write the JSON report atomically to PATH")
+    p_opt.set_defaults(func=cmd_opt)
 
     return parser
 

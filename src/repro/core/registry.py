@@ -64,6 +64,11 @@ __all__ = [
     "MODEL_STRICT",
     "MODEL_UNDECLARED",
     "NONE",
+    "ORDERING_ALL",
+    "ORDERING_EPOCH",
+    "ORDERING_FENCE",
+    "ORDERING_FLUSH",
+    "ORDERING_KINDS",
     "PERSISTENCY_MODELS",
     "PMEM",
     "PMEM_STRICT",
@@ -158,6 +163,37 @@ MODEL_EPOCH = "epoch"
 MODEL_UNDECLARED = ""
 PERSISTENCY_MODELS = (MODEL_STRICT, MODEL_PX86_TSO, MODEL_EPOCH)
 
+#: Ordering-contract vocabulary: the persist-instrumentation op kinds a
+#: scheme's hardware contract can *subsume*.  A scheme lists the kinds
+#: whose removal provably cannot enlarge its reachable durable-state set
+#: under the persistency model it declares; the optimizer
+#: (:mod:`repro.opt`) elides exactly those kinds and nothing else.
+#:
+#: ``ORDERING_FLUSH`` / ``ORDERING_FENCE``
+#:     clwb-style writebacks and sfence-style drains.  Subsumed by
+#:     battery-domain store-commit schemes (bbb, bbb-proc, eadr): PoV ==
+#:     PoP, so the durable image never depends on flushes the battery
+#:     already covers.  *Required* by schemes whose durability or ordering
+#:     mechanism they are: pmem (PoP sits at the flush), bsp (the forced
+#:     drains bound the volatile buffers' un-persisted suffix), and
+#:     ``none`` (under Px86-TSO, flush;fence chains are the only persist
+#:     ordering control — eliding them enlarges the reachable state set).
+#: ``ORDERING_EPOCH``
+#:     epoch-boundary markers.  Required only by epoch-contract schemes
+#:     (bep: boundaries are the recovery granularity); meaningless — and
+#:     therefore subsumable — everywhere else.
+#:
+#: The empty tuple (the default for plugins that do not declare one) is
+#: maximally conservative: nothing is subsumed, the optimizer's
+#: scheme-gated passes elide nothing.
+ORDERING_FLUSH = "flush"
+ORDERING_FENCE = "fence"
+ORDERING_EPOCH = "epoch"
+ORDERING_KINDS = (ORDERING_FLUSH, ORDERING_FENCE, ORDERING_EPOCH)
+#: Convenience: the contract of a scheme whose hardware makes every kind
+#: of persist instrumentation redundant by construction.
+ORDERING_ALL = ORDERING_KINDS
+
 
 # ----------------------------------------------------------------------
 # The capability descriptor
@@ -235,6 +271,14 @@ class SchemeInfo:
     #: post-crash durable state its declared model forbids is a hard
     #: conformance failure.
     persistency_model: str = MODEL_UNDECLARED
+    #: The persist-instrumentation op kinds (members of
+    #: :data:`ORDERING_KINDS`) this scheme's hardware contract subsumes —
+    #: i.e. whose removal cannot enlarge the reachable durable-state set
+    #: under the scheme's declared persistency model.  The optimizer's
+    #: scheme-gated elision passes (:mod:`repro.opt.passes`) fire exactly
+    #: on these kinds; the default ``()`` subsumes nothing, so undeclared
+    #: plugins get zero elision rather than unsound elision.
+    ordering_contract: Tuple[str, ...] = ()
     #: Alternate accepted names (e.g. the scheme object's instance name).
     aliases: Tuple[str, ...] = ()
     #: Scheme-specific keyword arguments the factory accepts.
@@ -261,6 +305,12 @@ class SchemeInfo:
         """True when the contract promises byte-exact durability of every
         claimed persist (the golden-differential oracle applies)."""
         return self.contract in (CONTRACT_EXACT, CONTRACT_EADR_EXACT)
+
+    def subsumes_ordering(self, kind: str) -> bool:
+        """True when the scheme's hardware contract subsumes
+        persist-instrumentation ops of ``kind`` (a member of
+        :data:`ORDERING_KINDS`) — the optimizer may elide them."""
+        return kind in self.ordering_contract
 
     def build_scheme(
         self,
@@ -305,6 +355,7 @@ def register_scheme(
     stall_free_persists: bool = False,
     degraded_mode: str = DEGRADED_NONE,
     persistency_model: str = MODEL_UNDECLARED,
+    ordering_contract: Tuple[str, ...] = (),
     aliases: Tuple[str, ...] = (),
     accepted_kwargs: Tuple[str, ...] = (),
     display: str = "",
@@ -345,6 +396,13 @@ def register_scheme(
             f"{persistency_model!r}; expected one of "
             f"{', '.join(PERSISTENCY_MODELS)} (or '' for undeclared)"
         )
+    unknown_ordering = sorted(set(ordering_contract) - set(ORDERING_KINDS))
+    if unknown_ordering:
+        raise ValueError(
+            f"scheme {name!r}: unknown ordering-contract kinds "
+            f"{', '.join(repr(k) for k in unknown_ordering)}; "
+            f"expected members of {', '.join(ORDERING_KINDS)}"
+        )
 
     def decorator(factory: Callable) -> Callable:
         info = SchemeInfo(
@@ -362,6 +420,7 @@ def register_scheme(
             stall_free_persists=stall_free_persists,
             degraded_mode=degraded_mode,
             persistency_model=persistency_model,
+            ordering_contract=tuple(ordering_contract),
             aliases=tuple(aliases),
             accepted_kwargs=tuple(accepted_kwargs),
             display=display or name,
@@ -475,6 +534,7 @@ def scheme_for_class(cls: type) -> SchemeInfo:
     degraded_mode=DEGRADED_WRITE_THROUGH,
     accepted_kwargs=("drain_threshold",),
     persistency_model=MODEL_STRICT,
+    ordering_contract=ORDERING_ALL,
     display="BBB",
     doc="memory-side battery-backed persist buffer (the paper's design)",
     legacy_factory="bbb",
@@ -498,6 +558,7 @@ def _build_bbb(cls, entries, drain_threshold=0.75):
     degraded_mode=DEGRADED_WRITE_THROUGH,
     accepted_kwargs=("coalesce_consecutive",),
     persistency_model=MODEL_STRICT,
+    ordering_contract=ORDERING_ALL,
     display="BBB (proc-side)",
     doc="processor-side bbPB (Section V-C baseline)",
     legacy_factory="bbb_processor_side",
@@ -520,6 +581,7 @@ def _build_bbb_proc(cls, entries, coalesce_consecutive=True):
     comparison_baseline=True,
     stall_free_persists=True,
     persistency_model=MODEL_STRICT,
+    ordering_contract=ORDERING_ALL,
     display="Optimal (eADR)",
     doc='whole-hierarchy battery, the "Optimal" line of Fig. 7',
     legacy_factory="eadr",
@@ -537,6 +599,7 @@ def _build_eadr(cls, entries):
     aliases=(PMEM_STRICT, ADR),
     instance_name=PMEM_STRICT,
     persistency_model=MODEL_STRICT,
+    ordering_contract=(ORDERING_EPOCH,),
     display="PMEM (strict)",
     doc="strict persistency via hardware clwb+sfence; PoP at the WPQ",
     legacy_factory="pmem_strict",
@@ -553,6 +616,7 @@ def _build_pmem(cls, entries):
     pop=POP_STORE_COMMIT,
     has_persist_buffer=True,
     persistency_model=MODEL_STRICT,
+    ordering_contract=(ORDERING_EPOCH,),
     display="BSP",
     doc="bulk strict persistency (MICRO'15), volatile ordered buffers",
     legacy_factory="bsp",
@@ -569,6 +633,7 @@ def _build_bsp(cls, entries):
     pop=POP_STORE_COMMIT,
     has_persist_buffer=True,
     persistency_model=MODEL_EPOCH,
+    ordering_contract=(ORDERING_FLUSH, ORDERING_FENCE),
     display="BEP",
     doc="buffered epoch persistency, volatile buffers (DPO/HOPS-style)",
     legacy_factory="bep",
@@ -586,6 +651,7 @@ def _build_bep(cls, entries):
     crash_consistent=False,
     stall_free_persists=True,
     persistency_model=MODEL_PX86_TSO,
+    ordering_contract=(ORDERING_EPOCH,),
     display="no persistency",
     doc="volatile caches, no ordering control (the motivating baseline)",
     legacy_factory="no_persistency",

@@ -43,7 +43,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.registry import PERSISTENCY_MODELS
-from repro.sim.trace import ProgramTrace, ThreadTrace, TraceOp
+from repro.sim.trace import ProgramTrace
 
 __all__ = [
     "LITMUS_SCHEMA",
@@ -55,6 +55,7 @@ __all__ = [
     "fl",
     "ld",
     "lower",
+    "lower_program",
     "observe_state",
     "st",
 ]
@@ -372,35 +373,62 @@ def assign_addresses(test: LitmusTest, config) -> Dict[str, int]:
     return addrs
 
 
-def lower(
-    test: LitmusTest, config
-) -> Tuple[ProgramTrace, Dict[str, int]]:
-    """Lower a litmus test to a runnable :class:`ProgramTrace` plus the
-    location -> address map used to observe durable states afterwards."""
+def lower_program(test: LitmusTest, config):
+    """Lower a litmus test to an IR :class:`~repro.opt.ir.Program` plus
+    the location -> address map used to observe durable states afterwards.
+
+    This is the canonical lowering: every op carries provenance
+    (``test-name/core/loc``) and durable-location metadata, so the
+    optimizer (:mod:`repro.opt`) can rewrite litmus programs and the
+    verifier can name exactly which op a pass removed.  :func:`lower`
+    wraps this and sheds the metadata for callers that only execute.
+    """
+    from repro.opt.ir import Op, Program
+    from repro.sim.trace import OpKind
+
     addrs = assign_addresses(test, config)
     if len(test.programs) > config.num_cores:
         raise ValueError(
             f"{test.name}: {len(test.programs)} programs but only "
             f"{config.num_cores} cores"
         )
-    threads: List[ThreadTrace] = []
-    for prog in test.programs:
-        ops: List[TraceOp] = []
+    is_persistent = config.mem.is_persistent
+    threads: List[Tuple[Op, ...]] = []
+    for core, prog in enumerate(test.programs):
+        ops: List[Op] = []
         for op in prog:
+            where = f"{test.name}/{core}" + (f"/{op.loc}" if op.loc else "")
             if op.kind == "store":
-                ops.append(TraceOp.store(addrs[op.loc], op.value))
+                addr = addrs[op.loc]
+                ops.append(Op(OpKind.STORE, addr=addr, value=op.value,
+                              origin=where, durable=is_persistent(addr)))
             elif op.kind == "load":
-                ops.append(TraceOp.load(addrs[op.loc]))
+                addr = addrs[op.loc]
+                ops.append(Op(OpKind.LOAD, addr=addr, origin=where,
+                              durable=is_persistent(addr)))
             elif op.kind == "flush":
-                ops.append(TraceOp.flush(addrs[op.loc]))
+                addr = addrs[op.loc]
+                ops.append(Op(OpKind.FLUSH, addr=addr, origin=where,
+                              durable=is_persistent(addr)))
             elif op.kind == "fence":
-                ops.append(TraceOp.fence())
+                ops.append(Op(OpKind.FENCE, origin=where))
             elif op.kind == "epoch":
-                ops.append(TraceOp.epoch())
+                ops.append(Op(OpKind.EPOCH, origin=where))
             else:
-                ops.append(TraceOp.compute(op.cycles))
-        threads.append(ThreadTrace(ops))
-    return ProgramTrace(threads), addrs
+                ops.append(Op(OpKind.COMPUTE, cycles=op.cycles, origin=where))
+        threads.append(tuple(ops))
+    return Program(threads=tuple(threads), name=test.name), addrs
+
+
+def lower(
+    test: LitmusTest, config
+) -> Tuple[ProgramTrace, Dict[str, int]]:
+    """Lower a litmus test to a runnable :class:`ProgramTrace` plus the
+    location -> address map used to observe durable states afterwards.
+    Thin wrapper over :func:`lower_program` (the IR form) that sheds the
+    provenance/durability metadata the engine ignores."""
+    program, addrs = lower_program(test, config)
+    return program.to_trace(), addrs
 
 
 def observe_state(media, test: LitmusTest, addrs: Mapping[str, int]) -> State:

@@ -391,6 +391,37 @@ class LitmusViolation(Event):
     state: str
 
 
+# ----------------------------------------------------------------------
+# Persist-optimizer pipeline (opt/pipeline.py, opt/verify.py)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OptPassApplied(Event):
+    """One optimizer pass ran over a program: ``removed`` ops deleted
+    (``remaining`` survive) under ``scheme``'s ordering contract."""
+
+    kind: ClassVar[str] = "opt_pass_applied"
+    scheme: str
+    program: str
+    pass_name: str
+    removed: int
+    remaining: int
+
+
+@dataclass(frozen=True)
+class OptCellVerified(Event):
+    """The optimizer verifier finished one (program x scheme x pipeline)
+    cell: removal audit, crash-checker differential, and durable
+    fingerprint comparison.  ``violations`` counts everything that
+    survived; a nonzero count on a non-mutant pipeline is a bug."""
+
+    kind: ClassVar[str] = "opt_cell_verified"
+    scheme: str
+    program: str
+    elided: int
+    violations: int
+
+
 #: kind-string -> event class, the JSONL round-trip registry.
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.kind: cls
@@ -422,6 +453,8 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         CheckViolation,
         LitmusCellChecked,
         LitmusViolation,
+        OptPassApplied,
+        OptCellVerified,
     )
 }
 

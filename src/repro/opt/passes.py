@@ -1,0 +1,294 @@
+"""Optimizer passes: removal-only rewrites over the program IR.
+
+A pass is a pure per-thread function ``(ops, ctx) -> ops`` registered
+with :func:`register_pass`.  Two hard rules keep the pipeline verifiable:
+
+1. **Removal-only.**  A pass returns a *subsequence* of its input ops —
+   it may drop ops, never insert, reorder, or mutate them (the surviving
+   ops are the same objects).  :func:`removed_positions` exploits this to
+   recover exactly which input positions a pass deleted, and the verifier
+   (:mod:`repro.opt.verify`) re-justifies every deletion with independent
+   predicates.  :func:`apply_pass` enforces the rule structurally.
+
+2. **Capability-gated elision.**  Scheme-dependent passes consult only
+   :attr:`~repro.core.registry.SchemeInfo.ordering_contract` — which
+   persist-instrumentation kinds the scheme's hardware subsumes — never
+   scheme names.  bbb/bbb-proc/eadr subsume everything (PoV == PoP, the
+   paper's claim); pmem keeps its flushes and fences (they *are* its
+   durability mechanism); bep keeps its epoch boundaries; ``none`` keeps
+   flush;fence chains (under Px86-TSO they are the only ordering
+   control).
+
+The scheme-independent passes remove only what is redundant on any
+scheme: a clwb of a line the thread never dirtied (or already flushed),
+an sfence with no clwb outstanding since the previous sfence, and a
+store immediately overwritten by an adjacent same-address store (the
+coalesced run retires as one persist).
+
+``opt-drop-epoch-fence`` is the registered *mutant* pass — deliberately
+unsound, excluded from every default pipeline — which drops all fences
+and epoch boundaries regardless of contract; the verifier must flag it
+under any scheme whose ordering contract requires them (pmem, bep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from repro.core.registry import (
+    ORDERING_EPOCH,
+    ORDERING_FENCE,
+    ORDERING_FLUSH,
+    SchemeInfo,
+)
+from repro.mem.block import block_address
+from repro.opt.ir import Op, Program
+from repro.sim.trace import OpKind
+
+__all__ = [
+    "PassContext",
+    "PassInfo",
+    "apply_pass",
+    "iter_passes",
+    "pass_info",
+    "pass_names",
+    "register_pass",
+    "removed_positions",
+]
+
+ThreadOps = Tuple[Op, ...]
+PassFn = Callable[[ThreadOps, "PassContext"], ThreadOps]
+
+
+@dataclass(frozen=True)
+class PassContext:
+    """Everything a pass may consult: the scheme's capability descriptor
+    and the cache-block geometry (for line-granular flush reasoning)."""
+
+    scheme: SchemeInfo
+    block_size: int = 64
+
+
+@dataclass(frozen=True)
+class PassInfo:
+    """Registry entry for one pass."""
+
+    name: str
+    fn: PassFn
+    doc: str
+    #: Consults the scheme's ordering contract (elides subsumed kinds).
+    contract_gated: bool = False
+    #: Deliberately unsound; excluded from default pipelines, exists to
+    #: prove the verifier has teeth.
+    mutant: bool = False
+
+
+_PASSES: Dict[str, PassInfo] = {}
+
+
+def register_pass(
+    name: str, *, doc: str, contract_gated: bool = False,
+    mutant: bool = False,
+) -> Callable[[PassFn], PassFn]:
+    """Decorator registering a per-thread pass function under ``name``."""
+
+    def decorator(fn: PassFn) -> PassFn:
+        if name in _PASSES:
+            raise ValueError(f"optimizer pass {name!r} already registered")
+        _PASSES[name] = PassInfo(
+            name=name, fn=fn, doc=doc, contract_gated=contract_gated,
+            mutant=mutant,
+        )
+        return fn
+
+    return decorator
+
+
+def pass_info(name: str) -> PassInfo:
+    try:
+        return _PASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer pass {name!r}; valid passes: "
+            f"{', '.join(pass_names(include_mutants=True))}"
+        ) from None
+
+
+def iter_passes() -> Iterator[PassInfo]:
+    return iter(tuple(_PASSES.values()))
+
+
+def pass_names(include_mutants: bool = False) -> Tuple[str, ...]:
+    return tuple(
+        info.name for info in iter_passes()
+        if include_mutants or not info.mutant
+    )
+
+
+def removed_positions(before: ThreadOps, after: ThreadOps) -> List[int]:
+    """Input positions a removal-only pass deleted.
+
+    Alignment is by object identity: a conforming pass returns the *same*
+    op objects it kept, so a single forward walk recovers the removals.
+    Raises ``ValueError`` when ``after`` is not an identity-subsequence of
+    ``before`` — i.e. the pass inserted, reordered, or rebuilt ops,
+    violating the removal-only contract the verifier depends on."""
+    removed: List[int] = []
+    j = 0
+    for i, op in enumerate(before):
+        if j < len(after) and after[j] is op:
+            j += 1
+        else:
+            removed.append(i)
+    if j != len(after):
+        raise ValueError(
+            "pass output is not an identity-subsequence of its input — "
+            "optimizer passes must only remove ops, never insert, "
+            "reorder, or rebuild them"
+        )
+    return removed
+
+
+def apply_pass(program: Program, name: str, ctx: PassContext) -> Program:
+    """Apply one registered pass to every thread, enforcing the
+    removal-only contract (see :func:`removed_positions`)."""
+    info = pass_info(name)
+    threads = []
+    for ops in program.threads:
+        out = tuple(info.fn(ops, ctx))
+        removed_positions(ops, out)  # raises on a non-subsequence
+        threads.append(out)
+    return program.with_threads(tuple(threads))
+
+
+# ----------------------------------------------------------------------
+# Scheme-independent redundancy passes
+# ----------------------------------------------------------------------
+
+@register_pass(
+    "coalesce-stores",
+    doc="drop a store immediately overwritten by an adjacent store to "
+        "the same address and size — the run coalesces into one persist "
+        "(only adjacency makes this sound: a non-adjacent overwrite can "
+        "be separated by stores whose intermediate durable states the "
+        "persistency model exposes)",
+)
+def _coalesce_stores(ops: ThreadOps, ctx: PassContext) -> ThreadOps:
+    out: List[Op] = []
+    for i, op in enumerate(ops):
+        if op.kind is OpKind.STORE and i + 1 < len(ops):
+            nxt = ops[i + 1]
+            if (nxt.kind is OpKind.STORE and nxt.addr == op.addr
+                    and nxt.size == op.size and nxt.durable == op.durable):
+                continue
+        out.append(op)
+    return tuple(out)
+
+
+@register_pass(
+    "drop-dead-flush",
+    doc="drop a clwb of a line this thread never stored to — or has not "
+        "stored to since its previous clwb of the same line (duplicate "
+        "clwb elimination): there is nothing of ours for it to write back",
+)
+def _drop_dead_flush(ops: ThreadOps, ctx: PassContext) -> ThreadOps:
+    dirty: set = set()  # lines this thread stored since their last flush
+    out: List[Op] = []
+    for op in ops:
+        if op.kind is OpKind.STORE:
+            dirty.add(block_address(op.addr, ctx.block_size))
+            out.append(op)
+        elif op.kind is OpKind.FLUSH:
+            line = block_address(op.addr, ctx.block_size)
+            if line in dirty:
+                dirty.discard(line)
+                out.append(op)
+            # else: dead/duplicate clwb — drop it
+        else:
+            out.append(op)
+    return tuple(out)
+
+
+@register_pass(
+    "weaken-fence",
+    doc="drop an sfence with no clwb by this thread since the previous "
+        "sfence — an sfence only orders the issuing core's outstanding "
+        "flushes, so with none outstanding it is a timing no-op",
+)
+def _weaken_fence(ops: ThreadOps, ctx: PassContext) -> ThreadOps:
+    pending = False  # a flush by this thread since the previous fence
+    out: List[Op] = []
+    for op in ops:
+        if op.kind is OpKind.FLUSH:
+            pending = True
+            out.append(op)
+        elif op.kind is OpKind.FENCE:
+            if pending:
+                pending = False
+                out.append(op)
+            # else: no outstanding clwb to order — drop it
+        else:
+            out.append(op)
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# Contract-gated elision passes
+# ----------------------------------------------------------------------
+
+def _elide_kind(
+    ops: ThreadOps, ctx: PassContext, op_kind: OpKind, ordering_kind: str
+) -> ThreadOps:
+    if not ctx.scheme.subsumes_ordering(ordering_kind):
+        return ops
+    return tuple(op for op in ops if op.kind is not op_kind)
+
+
+@register_pass(
+    "elide-flush",
+    contract_gated=True,
+    doc="remove every clwb when the scheme's ordering contract subsumes "
+        "flushes (battery-backed store-commit persistence: the line is "
+        "durable the moment the store commits)",
+)
+def _elide_flush(ops: ThreadOps, ctx: PassContext) -> ThreadOps:
+    return _elide_kind(ops, ctx, OpKind.FLUSH, ORDERING_FLUSH)
+
+
+@register_pass(
+    "elide-fence",
+    contract_gated=True,
+    doc="remove every sfence when the scheme's ordering contract "
+        "subsumes fences (persists already happen in visibility order)",
+)
+def _elide_fence(ops: ThreadOps, ctx: PassContext) -> ThreadOps:
+    return _elide_kind(ops, ctx, OpKind.FENCE, ORDERING_FENCE)
+
+
+@register_pass(
+    "elide-epoch",
+    contract_gated=True,
+    doc="remove every epoch boundary when the scheme's ordering contract "
+        "subsumes epochs (the scheme has no epoch semantics or is "
+        "strictly stronger than epoch ordering)",
+)
+def _elide_epoch(ops: ThreadOps, ctx: PassContext) -> ThreadOps:
+    return _elide_kind(ops, ctx, OpKind.EPOCH, ORDERING_EPOCH)
+
+
+# ----------------------------------------------------------------------
+# The mutant pass (verifier teeth)
+# ----------------------------------------------------------------------
+
+@register_pass(
+    "opt-drop-epoch-fence",
+    mutant=True,
+    doc="DELIBERATELY UNSOUND: drops every sfence and epoch boundary "
+        "regardless of the scheme's ordering contract; the verifier must "
+        "catch it under any scheme that requires them (pmem, bep)",
+)
+def _drop_epoch_fence(ops: ThreadOps, ctx: PassContext) -> ThreadOps:
+    return tuple(
+        op for op in ops if op.kind not in (OpKind.FENCE, OpKind.EPOCH)
+    )

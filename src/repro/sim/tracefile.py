@@ -13,6 +13,15 @@ Both trace representations are first-class: :func:`save_trace` accepts a
 :func:`load_trace_columnar` decodes a file straight into columns — the
 bytes on disk are identical either way, so the two loaders round-trip
 each other's files.
+
+IR programs (:class:`repro.opt.ir.Program` — e.g. optimizer output) use
+the same format via :func:`save_program` / :func:`load_program`, with
+two extra per-op fields carrying the IR metadata: ``"p"`` (provenance
+origin) and ``"d"`` (durable location), plus an optional ``"program"``
+name in the header.  The plain loaders ignore the extra fields, so an
+optimized program file is also a valid executable trace file; and
+because every field is emitted in a fixed order with defaults omitted,
+re-saving a loaded program is byte-identical.
 """
 
 from __future__ import annotations
@@ -121,7 +130,62 @@ def save_trace(trace, path: Union[str, Path]) -> int:
     return count
 
 
-def _load_records(path: Path):
+def save_program(program, path: Union[str, Path]) -> int:
+    """Write an IR :class:`~repro.opt.ir.Program` with its provenance and
+    durability metadata; returns the number of ops written.  The file is
+    loadable by :func:`load_trace` (metadata fields are ignored there)
+    and exactly re-saveable: ``save_program(load_program(p))`` writes
+    byte-identical content."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as fh:
+        header = {"repro-trace": FORMAT_VERSION,
+                  "threads": program.num_threads}
+        if program.name:
+            header["program"] = program.name
+        fh.write(json.dumps(header) + "\n")
+        for thread_id, ops in enumerate(program.threads):
+            for op in ops:
+                record = {"t": thread_id, "k": _KIND_CODES[op.kind]}
+                if op.addr:
+                    record["a"] = op.addr
+                if op.size != 8:
+                    record["s"] = op.size
+                if op.value:
+                    record["v"] = op.value
+                if op.cycles:
+                    record["c"] = op.cycles
+                if op.tag:
+                    record["g"] = op.tag
+                if op.origin:
+                    record["p"] = op.origin
+                if op.durable:
+                    record["d"] = 1
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+                count += 1
+    return count
+
+
+def load_program(path: Union[str, Path]):
+    """Read a program written by :func:`save_program` back into an IR
+    :class:`~repro.opt.ir.Program`, provenance and durability preserved.
+    Also accepts a plain trace file (metadata reads as empty/volatile)."""
+    from repro.opt.ir import Op, Program
+
+    records = _load_records(Path(path), want_name=True)
+    _, (num_threads, name) = next(records)
+    threads: List[List[Op]] = [[] for _ in range(num_threads)]
+    for line_no, record in records:
+        base = _decode_op(record)
+        threads[record.get("t", 0)].append(Op.from_trace_op(
+            base,
+            origin=str(record.get("p", "")),
+            durable=bool(record.get("d", 0)),
+        ))
+    return Program(threads=tuple(tuple(t) for t in threads), name=name)
+
+
+def _load_records(path: Path, want_name: bool = False):
     """Yield ``(line_no, record)`` for every op line, after validating the
     header; the first yield is ``(0, num_threads)``."""
     with path.open() as fh:
@@ -137,7 +201,10 @@ def _load_records(path: Path):
         num_threads = header.get("threads")
         if not isinstance(num_threads, int) or num_threads < 1:
             raise TraceFormatError(f"bad thread count {num_threads!r}")
-        yield 0, num_threads
+        if want_name:
+            yield 0, (num_threads, str(header.get("program", "")))
+        else:
+            yield 0, num_threads
         for line_no, line in enumerate(fh, start=2):
             line = line.strip()
             if not line:

@@ -99,6 +99,19 @@ class Workload:
         threads = [self.build_thread(t) for t in range(self.spec.threads)]
         return ProgramTrace(threads)
 
+    def build_program(self):
+        """The IR form of :meth:`build`: the same trace lifted into a
+        :class:`~repro.opt.ir.Program`, every op stamped with this
+        workload's name as provenance and with durable-location metadata
+        resolved from the memory config — the shape the optimizer
+        (:mod:`repro.opt`) rewrites and its verifier audits."""
+        from repro.opt.ir import Program
+
+        return Program.from_trace(
+            self.build(), name=self.name, origin=self.name,
+            is_persistent=self.mem.is_persistent,
+        )
+
     def p_store_fraction(self, trace: ProgramTrace) -> float:
         return trace.persistent_store_fraction(self.mem.is_persistent)
 
@@ -154,6 +167,14 @@ def make_workload(
         return builders[name]()
     except KeyError:
         raise KeyError(f"unknown workload {name!r}; pick from {WORKLOAD_NAMES}")
+
+
+def build_program(
+    name: str, mem: MemConfig, spec: Optional[WorkloadSpec] = None
+):
+    """One workload's program in IR form (see
+    :meth:`Workload.build_program`)."""
+    return make_workload(name, mem, spec).build_program()
 
 
 def registry(mem: MemConfig, spec: Optional[WorkloadSpec] = None) -> Dict[str, Workload]:

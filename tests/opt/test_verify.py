@@ -1,0 +1,176 @@
+"""Tests for the optimizer's verification layer (repro.opt.verify)."""
+
+import pytest
+
+from repro.core.registry import (
+    ORDERING_EPOCH,
+    ORDERING_FENCE,
+    iter_schemes,
+    scheme_info,
+)
+from repro.opt import (
+    MUTANT_PIPELINE,
+    Op,
+    PassContext,
+    Program,
+    audit_pipeline,
+    fence_is_redundant,
+    flush_is_redundant,
+    removal_justified,
+    store_is_coalescible,
+    verify_litmus_cell,
+    verify_workload_cell,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.trace import OpKind
+from repro.workloads.base import WorkloadSpec
+
+CFG = SystemConfig(num_cores=2).scaled_for_testing()
+PBASE = CFG.mem.persistent_base
+SPEC = WorkloadSpec(threads=2, ops=3, elements=64, seed=3)
+
+FULL = next(s.name for s in iter_schemes()
+            if s.subsumes_ordering(ORDERING_FENCE)
+            and s.subsumes_ordering(ORDERING_EPOCH))
+STRICT_KEEPER = next(
+    s.name for s in iter_schemes()
+    if not s.subsumes_ordering(ORDERING_FENCE) and s.exact_durability)
+
+
+def store(addr, value=1):
+    return Op(OpKind.STORE, addr=addr, value=value, durable=True)
+
+
+def flush(addr):
+    return Op(OpKind.FLUSH, addr=addr, durable=True)
+
+
+FENCE = Op(OpKind.FENCE)
+EPOCH = Op(OpKind.EPOCH)
+
+
+class TestRedundancyPredicates:
+    def test_flush_redundant_without_prior_store(self):
+        ops = (flush(PBASE), store(PBASE), flush(PBASE), flush(PBASE))
+        assert flush_is_redundant(ops, 0)
+        assert not flush_is_redundant(ops, 2)
+        assert flush_is_redundant(ops, 3)
+
+    def test_flush_line_granularity(self):
+        ops = (store(PBASE + 8), flush(PBASE), flush(PBASE + 64))
+        # Same 64-byte line as the store: load-bearing.
+        assert not flush_is_redundant(ops, 1, block_size=64)
+        assert flush_is_redundant(ops, 2, block_size=64)
+
+    def test_fence_redundant_without_outstanding_flush(self):
+        ops = (FENCE, store(PBASE), flush(PBASE), FENCE, FENCE)
+        assert fence_is_redundant(ops, 0)
+        assert not fence_is_redundant(ops, 3)
+        assert fence_is_redundant(ops, 4)
+
+    def test_store_coalescible_only_when_adjacent(self):
+        a, b = store(PBASE, 1), store(PBASE, 2)
+        assert store_is_coalescible((a, b), 0)
+        assert not store_is_coalescible((a, FENCE, b), 0)
+        assert not store_is_coalescible((a, b), 1)  # last op
+        volatile = Op(OpKind.STORE, addr=PBASE, value=2)
+        assert not store_is_coalescible((a, volatile), 0)
+
+
+class TestRemovalJustified:
+    def ctx(self, scheme):
+        return PassContext(scheme=scheme_info(scheme),
+                           block_size=CFG.block_size)
+
+    def test_contract_subsumption_justifies(self):
+        ops = (store(PBASE), flush(PBASE), FENCE)
+        ok, why = removal_justified(ops, 1, self.ctx(FULL))
+        assert ok and "ordering contract" in why
+
+    def test_load_bearing_fence_rejected_with_reason(self):
+        ops = (store(PBASE), flush(PBASE), FENCE)
+        ok, why = removal_justified(ops, 2, self.ctx(STRICT_KEEPER))
+        assert not ok and "not subsumed" in why
+
+    def test_loads_and_computes_never_removable(self):
+        ops = (Op(OpKind.LOAD, addr=PBASE), Op(OpKind.COMPUTE, cycles=1))
+        for i in range(2):
+            ok, why = removal_justified(ops, i, self.ctx(FULL))
+            assert not ok and "never removable" in why
+
+
+class TestAudit:
+    def probe(self):
+        return Program(threads=((
+            store(PBASE + 64), flush(PBASE + 64), FENCE, EPOCH,
+        ),), name="probe")
+
+    def test_default_pipeline_is_audit_clean_everywhere(self):
+        for info in iter_schemes():
+            audit = audit_pipeline(self.probe(), info.name,
+                                   block_size=CFG.block_size)
+            assert audit.ok, (info.name, audit.describe_violations())
+
+    def test_mutant_caught_exactly_where_the_contract_says(self):
+        for info in iter_schemes():
+            audit = audit_pipeline(self.probe(), info.name,
+                                   passes=MUTANT_PIPELINE)
+            expected_caught = not (
+                info.subsumes_ordering(ORDERING_FENCE)
+                and info.subsumes_ordering(ORDERING_EPOCH)
+            )
+            assert (not audit.ok) == expected_caught, info.name
+
+    def test_violation_rows_name_the_op_by_provenance(self):
+        audit = audit_pipeline(self.probe(), STRICT_KEEPER,
+                               passes=MUTANT_PIPELINE)
+        assert not audit.ok
+        text = audit.describe_violations()[0]
+        assert "opt-drop-epoch-fence" in text
+        assert "thread 0" in text
+
+
+class TestWorkloadCell:
+    @pytest.mark.parametrize("scheme", [FULL, STRICT_KEEPER])
+    def test_cell_verifies_clean(self, scheme):
+        cell = verify_workload_cell("mutateNC", scheme, spec=SPEC,
+                                    config=CFG, entries=2)
+        assert cell["ok"], cell["failures"]
+        assert cell["fingerprints_equal"]
+        assert cell["optimized_consistent"]
+        assert cell["counterexample"] is None
+
+    def test_full_contract_cell_elides_everything(self):
+        cell = verify_workload_cell("mutateNC", FULL, spec=SPEC,
+                                    config=CFG, entries=2)
+        assert cell["flush_fence_elision_pct"] == 100.0
+        assert cell["ops_optimized"] < cell["ops_naive"]
+        # Fewer ops -> fewer micro-step crash points to explore.
+        assert cell["checker_points"]["optimized"] < \
+            cell["checker_points"]["naive"]
+
+
+class TestLitmusCell:
+    def test_smoke_cells_verify_clean(self):
+        from repro.litmus.corpus import smoke_corpus
+
+        test = smoke_corpus()[0]
+        for scheme in (FULL, STRICT_KEEPER):
+            cell = verify_litmus_cell(test, scheme, config=CFG, entries=2)
+            assert cell["ok"], cell["failures"]
+            assert cell["forbidden"] == []
+            assert cell["observed_states"] >= 1
+
+    def test_mutant_pipeline_flagged_by_the_audit(self):
+        # A test whose program carries a load-bearing sfence (a clwb
+        # outstanding before it) — the mutant's deletion of it cannot be
+        # justified under a fence-keeping scheme.
+        from repro.litmus.corpus import smoke_corpus
+
+        test = next(t for t in smoke_corpus()
+                    if t.name == "mp-flush-fence")
+        cell = verify_litmus_cell(test, STRICT_KEEPER, config=CFG,
+                                  entries=2, passes=MUTANT_PIPELINE,
+                                  minimize=False)
+        assert not cell["ok"]
+        assert any("opt-drop-epoch-fence" in f for f in cell["failures"])

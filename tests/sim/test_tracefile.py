@@ -175,3 +175,92 @@ class TestColumnarIO:
         cols = load_trace_columnar(path)
         assert not cols.fast_path_ok
         assert cols.threads[0].op_at(0) == wide.threads[0][0]
+
+
+class TestProgramIO:
+    def sample_program(self):
+        from repro.opt import Op, Program
+
+        return Program(
+            threads=(
+                (
+                    Op(OpKind.STORE, addr=0x10000, value=3,
+                       origin="wl/0", durable=True),
+                    Op(OpKind.FLUSH, addr=0x10000,
+                       origin="naive-instrument/clwb", durable=True),
+                    Op(OpKind.FENCE, origin="naive-instrument/sfence"),
+                    Op(OpKind.LOAD, addr=0x40, size=4, origin="wl/1"),
+                ),
+                (Op(OpKind.EPOCH, origin="wl/2"),),
+            ),
+            name="sample",
+        )
+
+    def test_program_roundtrip_preserves_provenance(self, tmp_path):
+        from repro.sim.tracefile import load_program, save_program
+
+        program = self.sample_program()
+        path = tmp_path / "p.trace"
+        count = save_program(program, path)
+        assert count == program.total_ops
+        assert load_program(path) == program
+
+    def test_program_resave_is_byte_identical(self, tmp_path):
+        from repro.sim.tracefile import load_program, save_program
+
+        program = self.sample_program()
+        first = tmp_path / "a.trace"
+        second = tmp_path / "b.trace"
+        save_program(program, first)
+        save_program(load_program(first), second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_program_file_loads_as_plain_trace(self, tmp_path):
+        from repro.sim.tracefile import load_trace_columnar, save_program
+
+        program = self.sample_program()
+        path = tmp_path / "p.trace"
+        save_program(program, path)
+        trace = load_trace(path)
+        assert [list(t) for t in trace.threads] == \
+            [list(t) for t in program.to_trace().threads]
+        cols = load_trace_columnar(path)
+        assert cols.to_program().total_ops() == program.total_ops
+
+    def test_plain_trace_loads_as_metadata_free_program(self, tmp_path):
+        from repro.sim.tracefile import load_program
+
+        path = tmp_path / "t.trace"
+        save_trace(sample_trace(), path)
+        program = load_program(path)
+        assert program.name == ""
+        assert all(op.origin == "" and not op.durable
+                   for _, _, op in program.iter_ops())
+        assert [list(t.ops) for t in program.to_trace().threads] == \
+            [list(t) for t in sample_trace().threads]
+
+    def test_header_carries_the_program_name(self, tmp_path):
+        from repro.sim.tracefile import save_program
+
+        path = tmp_path / "p.trace"
+        save_program(self.sample_program(), path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["program"] == "sample"
+
+    def test_optimized_program_saves_and_reloads(self, tmp_path):
+        from repro.opt import instrument_naive, run_pipeline
+        from repro.opt.ir import Program
+        from repro.sim.tracefile import load_program, save_program
+
+        cfg = SystemConfig(num_cores=2).scaled_for_testing()
+        workload = registry(
+            cfg.mem, WorkloadSpec(threads=2, ops=4, elements=64)
+        )["hashmap"]
+        naive = instrument_naive(Program.from_trace(
+            workload.build(), name="hashmap", origin="hashmap",
+            is_persistent=cfg.mem.is_persistent,
+        ))
+        result = run_pipeline(naive, "bbb", block_size=cfg.block_size)
+        path = tmp_path / "opt.trace"
+        save_program(result.optimized, path)
+        assert load_program(path) == result.optimized

@@ -302,6 +302,68 @@ class TestLitmusCommand:
         assert "not-a-shape" in capsys.readouterr().err
 
 
+class TestOptCommand:
+    SMALL = ["--threads", "2", "--ops", "4", "--elements", "64",
+             "--jobs", "1"]
+
+    def test_single_cell_reports_elision_and_saves_program(
+        self, capsys, tmp_path
+    ):
+        out_file = tmp_path / "opt.trace"
+        rc = main(["opt", "--workload", "hashmap", "--scheme", "bbb",
+                   "--save-program", str(out_file)] + self.SMALL)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "100.0%" in out
+        assert "verified" in out
+        from repro.sim.tracefile import load_program
+
+        program = load_program(out_file)
+        assert program.total_ops > 0
+        assert all(op.origin for _, _, op in program.iter_ops())
+
+    def test_single_cell_flush_keeping_scheme(self, capsys):
+        rc = main(["opt", "--workload", "hashmap", "--scheme", "pmem"]
+                  + self.SMALL)
+        assert rc == 0
+        assert "0.0%" in capsys.readouterr().out
+
+    def test_compare_writes_replayable_artifact(self, capsys, tmp_path):
+        out_file = tmp_path / "opt.json"
+        rc = main(["opt", "--compare", "--workloads", "hashmap",
+                   "--schemes", "bbb,pmem", "--out", str(out_file)]
+                  + self.SMALL)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "naive instrumentation vs persist-optimized" in out
+        with open(out_file) as fh:
+            report = json.load(fh)
+        assert report["schema"] == "repro.optreport/v1"
+        assert report["by_scheme"]["bbb"]["mean_elision_pct"] == 100.0
+        rc = main(["opt", "--replay", str(out_file), "--jobs", "1"])
+        assert rc == 0
+        assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_replay_rejects_wrong_schema_artifact(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/v9"}')
+        rc = main(["opt", "--replay", str(bad)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "other/v9" in err and "repro.optreport/v1" in err
+
+    def test_unknown_scheme_rejected(self, capsys):
+        rc = main(["opt", "--scheme", "bogus"] + self.SMALL)
+        assert rc == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+    def test_unknown_workload_rejected_in_compare(self, capsys):
+        rc = main(["opt", "--compare", "--workloads", "bogus"]
+                  + self.SMALL)
+        assert rc == 2
+        assert "bogus" in capsys.readouterr().err
+
+
 class TestTraceCommand:
     def test_trace_writes_file(self, capsys, tmp_path):
         out_file = tmp_path / "w.trace"

@@ -69,9 +69,9 @@ class TestExamplesRun:
     def test_custom_scheme(self, capsys):
         # The pluggability proof: a scheme registered from outside
         # src/repro runs through build, the crash checker, a fault
-        # campaign, and degraded-mode serving.  (Its registration is
-        # idempotent, so running the example twice in one process is
-        # safe.)
+        # campaign, degraded-mode serving, and the persist optimizer.
+        # (Its registration is idempotent, so running the example twice
+        # in one process is safe.)
         with pytest.raises(SystemExit) as exc:
             run_example("custom_scheme.py")
         assert exc.value.code == 0
@@ -79,5 +79,6 @@ class TestExamplesRun:
         assert "registered scheme 'bbb-nocoalesce'" in out
         assert "degraded serving: completed 30/30" in out
         assert "correctly refused degraded serving" in out
-        assert ("custom scheme ran through build, check, faults, and "
-                "degraded serving: OK") in out
+        assert "100.0% of flush/fence instrumentation elided" in out
+        assert ("custom scheme ran through build, check, faults, "
+                "degraded serving, and the persist optimizer: OK") in out

@@ -93,6 +93,18 @@ def test_lint_walk_covers_the_litmus_package():
         assert path in scanned, f"{path} escaped the scheme-literal lint"
 
 
+def test_lint_walk_covers_the_opt_package():
+    # The persist optimizer elides instrumentation purely from each
+    # scheme's declared ordering contract; a scheme-name literal there
+    # would turn a capability decision back into a name switch.  Keep
+    # every optimizer module inside the walk.
+    scanned = {p for p in SRC.rglob("*.py") if p != EXEMPT}
+    opt = sorted((SRC / "opt").glob("*.py"))
+    assert opt, "src/repro/opt has no modules to lint"
+    for path in opt:
+        assert path in scanned, f"{path} escaped the scheme-literal lint"
+
+
 def test_registry_is_where_the_names_live():
     # The exempt file must actually define every builtin canonical name,
     # so the lint cannot be "satisfied" by deleting the registry.  (Plugin
